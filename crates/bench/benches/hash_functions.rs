@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark: hash-function cost (paper §4.4).
+//!
+//! The paper counts instructions: Mult is one multiply + one shift;
+//! Murmur's finalizer two multiplies and some xor/shifts; MultAdd without
+//! native 128-bit arithmetic "two multiplications, six additions, plus
+//! logical ANDs and shifts"; tabulation is eight L1 loads. The expected
+//! ranking — Mult < Murmur < MultAdd64 ≲ Tab, with native-u128 MultAdd in
+//! between — is exactly what this bench prints.
+
+use criterion::measurement::WallTime;
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
+use hashfn::{
+    CityMix, Crc, Djb2, Fnv1a, HashFamily, MultAddShift, MultAddShift32, MultAddShift64,
+    MultShift, Murmur, Tabulation,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 4096;
+
+fn keys() -> Vec<u64> {
+    // Sparse keys via the (bijective) Murmur mixer.
+    (0..N as u64).map(|i| Murmur::fmix64(i.wrapping_add(99))).collect()
+}
+
+fn bench_fn<H: HashFamily>(group: &mut BenchmarkGroup<'_, WallTime>, ks: &[u64]) {
+    let h = H::from_seed(42);
+    group.bench_function(H::name(), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &k in ks {
+                acc ^= h.hash(black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn hash_functions(c: &mut Criterion) {
+    let ks = keys();
+    let mut group = c.benchmark_group("hash_functions_4096_keys");
+    group.measurement_time(Duration::from_millis(800));
+    group.warm_up_time(Duration::from_millis(200));
+    group.sample_size(20);
+    bench_fn::<MultShift>(&mut group, &ks);
+    bench_fn::<Murmur>(&mut group, &ks);
+    bench_fn::<MultAddShift>(&mut group, &ks);
+    bench_fn::<MultAddShift64>(&mut group, &ks);
+    bench_fn::<MultAddShift32>(&mut group, &ks);
+    bench_fn::<Tabulation>(&mut group, &ks);
+    // The engineered class the paper's footnote 6 names.
+    bench_fn::<Fnv1a>(&mut group, &ks);
+    bench_fn::<Djb2>(&mut group, &ks);
+    bench_fn::<Crc>(&mut group, &ks);
+    bench_fn::<CityMix>(&mut group, &ks);
+    group.finish();
+}
+
+criterion_group!(benches, hash_functions);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmark: scan kernels — scalar vs AVX2, AoS vs SoA.
+//!
+//! The kernel-level view of Figure 7: how fast can each layout scan for a
+//! key or an empty slot? SoA loads four packed keys per step; AoS must
+//! gather them (stride 2). Short probes (low load) are branch-dominated
+//! and SIMD gains little; long probes (unsuccessful at high load) are
+//! where the 4-wide compare pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hashfn::{HashFamily, HashFn64, MultShift};
+use sevendim_core::simd::{scan_keys, scan_pairs, simd_available, ProbeKind};
+use sevendim_core::{Pair, EMPTY_KEY};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BITS: u8 = 14;
+const LEN: usize = 1 << BITS;
+
+/// Build a key array at `load` occupancy with linear-probing placement.
+fn build_keys(load: f64) -> Vec<u64> {
+    let h = MultShift::from_seed(3);
+    let mut keys = vec![EMPTY_KEY; LEN];
+    let n = (LEN as f64 * load) as usize;
+    for i in 0..n {
+        let k = hashfn::Murmur::fmix64(i as u64 + 1);
+        let mut pos = hashfn::fold_to_bits(h.hash(k), BITS);
+        while keys[pos] != EMPTY_KEY {
+            pos = (pos + 1) & (LEN - 1);
+        }
+        keys[pos] = k;
+    }
+    keys
+}
+
+fn layout_simd(c: &mut Criterion) {
+    if !simd_available() {
+        eprintln!("note: AVX2 unavailable — 'simd' series measure the scalar fallback");
+    }
+    for load in [0.5f64, 0.9] {
+        let keys = build_keys(load);
+        let pairs: Vec<Pair> =
+            keys.iter().map(|&k| Pair { key: k, value: k.wrapping_mul(3) }).collect();
+        let h = MultShift::from_seed(3);
+        // Miss keys force full-cluster scans — the long-probe case.
+        let miss_keys: Vec<u64> =
+            (0..256u64).map(|i| hashfn::Murmur::fmix64(1 << 40 | i)).collect();
+        let mut group = c.benchmark_group(format!("scan_miss_at_{:.0}pct", load * 100.0));
+        group.measurement_time(Duration::from_millis(700));
+        group.warm_up_time(Duration::from_millis(200));
+        group.sample_size(20);
+        for (kind, kind_name) in [(ProbeKind::Scalar, "scalar"), (ProbeKind::Simd, "simd")] {
+            group.bench_function(format!("soa_{kind_name}"), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = miss_keys[i % miss_keys.len()];
+                    i += 1;
+                    let start = hashfn::fold_to_bits(h.hash(k), BITS);
+                    black_box(scan_keys(&keys, start, black_box(k), kind))
+                })
+            });
+            group.bench_function(format!("aos_{kind_name}"), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = miss_keys[i % miss_keys.len()];
+                    i += 1;
+                    let start = hashfn::fold_to_bits(h.hash(k), BITS);
+                    black_box(scan_pairs(&pairs, start, black_box(k), kind))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, layout_simd);
+criterion_main!(benches);

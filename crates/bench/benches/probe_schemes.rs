@@ -1,0 +1,93 @@
+//! Criterion micro-benchmark: per-scheme probe cost.
+//!
+//! Lookup latency of each hashing scheme at 50% and 90% load with
+//! Multiply-shift, split into all-successful and all-unsuccessful
+//! streams — the micro-scale version of Figure 4's panels, useful for
+//! spotting regressions in a single scheme's probe loop.
+
+use criterion::measurement::WallTime;
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
+use hashfn::MultShift;
+use sevendim_core::{
+    ChainedTable24, Cuckoo, HashTable, LinearProbing, QuadraticProbing, RobinHood,
+};
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::Distribution;
+
+const BITS: u8 = 14;
+
+struct Mat {
+    inserts: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+fn material(load: f64) -> Mat {
+    let n = ((1usize << BITS) as f64 * load) as usize;
+    let sets = Distribution::Sparse.generate_with_misses(n, n, 7);
+    Mat { inserts: sets.inserts, misses: sets.misses }
+}
+
+fn bench_scheme<T: HashTable>(
+    group: &mut BenchmarkGroup<'_, WallTime>,
+    name: &str,
+    mut table: T,
+    mat: &Mat,
+) {
+    for &k in &mat.inserts {
+        table.insert(k, k).unwrap();
+    }
+    group.bench_function(format!("{name}/hit"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = mat.inserts[i % mat.inserts.len()];
+            i += 1;
+            black_box(table.lookup(black_box(k)))
+        })
+    });
+    group.bench_function(format!("{name}/miss"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let k = mat.misses[i % mat.misses.len()];
+            i += 1;
+            black_box(table.lookup(black_box(k)))
+        })
+    });
+}
+
+fn probe_schemes(c: &mut Criterion) {
+    for load in [0.5f64, 0.9] {
+        let mat = material(load);
+        let mut group = c.benchmark_group(format!("probe_at_{:.0}pct", load * 100.0));
+        group.measurement_time(Duration::from_millis(700));
+        group.warm_up_time(Duration::from_millis(200));
+        group.sample_size(20);
+        bench_scheme(&mut group, "LPMult", LinearProbing::<MultShift>::with_seed(BITS, 1), &mat);
+        bench_scheme(
+            &mut group,
+            "QPMult",
+            QuadraticProbing::<MultShift>::with_seed(BITS, 1),
+            &mat,
+        );
+        bench_scheme(&mut group, "RHMult", RobinHood::<MultShift>::with_seed(BITS, 1), &mat);
+        bench_scheme(
+            &mut group,
+            "CuckooH4Mult",
+            Cuckoo::<MultShift, 4>::with_seed(BITS, 1),
+            &mat,
+        );
+        if load <= 0.5 {
+            // Chained participates where its budget would allow (cf. §4.5).
+            bench_scheme(
+                &mut group,
+                "ChainedH24Mult",
+                ChainedTable24::<MultShift>::with_seed(BITS - 1, 1),
+                &mat,
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, probe_schemes);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure 2: WORM at low load factors (25%, 35%, 45%), large capacity.
+//!
+//! Compares the two chained-hashing variants against linear probing,
+//! under dense/grid/sparse keys, with Mult and Murmur. One insertion
+//! panel per distribution (x = load factor) and one lookup panel per
+//! distribution × load factor (x = unsuccessful-query percentage) —
+//! the exact grid of the paper's Figure 2.
+
+use bench::{emit, parse_args, worm_cell, HashId, Scheme};
+use metrics::{ReportTable, Series};
+use workloads::{Distribution, WormConfig};
+
+const LOAD_FACTORS: [f64; 3] = [0.25, 0.35, 0.45];
+const TABLES: [(Scheme, HashId); 6] = [
+    (Scheme::Chained8, HashId::Mult),
+    (Scheme::Chained8, HashId::Murmur),
+    (Scheme::Chained24, HashId::Mult),
+    (Scheme::Chained24, HashId::Murmur),
+    (Scheme::LP, HashId::Mult),
+    (Scheme::LP, HashId::Murmur),
+];
+
+fn main() {
+    let args = parse_args(std::env::args());
+    let (_, _, large) = args.scale.capacity_bits();
+    let bits = args.log2_capacity.unwrap_or(large);
+    let seeds = args.seed_list();
+    println!(
+        "Figure 2 — WORM, low load factors, capacity 2^{bits} \
+         ({} probes/stream, {} seed(s))\n",
+        args.probe_count(),
+        seeds.len()
+    );
+
+    for dist in Distribution::ALL {
+        // One WormCellOut per (table, load factor).
+        let cells: Vec<Vec<_>> = TABLES
+            .iter()
+            .map(|&(scheme, h)| {
+                LOAD_FACTORS
+                    .iter()
+                    .map(|&lf| {
+                        let cfg = WormConfig {
+                            capacity_bits: bits,
+                            load_factor: lf,
+                            dist,
+                            probes: args.probe_count(),
+                            seed: 0,
+                        };
+                        worm_cell(scheme, h, &cfg, &seeds)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Insertions panel: x = load factor.
+        let mut panel = ReportTable::new(
+            format!("Fig 2 — {} distribution — insertions", dist.name()),
+            "load factor %",
+            LOAD_FACTORS.iter().map(|lf| format!("{:.0}", lf * 100.0)).collect(),
+            "M inserts/s",
+        );
+        for (t, &(scheme, h)) in TABLES.iter().enumerate() {
+            panel.push(Series::new(
+                scheme.label(h),
+                cells[t].iter().map(|c| c.insert_mops).collect(),
+            ));
+        }
+        emit(&panel, args.csv);
+
+        // Lookup panels: one per load factor, x = unsuccessful %.
+        for (li, &lf) in LOAD_FACTORS.iter().enumerate() {
+            let mut panel = ReportTable::new(
+                format!(
+                    "Fig 2 — {} distribution — lookups at {:.0}% load factor",
+                    dist.name(),
+                    lf * 100.0
+                ),
+                "unsuccessful %",
+                cells[0][li].lookup_mops.iter().map(|(p, _)| p.to_string()).collect(),
+                "M lookups/s",
+            );
+            for (t, &(scheme, h)) in TABLES.iter().enumerate() {
+                panel.push(Series::new(
+                    scheme.label(h),
+                    cells[t][li].lookup_mops.iter().map(|&(_, v)| v).collect(),
+                ));
+            }
+            emit(&panel, args.csv);
+        }
+    }
+}

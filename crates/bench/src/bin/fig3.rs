@@ -1,0 +1,68 @@
+//! Figure 3: memory footprint of the Figure 2 tables.
+//!
+//! Memory usage under the dense distribution (the one producing the
+//! largest differences between hash tables, per the paper's caption) at
+//! load factors 25/35/45%. LP's footprint is constant — the directory
+//! alone; the chained variants pay per-entry and per-collision costs that
+//! depend on the hash function's collision behaviour, which is the
+//! figure's point: ChainedH24's footprint under Mult drops visibly on
+//! dense keys because Mult produces almost no collisions there.
+
+use bench::{emit, parse_args, worm_cell, HashId, Scheme};
+use metrics::{bytes_to_mb, ReportTable, Series};
+use workloads::{Distribution, WormConfig};
+
+const LOAD_FACTORS: [f64; 3] = [0.25, 0.35, 0.45];
+const TABLES: [(Scheme, HashId); 6] = [
+    (Scheme::Chained8, HashId::Mult),
+    (Scheme::Chained8, HashId::Murmur),
+    (Scheme::Chained24, HashId::Mult),
+    (Scheme::Chained24, HashId::Murmur),
+    (Scheme::LP, HashId::Mult),
+    (Scheme::LP, HashId::Murmur),
+];
+
+fn main() {
+    let mut args = parse_args(std::env::args());
+    // Footprint is a property of the built table, not of probe streams:
+    // keep the probe phase minimal.
+    args.probes = Some(args.probes.unwrap_or(1000).min(1000));
+    let (_, _, large) = args.scale.capacity_bits();
+    let bits = args.log2_capacity.unwrap_or(large);
+    let seeds = args.seed_list();
+    println!("Figure 3 — memory footprint, capacity 2^{bits}\n");
+
+    for dist in Distribution::ALL {
+        let mut panel = ReportTable::new(
+            format!("Fig 3 — {} distribution — memory usage", dist.name()),
+            "load factor %",
+            LOAD_FACTORS.iter().map(|lf| format!("{:.0}", lf * 100.0)).collect(),
+            "MB",
+        );
+        for &(scheme, h) in &TABLES {
+            let values = LOAD_FACTORS
+                .iter()
+                .map(|&lf| {
+                    let cfg = WormConfig {
+                        capacity_bits: bits,
+                        load_factor: lf,
+                        dist,
+                        probes: args.probe_count(),
+                        seed: 0,
+                        };
+                    worm_cell(scheme, h, &cfg, &seeds[..1])
+                        .memory_bytes
+                        .map(bytes_to_mb)
+                })
+                .collect();
+            panel.push(Series::new(scheme.label(h), values));
+        }
+        emit(&panel, args.csv);
+        if dist == Distribution::Dense {
+            println!(
+                "(paper shows dense only: it produces the largest footprint \
+                 differences; sparse/grid follow for completeness)\n"
+            );
+        }
+    }
+}

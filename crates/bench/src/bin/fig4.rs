@@ -1,0 +1,92 @@
+//! Figure 4: WORM at high load factors (50%, 70%, 90%), large capacity.
+//!
+//! All open-addressing schemes (LP, QP, RH, CuckooH4) with Mult and
+//! Murmur; ChainedH24 participates only at 50% — beyond that it cannot
+//! hold the keys within the §4.5 memory budget and its cells render as
+//! `-`, mirroring its removal from the paper's panels.
+
+use bench::{emit, parse_args, worm_cell, HashId, Scheme};
+use metrics::{ReportTable, Series};
+use workloads::{Distribution, WormConfig};
+
+const LOAD_FACTORS: [f64; 3] = [0.50, 0.70, 0.90];
+const TABLES: [(Scheme, HashId); 10] = [
+    (Scheme::Chained24, HashId::Mult),
+    (Scheme::Chained24, HashId::Murmur),
+    (Scheme::Cuckoo4, HashId::Mult),
+    (Scheme::Cuckoo4, HashId::Murmur),
+    (Scheme::LP, HashId::Mult),
+    (Scheme::LP, HashId::Murmur),
+    (Scheme::QP, HashId::Mult),
+    (Scheme::QP, HashId::Murmur),
+    (Scheme::RH, HashId::Mult),
+    (Scheme::RH, HashId::Murmur),
+];
+
+fn main() {
+    let args = parse_args(std::env::args());
+    let (_, _, large) = args.scale.capacity_bits();
+    let bits = args.log2_capacity.unwrap_or(large);
+    let seeds = args.seed_list();
+    println!(
+        "Figure 4 — WORM, high load factors, capacity 2^{bits} \
+         ({} probes/stream, {} seed(s))\n",
+        args.probe_count(),
+        seeds.len()
+    );
+
+    for dist in Distribution::ALL {
+        let cells: Vec<Vec<_>> = TABLES
+            .iter()
+            .map(|&(scheme, h)| {
+                LOAD_FACTORS
+                    .iter()
+                    .map(|&lf| {
+                        let cfg = WormConfig {
+                            capacity_bits: bits,
+                            load_factor: lf,
+                            dist,
+                            probes: args.probe_count(),
+                            seed: 0,
+                        };
+                        worm_cell(scheme, h, &cfg, &seeds)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut panel = ReportTable::new(
+            format!("Fig 4 — {} distribution — insertions", dist.name()),
+            "load factor %",
+            LOAD_FACTORS.iter().map(|lf| format!("{:.0}", lf * 100.0)).collect(),
+            "M inserts/s",
+        );
+        for (t, &(scheme, h)) in TABLES.iter().enumerate() {
+            panel.push(Series::new(
+                scheme.label(h),
+                cells[t].iter().map(|c| c.insert_mops).collect(),
+            ));
+        }
+        emit(&panel, args.csv);
+
+        for (li, &lf) in LOAD_FACTORS.iter().enumerate() {
+            let mut panel = ReportTable::new(
+                format!(
+                    "Fig 4 — {} distribution — lookups at {:.0}% load factor",
+                    dist.name(),
+                    lf * 100.0
+                ),
+                "unsuccessful %",
+                cells[0][li].lookup_mops.iter().map(|(p, _)| p.to_string()).collect(),
+                "M lookups/s",
+            );
+            for (t, &(scheme, h)) in TABLES.iter().enumerate() {
+                panel.push(Series::new(
+                    scheme.label(h),
+                    cells[t][li].lookup_mops.iter().map(|&(_, v)| v).collect(),
+                ));
+            }
+            emit(&panel, args.csv);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 6: the absolute-best-performer matrix for WORM.
+//!
+//! For every capacity (S/M/L) × distribution × load factor (50/70/90%),
+//! report which table wins insertions and which wins lookups at each
+//! unsuccessful-query percentage, with its throughput — the color-coded
+//! matrix of the paper's Figure 6. Candidates are the Mult-driven tables
+//! (the paper: "no hash table is the absolute best using Murmur") plus
+//! ChainedH24Mult where its memory budget allows.
+
+use bench::{parse_args, worm_cell, HashId, Scheme};
+use workloads::{Distribution, WormConfig};
+
+const LOAD_FACTORS: [f64; 3] = [0.50, 0.70, 0.90];
+const CANDIDATES: [Scheme; 5] =
+    [Scheme::Chained24, Scheme::Cuckoo4, Scheme::LP, Scheme::QP, Scheme::RH];
+
+fn main() {
+    let args = parse_args(std::env::args());
+    let (s, m, l) = args.scale.capacity_bits();
+    let seeds = args.seed_list();
+    println!(
+        "Figure 6 — absolute best performers (Mult candidates), \
+         capacities S=2^{s} M=2^{m} L=2^{l}\n"
+    );
+    println!(
+        "{:<8} {:<6} {:<4} | {:<22} | per-unsuccessful-% lookup winners",
+        "dist", "lf%", "cap", "insert winner"
+    );
+    println!("{}", "-".repeat(110));
+
+    for dist in Distribution::ALL {
+        for &lf in &LOAD_FACTORS {
+            for (cap_name, bits) in [("S", s), ("M", m), ("L", l)] {
+                let cfg = WormConfig {
+                    capacity_bits: bits,
+                    load_factor: lf,
+                    dist,
+                    probes: args.probe_count(),
+                    seed: 0,
+                };
+                let cells: Vec<_> = CANDIDATES
+                    .iter()
+                    .map(|&scheme| (scheme, worm_cell(scheme, HashId::Mult, &cfg, &seeds)))
+                    .collect();
+
+                let insert_winner = cells
+                    .iter()
+                    .filter_map(|(sch, c)| c.insert_mops.map(|v| (sch.label(HashId::Mult), v)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1));
+
+                let n_pcts = cells[0].1.lookup_mops.len();
+                let lookup_winners: Vec<String> = (0..n_pcts)
+                    .map(|i| {
+                        let pct = cells[0].1.lookup_mops[i].0;
+                        match cells
+                            .iter()
+                            .filter_map(|(sch, c)| {
+                                c.lookup_mops[i].1.map(|v| (sch.label(HashId::Mult), v))
+                            })
+                            .max_by(|a, b| a.1.total_cmp(&b.1))
+                        {
+                            Some((label, v)) => format!("{pct}%:{label}({v:.0})"),
+                            None => format!("{pct}%:-"),
+                        }
+                    })
+                    .collect();
+
+                let iw = match insert_winner {
+                    Some((label, v)) => format!("{label} ({v:.0} M/s)"),
+                    None => "-".to_string(),
+                };
+                println!(
+                    "{:<8} {:<6.0} {:<4} | {:<22} | {}",
+                    dist.name(),
+                    lf * 100.0,
+                    cap_name,
+                    iw,
+                    lookup_winners.join("  ")
+                );
+            }
+        }
+    }
+    println!(
+        "\nExpected pattern (paper): QP wins most insert cells (LP on dense), \
+         RH dominates mid-load lookups, CuckooH4 takes 90%-load cells, \
+         ChainedH24 the 100%-unsuccessful column at 50% load."
+    );
+}

@@ -1,0 +1,146 @@
+//! Figure 8: validating the decision graph against measurements.
+//!
+//! The paper condenses its study into a practitioner's decision graph;
+//! here we *measure* a grid of workload profiles and check that the
+//! graph's recommendation is at (or near) the top of the measured
+//! ranking. Static read profiles are scored by WORM lookup throughput at
+//! the profile's load factor and hit ratio; write-heavy/dynamic profiles
+//! by RW stream throughput. A recommendation "holds" when it reaches at
+//! least 85% of the best measured candidate — the graph trades a little
+//! peak performance for robustness, and the paper's own winners differ
+//! by less than that in adjacent cells.
+
+use bench::{parse_args, rw_cell, worm_cell, HashId, Scheme};
+use sevendim_core::decision::{recommend, Mutability, TableChoice, WorkloadProfile};
+use workloads::{Distribution, RwConfig, WormConfig};
+
+const CANDIDATES: [(Scheme, TableChoice); 5] = [
+    (Scheme::Chained24, TableChoice::ChainedH24Mult),
+    (Scheme::Cuckoo4, TableChoice::CuckooH4Mult),
+    (Scheme::LP, TableChoice::LPMult),
+    (Scheme::QP, TableChoice::QPMult),
+    (Scheme::RH, TableChoice::RHMult),
+];
+
+fn main() {
+    let args = parse_args(std::env::args());
+    let (_, medium, _) = args.scale.capacity_bits();
+    let bits = args.log2_capacity.unwrap_or(medium);
+    let seeds = args.seed_list();
+    println!("Figure 8 — decision-graph validation at capacity 2^{bits}\n");
+    println!(
+        "{:<44} {:<16} {:<22} {}",
+        "profile", "recommended", "measured best", "verdict"
+    );
+    println!("{}", "-".repeat(100));
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+
+    // Static, read-only profiles: (load factor, successful ratio, dense).
+    for &(lf, succ, dense) in &[
+        (0.35, 1.0, false),
+        (0.35, 0.25, false),
+        (0.50, 1.0, true),
+        (0.50, 0.25, false),
+        (0.70, 1.0, false),
+        (0.70, 0.0, false),
+        (0.90, 1.0, false),
+        (0.90, 0.25, false),
+    ] {
+        let profile = WorkloadProfile {
+            load_factor: lf,
+            successful_ratio: succ,
+            write_ratio: 0.0,
+            dense_keys: dense,
+            mutability: Mutability::Static,
+        };
+        let rec = recommend(&profile);
+        let dist = if dense { Distribution::Dense } else { Distribution::Sparse };
+        let unsuccessful_pct = ((1.0 - succ) * 100.0).round() as u8;
+        let cfg = WormConfig {
+            capacity_bits: bits,
+            load_factor: lf,
+            dist,
+            probes: args.probe_count(),
+            seed: 0,
+        };
+        let scores: Vec<(TableChoice, Option<f64>)> = CANDIDATES
+            .iter()
+            .map(|&(scheme, choice)| {
+                let out = worm_cell(scheme, HashId::Mult, &cfg, &seeds);
+                let v = out
+                    .lookup_mops
+                    .iter()
+                    .find(|(p, _)| *p == unsuccessful_pct)
+                    .and_then(|(_, v)| *v);
+                (choice, v)
+            })
+            .collect();
+        let label = format!(
+            "static lf={lf:.2} successful={:.0}% {}",
+            succ * 100.0,
+            if dense { "dense" } else { "sparse" }
+        );
+        tally(&label, rec, &scores, &mut agree, &mut total);
+    }
+
+    // Dynamic profiles scored by RW throughput: (update %, threshold).
+    for &(update_pct, threshold) in &[(75u8, 0.5f64), (75, 0.9), (25, 0.7), (5, 0.7)] {
+        let profile = WorkloadProfile {
+            load_factor: threshold,
+            successful_ratio: 0.75,
+            write_ratio: update_pct as f64 / 100.0,
+            dense_keys: false,
+            mutability: Mutability::Dynamic,
+        };
+        let rec = recommend(&profile);
+        let cfg = RwConfig {
+            initial_keys: args.scale.rw_initial_keys(),
+            operations: args.op_count() / 4,
+            update_pct,
+            seed: 0xF16,
+        };
+        let scores: Vec<(TableChoice, Option<f64>)> = CANDIDATES
+            .iter()
+            .map(|&(scheme, choice)| {
+                let v = rw_cell(scheme, HashId::Mult, threshold, cfg).ok().map(|o| o.mops);
+                (choice, v)
+            })
+            .collect();
+        let label = format!("dynamic updates={update_pct}% grow-at={threshold:.1}");
+        tally(&label, rec, &scores, &mut agree, &mut total);
+    }
+
+    println!("\n{agree}/{total} profiles: recommendation within 85% of measured best");
+}
+
+fn tally(
+    label: &str,
+    rec: TableChoice,
+    scores: &[(TableChoice, Option<f64>)],
+    agree: &mut usize,
+    total: &mut usize,
+) {
+    *total += 1;
+    let best = scores
+        .iter()
+        .filter_map(|&(c, v)| v.map(|v| (c, v)))
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let rec_score = scores.iter().find(|(c, _)| *c == rec).and_then(|&(_, v)| v);
+    let (verdict, best_str) = match (best, rec_score) {
+        (Some((bc, bv)), Some(rv)) => {
+            let ok = rv >= 0.85 * bv;
+            if ok {
+                *agree += 1;
+            }
+            (
+                if ok { "OK" } else { "MISS" },
+                format!("{} ({bv:.1} M/s; rec {rv:.1})", bc.name()),
+            )
+        }
+        (Some((bc, bv)), None) => ("MISS(rec absent)", format!("{} ({bv:.1} M/s)", bc.name())),
+        _ => ("no data", "-".to_string()),
+    };
+    println!("{label:<44} {:<16} {best_str:<22} {verdict}", rec.name());
+}

@@ -1,0 +1,28 @@
+//! Benchmark harness for the seven-dimensional hashing study.
+//!
+//! Each figure and table of the paper has a binary in `src/bin/` that
+//! regenerates it (`fig2` … `fig8`, plus ablations); this library holds
+//! what they share: the scale configuration ([`cli`]), and the
+//! scheme × hash-function dispatch with multi-seed averaging
+//! ([`runner`]).
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig4 -- --scale default
+//! cargo run --release -p bench --bin fig7 -- --log2-capacity 20 --seeds 3
+//! ```
+
+pub mod cli;
+pub mod runner;
+
+pub use cli::{parse_args, Args, Scale};
+pub use runner::{rw_cell, worm_cell, worm_cell_with, HashId, RwCellOut, Scheme, WormCellOut};
+
+/// Print a report panel as text, plus CSV when requested.
+pub fn emit(table: &metrics::ReportTable, csv: bool) {
+    println!("{}", table.to_text());
+    if csv {
+        println!("{}", table.to_csv());
+    }
+}

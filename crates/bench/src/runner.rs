@@ -1,0 +1,343 @@
+//! Scheme × hash-function dispatch and multi-seed measurement.
+//!
+//! The figure binaries iterate over the paper's table grid; this module
+//! turns a `(Scheme, HashId)` pair into a concrete table, drives the WORM
+//! or RW workload against it, and averages throughput over the configured
+//! seeds (§4.2: three independent runs per data point).
+
+use hashfn::{MultShift, Murmur};
+use metrics::{SeedStats, Throughput};
+use sevendim_core::{
+    Chained24Factory, ChainedTable24, ChainedTable8, Cuckoo, DynamicTable, HashTable,
+    LinearProbing, LpFactory, QpFactory, QuadraticProbing, RhFactory, RobinHood, TableError,
+};
+use workloads::{
+    rw::{run_chunk, RwStream},
+    worm::{run_cell, WormKeys},
+    RwConfig, WormConfig,
+};
+
+/// Hashing schemes of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// ChainedH8 (8-byte directory links).
+    Chained8,
+    /// ChainedH24 (24-byte inline directory entries).
+    Chained24,
+    /// Linear probing, AoS.
+    LP,
+    /// Quadratic (triangular) probing.
+    QP,
+    /// Robin Hood on LP, tuned.
+    RH,
+    /// Cuckoo hashing on four sub-tables.
+    Cuckoo4,
+}
+
+/// Hash functions presented in the paper's figures (§4.4 narrows the four
+/// functions down to these two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HashId {
+    /// Multiply-shift.
+    Mult,
+    /// Murmur3 64-bit finalizer.
+    Murmur,
+}
+
+impl Scheme {
+    /// Paper-style label, e.g. `"RHMult"`.
+    pub fn label(&self, h: HashId) -> String {
+        let scheme = match self {
+            Scheme::Chained8 => "ChainedH8",
+            Scheme::Chained24 => "ChainedH24",
+            Scheme::LP => "LP",
+            Scheme::QP => "QP",
+            Scheme::RH => "RH",
+            Scheme::Cuckoo4 => "CuckooH4",
+        };
+        let hash = match h {
+            HashId::Mult => "Mult",
+            HashId::Murmur => "Murmur",
+        };
+        format!("{scheme}{hash}")
+    }
+}
+
+/// Multi-seed WORM result for one cell of a figure.
+#[derive(Clone, Debug)]
+pub struct WormCellOut {
+    /// Insert throughput (M ops/s), `None` if the table could not hold
+    /// the keys (e.g. chained hashing beyond its memory budget).
+    pub insert_mops: Option<f64>,
+    /// Lookup throughput per unsuccessful percentage.
+    pub lookup_mops: Vec<(u8, Option<f64>)>,
+    /// Memory footprint after the build (bytes, last seed).
+    pub memory_bytes: Option<usize>,
+    /// Coefficient of variation of insert throughput across seeds (§4.2
+    /// variance check).
+    pub insert_cv: f64,
+}
+
+/// Run a WORM cell against tables produced by `build_table` (seed →
+/// table), averaging over `seeds`. The generic entry point behind
+/// [`worm_cell`]; figure 7 uses it directly for the AoS/SoA/SIMD variants
+/// that sit outside the main scheme grid.
+pub fn worm_cell_with<T: HashTable>(
+    mut build_table: impl FnMut(u64) -> Result<T, TableError>,
+    cfg: &WormConfig,
+    seeds: &[u64],
+) -> WormCellOut {
+    let mut insert = SeedStats::new();
+    let mut lookups: Vec<(u8, SeedStats)> = Vec::new();
+    let mut memory = None;
+    for (i, &seed) in seeds.iter().enumerate() {
+        let cfg = WormConfig { seed, ..*cfg };
+        let keys = WormKeys::prepare(&cfg);
+        let mut table = match build_table(seed ^ 0x7AB1E) {
+            Ok(t) => t,
+            Err(_) => {
+                return WormCellOut {
+                    insert_mops: None,
+                    lookup_mops: cfg_pcts(&keys),
+                    memory_bytes: None,
+                    insert_cv: 0.0,
+                }
+            }
+        };
+        match run_cell(&mut table, &keys) {
+            Ok((build, per_pct)) => {
+                insert.push(build.m_ops_per_sec());
+                if lookups.is_empty() {
+                    lookups =
+                        per_pct.iter().map(|(pct, _)| (*pct, SeedStats::new())).collect();
+                }
+                for ((_, stats), (_, t)) in lookups.iter_mut().zip(per_pct.iter()) {
+                    stats.push(t.m_ops_per_sec());
+                }
+                if i == seeds.len() - 1 {
+                    memory = Some(table.memory_bytes());
+                }
+            }
+            Err(_) => {
+                // Ran out of budget/capacity mid-build: cell is absent,
+                // exactly like the paper's removed chained curves.
+                return WormCellOut {
+                    insert_mops: None,
+                    lookup_mops: cfg_pcts(&keys),
+                    memory_bytes: None,
+                    insert_cv: 0.0,
+                };
+            }
+        }
+    }
+    WormCellOut {
+        insert_mops: Some(insert.mean()),
+        insert_cv: insert.cv(),
+        lookup_mops: lookups.into_iter().map(|(pct, s)| (pct, Some(s.mean()))).collect(),
+        memory_bytes: memory,
+    }
+}
+
+fn cfg_pcts(keys: &WormKeys) -> Vec<(u8, Option<f64>)> {
+    keys.probe_streams.iter().map(|(pct, _, _)| (*pct, None)).collect()
+}
+
+/// Run one WORM cell for a `(scheme, hash)` pair, averaging over `seeds`.
+pub fn worm_cell(scheme: Scheme, h: HashId, cfg: &WormConfig, seeds: &[u64]) -> WormCellOut {
+    let bits = cfg.capacity_bits;
+    let n = cfg.n_keys();
+    match (scheme, h) {
+        (Scheme::LP, HashId::Mult) => {
+            worm_cell_with(|s| Ok(LinearProbing::<MultShift>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::LP, HashId::Murmur) => {
+            worm_cell_with(|s| Ok(LinearProbing::<Murmur>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::QP, HashId::Mult) => {
+            worm_cell_with(|s| Ok(QuadraticProbing::<MultShift>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::QP, HashId::Murmur) => {
+            worm_cell_with(|s| Ok(QuadraticProbing::<Murmur>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::RH, HashId::Mult) => {
+            worm_cell_with(|s| Ok(RobinHood::<MultShift>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::RH, HashId::Murmur) => {
+            worm_cell_with(|s| Ok(RobinHood::<Murmur>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::Cuckoo4, HashId::Mult) => {
+            worm_cell_with(|s| Ok(Cuckoo::<MultShift, 4>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::Cuckoo4, HashId::Murmur) => {
+            worm_cell_with(|s| Ok(Cuckoo::<Murmur, 4>::with_seed(bits, s)), cfg, seeds)
+        }
+        (Scheme::Chained8, HashId::Mult) => {
+            worm_cell_with(|s| ChainedTable8::<MultShift>::with_budget(bits, n, s), cfg, seeds)
+        }
+        (Scheme::Chained8, HashId::Murmur) => {
+            worm_cell_with(|s| ChainedTable8::<Murmur>::with_budget(bits, n, s), cfg, seeds)
+        }
+        (Scheme::Chained24, HashId::Mult) => {
+            worm_cell_with(|s| ChainedTable24::<MultShift>::with_budget(bits, n, s), cfg, seeds)
+        }
+        (Scheme::Chained24, HashId::Murmur) => {
+            worm_cell_with(|s| ChainedTable24::<Murmur>::with_budget(bits, n, s), cfg, seeds)
+        }
+    }
+}
+
+/// RW result for one cell of Figure 5.
+#[derive(Clone, Debug)]
+pub struct RwCellOut {
+    /// Overall throughput across the stream (M ops/s).
+    pub mops: f64,
+    /// Final memory footprint (bytes).
+    pub memory_bytes: usize,
+    /// Growth rehashes performed.
+    pub rehashes: usize,
+}
+
+fn rw_typed<F: sevendim_core::TableFactory>(
+    factory: F,
+    grow_threshold: f64,
+    cfg: RwConfig,
+) -> Result<RwCellOut, TableError> {
+    // Initial size: the paper starts 16 M keys in a 2^25 table ≈ 47% load;
+    // generalized: the smallest power of two that keeps the initial load
+    // under the growth threshold.
+    let mut bits = 10u8;
+    while (cfg.initial_keys as f64) > grow_threshold * (1u64 << bits) as f64 {
+        bits += 1;
+    }
+    let mut stream = RwStream::new(cfg);
+    let mut table = DynamicTable::new(factory, bits, cfg.seed ^ 0xD14_7AB1E, grow_threshold);
+    for k in stream.initial_keys() {
+        table.insert(k, k)?;
+    }
+    let mut total: Option<Throughput> = None;
+    const CHUNK: usize = 1 << 16;
+    while let Some(chunk) = stream.next_chunk(CHUNK) {
+        let t = run_chunk(&mut table, &chunk)?;
+        total = Some(match total {
+            None => t,
+            Some(acc) => acc.merge(&t),
+        });
+    }
+    Ok(RwCellOut {
+        mops: total.map(|t| t.m_ops_per_sec()).unwrap_or(0.0),
+        memory_bytes: table.memory_bytes(),
+        rehashes: table.rehash_count(),
+    })
+}
+
+/// Run one RW cell (scheme × hash × growth threshold).
+pub fn rw_cell(
+    scheme: Scheme,
+    h: HashId,
+    grow_threshold: f64,
+    cfg: RwConfig,
+) -> Result<RwCellOut, TableError> {
+    match (scheme, h) {
+        (Scheme::LP, HashId::Mult) => {
+            rw_typed(LpFactory::<MultShift>::new(), grow_threshold, cfg)
+        }
+        (Scheme::LP, HashId::Murmur) => rw_typed(LpFactory::<Murmur>::new(), grow_threshold, cfg),
+        (Scheme::QP, HashId::Mult) => {
+            rw_typed(QpFactory::<MultShift>::new(), grow_threshold, cfg)
+        }
+        (Scheme::QP, HashId::Murmur) => rw_typed(QpFactory::<Murmur>::new(), grow_threshold, cfg),
+        (Scheme::RH, HashId::Mult) => {
+            rw_typed(RhFactory::<MultShift>::new(), grow_threshold, cfg)
+        }
+        (Scheme::RH, HashId::Murmur) => rw_typed(RhFactory::<Murmur>::new(), grow_threshold, cfg),
+        (Scheme::Cuckoo4, HashId::Mult) => rw_typed(
+            sevendim_core::CuckooFactory::<MultShift, 4>::new(),
+            grow_threshold,
+            cfg,
+        ),
+        (Scheme::Cuckoo4, HashId::Murmur) => rw_typed(
+            sevendim_core::CuckooFactory::<Murmur, 4>::new(),
+            grow_threshold,
+            cfg,
+        ),
+        (Scheme::Chained24, HashId::Mult) => {
+            rw_typed(Chained24Factory::<MultShift>::new(), grow_threshold, cfg)
+        }
+        (Scheme::Chained24, HashId::Murmur) => {
+            rw_typed(Chained24Factory::<Murmur>::new(), grow_threshold, cfg)
+        }
+        (Scheme::Chained8, _) => {
+            unimplemented!("the paper's RW comparison does not include ChainedH8")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Distribution;
+
+    fn tiny_cfg() -> WormConfig {
+        WormConfig {
+            capacity_bits: 10,
+            load_factor: 0.5,
+            dist: Distribution::Sparse,
+            probes: 2000,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn worm_cell_produces_all_pcts() {
+        let out = worm_cell(Scheme::LP, HashId::Mult, &tiny_cfg(), &[1, 2]);
+        assert!(out.insert_mops.unwrap() > 0.0);
+        assert_eq!(out.lookup_mops.len(), 5);
+        assert!(out.lookup_mops.iter().all(|(_, v)| v.unwrap() > 0.0));
+        assert_eq!(out.memory_bytes, Some(1024 * 16));
+    }
+
+    #[test]
+    fn chained_cell_absent_at_high_load() {
+        let cfg = WormConfig { load_factor: 0.9, ..tiny_cfg() };
+        let out = worm_cell(Scheme::Chained24, HashId::Mult, &cfg, &[1]);
+        assert!(out.insert_mops.is_none(), "chained must not fit 90% load");
+        assert!(out.lookup_mops.iter().all(|(_, v)| v.is_none()));
+    }
+
+    #[test]
+    fn all_pairs_run_at_fifty_percent() {
+        for scheme in [
+            Scheme::Chained8,
+            Scheme::Chained24,
+            Scheme::LP,
+            Scheme::QP,
+            Scheme::RH,
+            Scheme::Cuckoo4,
+        ] {
+            for h in [HashId::Mult, HashId::Murmur] {
+                let out = worm_cell(scheme, h, &tiny_cfg(), &[3]);
+                assert!(
+                    out.insert_mops.is_some(),
+                    "{} failed at 50% load",
+                    scheme.label(h)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rw_cell_runs_all_schemes() {
+        let cfg = RwConfig { initial_keys: 2000, operations: 20_000, update_pct: 50, seed: 1 };
+        for scheme in [Scheme::LP, Scheme::QP, Scheme::RH, Scheme::Cuckoo4, Scheme::Chained24] {
+            let out = rw_cell(scheme, HashId::Mult, 0.7, cfg).unwrap();
+            assert!(out.mops > 0.0, "{:?}", scheme);
+            assert!(out.memory_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(Scheme::Chained24.label(HashId::Murmur), "ChainedH24Murmur");
+        assert_eq!(Scheme::Cuckoo4.label(HashId::Mult), "CuckooH4Mult");
+    }
+}

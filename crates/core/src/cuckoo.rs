@@ -1,0 +1,463 @@
+//! Cuckoo hashing on `K` sub-tables (paper §2.5).
+//!
+//! Each of the `K` sub-tables has its own independently sampled hash
+//! function; an entry lives in exactly one of its `K` candidate slots.
+//! Inserting probes the candidate in sub-table 0 first; if occupied, the
+//! resident is kicked out and re-inserted into the *next* sub-table,
+//! continuing round-robin ("in iteration i, table j = i mod K is probed")
+//! until an empty slot is found or a fixed iteration limit is reached. On
+//! limit, the whole table is rehashed with freshly sampled functions.
+//!
+//! Lookups touch at most `K` slots — constant time independent of load
+//! factor, which is why CuckooH4 wins the paper's very-high-load lookup
+//! cells — but inserts reorganize aggressively and are the slowest of the
+//! open-addressing schemes. The classic capacity thresholds motivate the
+//! default `K = 4`: two tables sustain just under 50% load, three ≈ 88%,
+//! four ≈ 97% (Fotakis et al.), and the paper needs load factors up to
+//! 90%. The `K = 2, 3` variants back the threshold ablation.
+
+use crate::{
+    check_capacity_bits, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
+};
+use hashfn::HashFamily;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Default bound on kick-chain length before declaring a cycle and
+/// rehashing (the paper's "fixed amount of iterations").
+pub const DEFAULT_MAX_KICKS: usize = 500;
+
+/// Default number of full-table rehash attempts (each with fresh hash
+/// functions) before an insert gives up with
+/// [`TableError::CuckooFailure`].
+pub const DEFAULT_MAX_REHASH_ATTEMPTS: usize = 8;
+
+/// Cuckoo hashing over `K` sub-tables stored contiguously.
+///
+/// `CuckooH4Mult` in the paper is `Cuckoo<MultShift, 4>`; aliases
+/// [`CuckooH2`], [`CuckooH3`], [`CuckooH4`] are provided.
+pub struct Cuckoo<H: HashFamily, const K: usize> {
+    slots: Box<[Pair]>,
+    sub_size: usize,
+    hashes: [H; K],
+    len: usize,
+    max_kicks: usize,
+    max_rehash_attempts: usize,
+    rehash_count: usize,
+    rng: StdRng,
+    /// Scratch trace of kick-chain positions, so a failed chain can be
+    /// unwound to restore the exact pre-insert placement.
+    kick_trace: Vec<usize>,
+}
+
+/// Cuckoo hashing on two sub-tables (stable only below ~50% load).
+pub type CuckooH2<H> = Cuckoo<H, 2>;
+/// Cuckoo hashing on three sub-tables (stable up to ~88% load).
+pub type CuckooH3<H> = Cuckoo<H, 3>;
+/// Cuckoo hashing on four sub-tables (stable up to ~97% load) — the
+/// variant the paper evaluates.
+pub type CuckooH4<H> = Cuckoo<H, 4>;
+
+impl<H: HashFamily, const K: usize> Cuckoo<H, K> {
+    /// Create a table with roughly `2^bits` total slots, split into `K`
+    /// equal sub-tables, hash functions drawn from `seed`.
+    ///
+    /// For power-of-two `K` the total is exactly `2^bits`; otherwise each
+    /// sub-table gets `floor(2^bits / K)` slots (reported by
+    /// [`HashTable::capacity`]).
+    pub fn with_seed(bits: u8, seed: u64) -> Self {
+        assert!(K >= 2, "cuckoo hashing needs at least two sub-tables");
+        let requested = check_capacity_bits(bits);
+        let sub_size = (requested / K).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = std::array::from_fn(|_| H::sample(&mut rng));
+        Self {
+            slots: vec![Pair::empty(); sub_size * K].into_boxed_slice(),
+            sub_size,
+            hashes,
+            len: 0,
+            max_kicks: DEFAULT_MAX_KICKS,
+            max_rehash_attempts: DEFAULT_MAX_REHASH_ATTEMPTS,
+            rehash_count: 0,
+            rng,
+            kick_trace: Vec::with_capacity(DEFAULT_MAX_KICKS),
+        }
+    }
+
+    /// Override the kick-chain bound (mostly for tests and ablations).
+    pub fn set_max_kicks(&mut self, kicks: usize) {
+        self.max_kicks = kicks.max(1);
+    }
+
+    /// Override the rehash-attempt bound.
+    pub fn set_max_rehash_attempts(&mut self, attempts: usize) {
+        self.max_rehash_attempts = attempts;
+    }
+
+    /// How many full-table rehashes (function resamplings) have happened.
+    pub fn rehash_count(&self) -> usize {
+        self.rehash_count
+    }
+
+    /// Slot of `key` in sub-table `t`.
+    ///
+    /// The 64-bit hash is mapped to `[0, sub_size)` by the multiply-high
+    /// ("fastrange") reduction, which consumes the *top* hash bits — for
+    /// power-of-two sub-tables this is exactly the paper's
+    /// shift-by-`(64-d)` and it extends seamlessly to the non-power-of-two
+    /// sub-tables of `K = 3`.
+    #[inline(always)]
+    fn slot_of(&self, t: usize, key: u64) -> usize {
+        let h = self.hashes[t].hash(key);
+        let idx = ((h as u128 * self.sub_size as u128) >> 64) as usize;
+        t * self.sub_size + idx
+    }
+
+    /// Direct slot access for statistics and tests.
+    pub fn raw_slots(&self) -> &[Pair] {
+        &self.slots
+    }
+
+    fn collect_entries(&self) -> Vec<Pair> {
+        self.slots.iter().filter(|p| p.is_occupied()).copied().collect()
+    }
+
+    /// Run a kick chain trying to place `pair`, recording every swap in
+    /// `kick_trace`. `None` on success; `Some(displaced)` if the iteration
+    /// limit was hit, where `displaced` is whichever entry is currently
+    /// without a slot (the table then holds all other entries, and
+    /// [`Cuckoo::unwind_kicks`] can restore the pre-chain placement).
+    fn try_place(&mut self, mut pair: Pair) -> Option<Pair> {
+        self.kick_trace.clear();
+        let mut t = 0usize;
+        for _ in 0..self.max_kicks {
+            let pos = self.slot_of(t, pair.key);
+            if !self.slots[pos].is_occupied() {
+                self.slots[pos] = pair;
+                return None;
+            }
+            std::mem::swap(&mut pair, &mut self.slots[pos]);
+            self.kick_trace.push(pos);
+            t = (t + 1) % K;
+        }
+        Some(pair)
+    }
+
+    /// Undo a failed kick chain: replay the recorded swaps in reverse,
+    /// leaving the slot array exactly as before `try_place` and returning
+    /// the original pair that was being inserted.
+    fn unwind_kicks(&mut self, mut displaced: Pair) -> Pair {
+        let mut trace = std::mem::take(&mut self.kick_trace);
+        for &pos in trace.iter().rev() {
+            std::mem::swap(&mut displaced, &mut self.slots[pos]);
+        }
+        trace.clear();
+        self.kick_trace = trace;
+        displaced
+    }
+
+    /// Rebuild the table from `entries` using the current hash functions.
+    /// Returns `false` (leaving the slot array in an unspecified but
+    /// entry-safe state — `entries` remains the source of truth) if some
+    /// kick chain hits the limit.
+    fn rebuild(&mut self, entries: &[Pair]) -> bool {
+        self.slots.fill(Pair::empty());
+        for &e in entries {
+            if let Some(_displaced) = self.try_place(e) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn resample_functions(&mut self) {
+        for h in self.hashes.iter_mut() {
+            *h = H::sample(&mut self.rng);
+        }
+        self.rehash_count += 1;
+    }
+
+    /// Full rehash loop over an explicit entry set; `true` on success.
+    fn rehash_with(&mut self, entries: &[Pair], attempts: usize) -> bool {
+        for _ in 0..attempts {
+            self.resample_functions();
+            if self.rebuild(entries) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        // Map semantics: check all K candidate slots for the key first.
+        for t in 0..K {
+            let pos = self.slot_of(t, key);
+            if self.slots[pos].key == key {
+                let old = std::mem::replace(&mut self.slots[pos].value, value);
+                return Ok(InsertOutcome::Replaced(old));
+            }
+        }
+        if self.len == self.slots.len() {
+            return Err(TableError::TableFull);
+        }
+        match self.try_place(Pair { key, value }) {
+            None => {
+                self.len += 1;
+                Ok(InsertOutcome::Inserted)
+            }
+            Some(displaced) => {
+                // Cycle detected. First restore the pre-insert placement
+                // (exactly — by unwinding the recorded kicks), then attempt
+                // full rehashes with fresh functions. Snapshotting the
+                // restored state means a total rehash failure degrades to a
+                // clean `CuckooFailure` with the table untouched — it can
+                // never corrupt or lose entries.
+                let pair = self.unwind_kicks(displaced);
+                debug_assert_eq!(pair.key, key, "unwinding must return the new pair");
+                let snapshot_slots = self.slots.clone();
+                let snapshot_hashes = self.hashes.clone();
+                let mut entries = self.collect_entries();
+                entries.push(pair);
+                let attempts = self.max_rehash_attempts;
+                if self.rehash_with(&entries, attempts) {
+                    self.len = entries.len();
+                    return Ok(InsertOutcome::Inserted);
+                }
+                self.slots = snapshot_slots;
+                self.hashes = snapshot_hashes;
+                Err(TableError::CuckooFailure)
+            }
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        // At most K probes, one per sub-table — the scheme's defining
+        // property.
+        for t in 0..K {
+            let slot = &self.slots[self.slot_of(t, key)];
+            if slot.key == key {
+                return Some(slot.value);
+            }
+        }
+        None
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        // No tombstones needed: a key has exactly K possible homes.
+        for t in 0..K {
+            let pos = self.slot_of(t, key);
+            if self.slots[pos].key == key {
+                let value = self.slots[pos].value;
+                self.slots[pos] = Pair::empty();
+                self.len -= 1;
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Pair>()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        for p in self.slots.iter().filter(|p| p.is_occupied()) {
+            f(p.key, p.value);
+        }
+    }
+
+    fn display_name(&self) -> String {
+        format!("CuckooH{}{}", K, H::name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_common::*;
+    use hashfn::{MultShift, Murmur};
+
+    fn table(bits: u8) -> CuckooH4<Murmur> {
+        Cuckoo::with_seed(bits, 42)
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        check_roundtrip(&mut table(8));
+    }
+
+    #[test]
+    fn map_semantics_replace() {
+        check_replace_semantics(&mut table(8));
+    }
+
+    #[test]
+    fn reserved_keys_rejected() {
+        check_reserved_keys(&mut table(4));
+    }
+
+    #[test]
+    fn sub_table_partitioning() {
+        let t = table(8); // 256 slots, 4 sub-tables of 64
+        assert_eq!(t.capacity(), 256);
+        assert_eq!(t.sub_size, 64);
+        for tab in 0..4usize {
+            for key in [0u64, 1, 99, u64::MAX / 7] {
+                let pos = t.slot_of(tab, key);
+                assert!(pos >= tab * 64 && pos < (tab + 1) * 64);
+            }
+        }
+    }
+
+    #[test]
+    fn k3_capacity_is_floor_divided() {
+        let t: CuckooH3<Murmur> = Cuckoo::with_seed(8, 1);
+        // 256 / 3 = 85 per sub-table.
+        assert_eq!(t.capacity(), 255);
+        assert_eq!(t.sub_size, 85);
+    }
+
+    #[test]
+    fn entries_always_at_one_of_k_candidates() {
+        let mut t = table(10);
+        for k in 1..=700u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        let mut found = 0;
+        for k in 1..=700u64 {
+            let at_candidate = (0..4).any(|tab| {
+                let p = t.slots[t.slot_of(tab, k)];
+                p.key == k && p.value == k * 3
+            });
+            assert!(at_candidate, "key {k} not at any candidate slot");
+            found += 1;
+        }
+        assert_eq!(found, 700);
+    }
+
+    #[test]
+    fn cuckoo4_reaches_90_percent_load() {
+        // The paper's reason for choosing K=4: it sustains ≥90% load.
+        let mut t = table(10); // 1024 slots
+        for k in 1..=922u64 {
+            t.insert(k, k).unwrap_or_else(|e| panic!("failed at key {k}: {e}"));
+        }
+        assert!(t.load_factor() >= 0.90);
+        for k in 1..=922u64 {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn cuckoo2_fails_well_before_90_percent() {
+        // Two tables become unstable around 50% load; filling to 90% must
+        // produce a failure (possibly after internal rehash attempts).
+        let mut t: CuckooH2<Murmur> = Cuckoo::with_seed(10, 7);
+        t.set_max_rehash_attempts(3);
+        let mut failed_at = None;
+        for k in 1..=922u64 {
+            if t.insert(k, k).is_err() {
+                failed_at = Some(k);
+                break;
+            }
+        }
+        let failed_at = failed_at.expect("cuckoo-2 should fail before 90% load");
+        assert!(
+            (failed_at as f64) < 0.75 * 1024.0,
+            "cuckoo-2 unexpectedly placed {failed_at} keys"
+        );
+        // Table is still fully usable after the failure.
+        for k in 1..failed_at {
+            assert_eq!(t.lookup(k), Some(k), "key {k} lost after failure");
+        }
+    }
+
+    #[test]
+    fn rehash_preserves_entries() {
+        let mut t: CuckooH2<MultShift> = Cuckoo::with_seed(6, 3);
+        t.set_max_kicks(8); // force cycles early
+        let mut inserted = Vec::new();
+        for k in 1..=28u64 {
+            match t.insert(k, k * 7) {
+                Ok(_) => inserted.push(k),
+                Err(TableError::CuckooFailure) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        for &k in &inserted {
+            assert_eq!(t.lookup(k), Some(k * 7), "key {k} lost");
+        }
+        assert_eq!(t.len(), inserted.len());
+    }
+
+    #[test]
+    fn rehash_counter_increments() {
+        let mut t: CuckooH2<Murmur> = Cuckoo::with_seed(4, 3);
+        t.set_max_kicks(2);
+        for k in 1..=12u64 {
+            let _ = t.insert(k, k);
+        }
+        assert!(t.rehash_count() > 0, "tiny table with 2 kicks must rehash");
+        // All reported-inserted keys still live (len consistent).
+        let mut count = 0;
+        t.for_each(&mut |_, _| count += 1);
+        assert_eq!(count, t.len());
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut t = table(6);
+        for k in 1..=40u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 1..=40u64 {
+            assert_eq!(t.delete(k), Some(k));
+        }
+        assert!(t.is_empty());
+        assert!(t.slots.iter().all(|p| !p.is_occupied()));
+        for k in 100..=140u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.len(), 41); // keys 100..=140
+    }
+
+    #[test]
+    fn lookup_probes_at_most_k_tables() {
+        // Structural property: lookup only inspects slot_of(t, key); we
+        // verify via a miss on a full table returning quickly (no scan).
+        let mut t = table(8);
+        for k in 1..=200u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.lookup(9999), None);
+    }
+
+    #[test]
+    fn for_each_visits_all_live_entries() {
+        check_for_each(&mut table(8));
+    }
+
+    #[test]
+    fn model_test_against_std_hashmap() {
+        check_against_model(&mut table(10), 5000, 0xCCC);
+    }
+}

@@ -1,0 +1,275 @@
+//! The paper's decision graph (Figure 8), executable.
+//!
+//! Section 8 condenses the whole study into a practitioner's decision
+//! graph. This module encodes it as a pure function so a query optimizer
+//! (or a test) can ask: *given this workload profile, which hash table
+//! should I build?* The edges below map one-to-one onto the paper's
+//! inline conclusions:
+//!
+//! * §5.1: at load factors < 50%, `LPMult` "is the way to go if most
+//!   queries are successful (≥ 50%), and ChainedH24 must be considered
+//!   otherwise".
+//! * §5.2: Mult over Murmur throughout ("no hash table is the absolute
+//!   best using Murmur"); for inserts "QP seems to be the best option in
+//!   general", except dense keys + Mult where LP wins; for lookups "RH
+//!   seems to be an excellent all-rounder unless the hash table is
+//!   expected to be very full [→ CuckooH4, from ~80%] or the amount of
+//!   unsuccessful queries is rather large [→ ChainedH24, memory
+//!   permitting]".
+//! * §6: "in a write-heavy workload, quadratic probing looks as the best
+//!   option in general"; chained and cuckoo "should be avoided for
+//!   write-heavy workloads".
+
+/// Is the table static once built (OLAP/WORM) or continuously updated
+/// (OLTP/RW)?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutability {
+    /// Write-once-read-many: built, then only probed.
+    Static,
+    /// Read-write with growth: inserts/deletes interleaved with lookups.
+    Dynamic,
+}
+
+/// A point in the paper's requirements space, dimensions 1–5.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Planned load factor α = n/l (for chained candidates this is the
+    /// memory-equivalent α of §4.5).
+    pub load_factor: f64,
+    /// Fraction of lookups expected to find their key (1.0 = all hit).
+    pub successful_ratio: f64,
+    /// Fraction of operations that are writes (inserts/deletes); lookups
+    /// make up the rest. `> 0.5` is the paper's "write-heavy".
+    pub write_ratio: f64,
+    /// Whether keys are densely packed integers (auto-increment style) —
+    /// the distribution where Mult turns LP near-perfect.
+    pub dense_keys: bool,
+    /// Static (WORM) or dynamic (RW) usage.
+    pub mutability: Mutability,
+}
+
+impl WorkloadProfile {
+    /// A static, all-successful, half-full, sparse-key profile — a neutral
+    /// starting point to tweak.
+    pub fn baseline() -> Self {
+        Self {
+            load_factor: 0.5,
+            successful_ratio: 1.0,
+            write_ratio: 0.0,
+            dense_keys: false,
+            mutability: Mutability::Static,
+        }
+    }
+}
+
+/// The hash tables the graph can recommend. All use Multiply-shift except
+/// chained hashing, per the paper's "Mult governs over Murmur" finding
+/// (Mult there too).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableChoice {
+    /// ChainedH24 with Mult: unsuccessful-heavy lookups at modest load.
+    ChainedH24Mult,
+    /// Linear probing with Mult: successful-heavy reads, low load, and the
+    /// dense-key sweet spot.
+    LPMult,
+    /// Quadratic probing with Mult: write-heavy workloads and inserts at
+    /// high load.
+    QPMult,
+    /// Robin Hood with Mult: the read all-rounder at mid-to-high load.
+    RHMult,
+    /// Cuckoo hashing on four tables with Mult: very high load factors,
+    /// read-mostly.
+    CuckooH4Mult,
+}
+
+impl TableChoice {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TableChoice::ChainedH24Mult => "ChainedH24Mult",
+            TableChoice::LPMult => "LPMult",
+            TableChoice::QPMult => "QPMult",
+            TableChoice::RHMult => "RHMult",
+            TableChoice::CuckooH4Mult => "CuckooH4Mult",
+        }
+    }
+}
+
+/// Walk the decision graph of Figure 8.
+///
+/// Returns the scheme the paper's evidence recommends for `p`. Thresholds
+/// (50% load, 50% successful, 70%/80%/90% load, write-heavy) are the ones
+/// printed in the figure and the inline conclusions.
+pub fn recommend(p: &WorkloadProfile) -> TableChoice {
+    let write_heavy = p.write_ratio > 0.5;
+
+    // Low load factor: collisions are rare, code simplicity dominates
+    // (§5.1). The successful/unsuccessful ratio picks between LP and
+    // chained; writes don't change the picture because LP inserts at low
+    // load are in-place and cheap.
+    if p.load_factor < 0.5 {
+        return if p.successful_ratio >= 0.5 || write_heavy {
+            TableChoice::LPMult
+        } else {
+            TableChoice::ChainedH24Mult
+        };
+    }
+
+    // High load, write-heavy: §6's conclusion — QP in general; the dense
+    // exception favours LP because Mult lays dense keys out contiguously
+    // and LP then extends runs instead of scattering them (§5.2).
+    if write_heavy {
+        return if p.dense_keys { TableChoice::LPMult } else { TableChoice::QPMult };
+    }
+
+    // High load, read-mostly.
+    if p.mutability == Mutability::Dynamic {
+        // The table keeps growing: insert cost still matters. Up to 70%
+        // the three LP-family schemes tie (§6, Fig. 5a–b) — prefer LP on
+        // dense keys, RH otherwise for its lookup robustness. Beyond 70%,
+        // QP's collision scattering wins (§6, Fig. 5c).
+        if p.load_factor <= 0.7 {
+            return if p.dense_keys { TableChoice::LPMult } else { TableChoice::RHMult };
+        }
+        return TableChoice::QPMult;
+    }
+
+    // Static read-only table at ≥50% load (the WORM lookup cells of
+    // Fig. 6).
+    if p.successful_ratio < 0.5 {
+        // Unsuccessful-heavy. ChainedH24 is the overall winner while its
+        // memory budget holds (≤ ~50% equivalent load, §4.5); past that
+        // the constant-probe schemes take over: CuckooH4 from ~80% load,
+        // RH (early abort) in between.
+        if p.load_factor <= 0.5 {
+            return TableChoice::ChainedH24Mult;
+        }
+        return if p.load_factor >= 0.8 {
+            TableChoice::CuckooH4Mult
+        } else {
+            TableChoice::RHMult
+        };
+    }
+
+    // Successful-heavy static reads: RH is the all-rounder; at very high
+    // load CuckooH4's flat probe count wins (§5.2, "from a load factor of
+    // 80% on, CuckooH4 clearly surpasses the other methods"); on dense
+    // keys up to ~70% LP matches RH with simpler code.
+    if p.load_factor >= 0.9 {
+        return TableChoice::CuckooH4Mult;
+    }
+    if p.dense_keys && p.load_factor <= 0.7 {
+        return TableChoice::LPMult;
+    }
+    TableChoice::RHMult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(
+        load_factor: f64,
+        successful_ratio: f64,
+        write_ratio: f64,
+        dense_keys: bool,
+        mutability: Mutability,
+    ) -> WorkloadProfile {
+        WorkloadProfile { load_factor, successful_ratio, write_ratio, dense_keys, mutability }
+    }
+
+    #[test]
+    fn low_load_successful_reads_pick_lp() {
+        // §5.1 conclusion, verbatim case.
+        let p = profile(0.25, 1.0, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::LPMult);
+        let p = profile(0.45, 0.5, 0.0, true, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::LPMult);
+    }
+
+    #[test]
+    fn low_load_unsuccessful_reads_pick_chained() {
+        let p = profile(0.35, 0.25, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::ChainedH24Mult);
+        let p = profile(0.25, 0.0, 0.0, true, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::ChainedH24Mult);
+    }
+
+    #[test]
+    fn write_heavy_high_load_picks_qp() {
+        // §6 conclusion.
+        let p = profile(0.7, 1.0, 0.8, false, Mutability::Dynamic);
+        assert_eq!(recommend(&p), TableChoice::QPMult);
+        let p = profile(0.9, 0.5, 0.6, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::QPMult);
+    }
+
+    #[test]
+    fn write_heavy_dense_picks_lp() {
+        // §5.2: dense + Mult is LP's best case, 45M vs 35M ins/s over QP.
+        let p = profile(0.9, 1.0, 0.8, true, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::LPMult);
+    }
+
+    #[test]
+    fn very_full_static_reads_pick_cuckoo() {
+        // §5.2: "from a load factor of 80% on, CuckooH4 clearly surpasses".
+        let p = profile(0.9, 1.0, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::CuckooH4Mult);
+        let p = profile(0.85, 0.25, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::CuckooH4Mult);
+    }
+
+    #[test]
+    fn mid_load_static_reads_pick_rh() {
+        // Fig. 6: RH dominates the 50–70% lookup cells.
+        let p = profile(0.7, 0.75, 0.1, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::RHMult);
+        // Unsuccessful-heavy at 70%: RH's early abort beats LP/QP; chained
+        // no longer fits the memory budget.
+        let p = profile(0.7, 0.0, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::RHMult);
+    }
+
+    #[test]
+    fn unsuccessful_heavy_at_half_load_picks_chained() {
+        let p = profile(0.5, 0.25, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::ChainedH24Mult);
+    }
+
+    #[test]
+    fn dynamic_read_mostly_tracks_load() {
+        let p = profile(0.5, 0.9, 0.2, false, Mutability::Dynamic);
+        assert_eq!(recommend(&p), TableChoice::RHMult);
+        let p = profile(0.5, 0.9, 0.2, true, Mutability::Dynamic);
+        assert_eq!(recommend(&p), TableChoice::LPMult);
+        let p = profile(0.9, 0.9, 0.2, false, Mutability::Dynamic);
+        assert_eq!(recommend(&p), TableChoice::QPMult);
+    }
+
+    #[test]
+    fn total_over_the_whole_requirements_space() {
+        // The graph must produce an answer for every profile — no panics,
+        // no unreachable corners (dimensionality sweep).
+        let mut seen = std::collections::HashSet::new();
+        for lf in [0.1, 0.25, 0.45, 0.5, 0.65, 0.7, 0.8, 0.9, 0.99] {
+            for sr in [0.0, 0.25, 0.5, 0.75, 1.0] {
+                for wr in [0.0, 0.2, 0.5, 0.6, 1.0] {
+                    for dense in [false, true] {
+                        for m in [Mutability::Static, Mutability::Dynamic] {
+                            let p = profile(lf, sr, wr, dense, m);
+                            seen.insert(recommend(&p));
+                        }
+                    }
+                }
+            }
+        }
+        // Every recommendation class is reachable.
+        assert_eq!(seen.len(), 5, "unreachable recommendations: {seen:?}");
+    }
+
+    #[test]
+    fn baseline_profile_is_sensible() {
+        assert_eq!(recommend(&WorkloadProfile::baseline()), TableChoice::RHMult);
+    }
+}

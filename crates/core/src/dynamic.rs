@@ -1,0 +1,404 @@
+//! Growing tables for the read-write workload (paper §6).
+//!
+//! The RW experiment lets tables grow "over a long sequence of operations":
+//! when the load factor crosses a threshold (the paper sweeps 50%, 70%,
+//! 90%), the table doubles its capacity and rehashes every entry. This
+//! module provides [`DynamicTable`], a scheme-agnostic wrapper implementing
+//! that policy over any [`TableFactory`], plus factories for every scheme
+//! in the study.
+//!
+//! Growing at 50% keeps collisions rare but can waste up to 75% of the
+//! allocated space right after a doubling; growing at 90% is space-frugal
+//! but lives with heavy collisions before each rehash — the trade-off
+//! Figure 5 quantifies.
+
+use crate::{
+    ChainedTable24, ChainedTable8, Cuckoo, HashTable, InsertOutcome, LinearProbing,
+    LinearProbingSoA, MemoryBudget, QuadraticProbing, RobinHood, TableError,
+};
+use hashfn::HashFamily;
+use slab_alloc::SlabAllocator;
+use std::marker::PhantomData;
+
+/// Builds fresh tables of one scheme at a requested capacity; used by
+/// [`DynamicTable`] on every growth step.
+pub trait TableFactory: Clone {
+    /// The table type this factory builds.
+    type Table: HashTable;
+
+    /// Build an empty table with nominal capacity `2^bits`, deriving hash
+    /// functions from `seed`.
+    fn build(&self, bits: u8, seed: u64) -> Self::Table;
+
+    /// Scheme name for reports (e.g. `"LP"`).
+    fn scheme_name(&self) -> &'static str;
+}
+
+macro_rules! simple_factory {
+    ($(#[$doc:meta])* $name:ident, $table:ident, $label:literal) => {
+        $(#[$doc])*
+        pub struct $name<H: HashFamily>(PhantomData<H>);
+
+        impl<H: HashFamily> $name<H> {
+            /// Create the factory.
+            pub fn new() -> Self {
+                Self(PhantomData)
+            }
+        }
+
+        impl<H: HashFamily> Default for $name<H> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<H: HashFamily> Clone for $name<H> {
+            fn clone(&self) -> Self {
+                Self(PhantomData)
+            }
+        }
+
+        impl<H: HashFamily> TableFactory for $name<H> {
+            type Table = $table<H>;
+
+            fn build(&self, bits: u8, seed: u64) -> Self::Table {
+                $table::with_seed(bits, seed)
+            }
+
+            fn scheme_name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+simple_factory!(
+    /// Factory for [`LinearProbing`] tables.
+    LpFactory, LinearProbing, "LP"
+);
+simple_factory!(
+    /// Factory for [`LinearProbingSoA`] tables.
+    LpSoAFactory, LinearProbingSoA, "LPSoA"
+);
+simple_factory!(
+    /// Factory for [`QuadraticProbing`] tables.
+    QpFactory, QuadraticProbing, "QP"
+);
+simple_factory!(
+    /// Factory for [`RobinHood`] tables.
+    RhFactory, RobinHood, "RH"
+);
+
+/// Factory for [`Cuckoo`] tables with `K` sub-tables.
+pub struct CuckooFactory<H: HashFamily, const K: usize>(PhantomData<H>);
+
+impl<H: HashFamily, const K: usize> CuckooFactory<H, K> {
+    /// Create the factory.
+    pub fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<H: HashFamily, const K: usize> Default for CuckooFactory<H, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<H: HashFamily, const K: usize> Clone for CuckooFactory<H, K> {
+    fn clone(&self) -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<H: HashFamily, const K: usize> TableFactory for CuckooFactory<H, K> {
+    type Table = Cuckoo<H, K>;
+
+    fn build(&self, bits: u8, seed: u64) -> Self::Table {
+        Cuckoo::with_seed(bits, seed)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        match K {
+            2 => "CuckooH2",
+            3 => "CuckooH3",
+            4 => "CuckooH4",
+            _ => "CuckooHk",
+        }
+    }
+}
+
+/// Factory for [`ChainedTable8`]: directory of half the nominal capacity
+/// (8 B · l/2 links keeps the footprint comparable to open addressing in
+/// the dynamic setting, cf. §6's 50%-threshold-only comparison).
+pub struct Chained8Factory<H: HashFamily>(PhantomData<H>);
+
+/// Factory for [`ChainedTable24`]: directory of half the nominal capacity
+/// (24 B · l/2 = 12 B per nominal slot, within the §4.5 budget).
+pub struct Chained24Factory<H: HashFamily>(PhantomData<H>);
+
+macro_rules! chained_factory_impls {
+    ($name:ident, $table:ident, $label:literal) => {
+        impl<H: HashFamily> $name<H> {
+            /// Create the factory.
+            pub fn new() -> Self {
+                Self(PhantomData)
+            }
+        }
+
+        impl<H: HashFamily> Default for $name<H> {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl<H: HashFamily> Clone for $name<H> {
+            fn clone(&self) -> Self {
+                Self(PhantomData)
+            }
+        }
+
+        impl<H: HashFamily> TableFactory for $name<H> {
+            type Table = $table<H>;
+
+            fn build(&self, bits: u8, seed: u64) -> Self::Table {
+                let dir_bits = bits.saturating_sub(1).max(4);
+                $table::new(
+                    dir_bits,
+                    hashfn::HashFamily::from_seed(seed),
+                    SlabAllocator::new(),
+                    MemoryBudget::unlimited(),
+                    Some(1usize << bits),
+                )
+            }
+
+            fn scheme_name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
+
+chained_factory_impls!(Chained8Factory, ChainedTable8, "ChainedH8");
+chained_factory_impls!(Chained24Factory, ChainedTable24, "ChainedH24");
+
+/// A table that doubles its capacity when the load factor would cross a
+/// threshold, rehashing all entries into a fresh table (new hash function
+/// seeds each generation).
+pub struct DynamicTable<F: TableFactory> {
+    factory: F,
+    inner: F::Table,
+    bits: u8,
+    seed: u64,
+    grow_threshold: f64,
+    rehash_count: usize,
+}
+
+/// Hard ceiling on growth (2^40 slots ≈ 16 TiB of AoS pairs); reaching it
+/// means a runaway workload, not a legitimate table.
+const MAX_BITS: u8 = 40;
+
+impl<F: TableFactory> DynamicTable<F> {
+    /// Create with initial capacity `2^bits`, growing when an insert would
+    /// push `len` beyond `grow_threshold × capacity` (the paper's rehash
+    /// thresholds are 0.5, 0.7, 0.9).
+    pub fn new(factory: F, bits: u8, seed: u64, grow_threshold: f64) -> Self {
+        assert!(
+            grow_threshold > 0.0 && grow_threshold <= 0.99,
+            "grow threshold must be in (0, 0.99], got {grow_threshold}"
+        );
+        let inner = factory.build(bits, seed);
+        Self { factory, inner, bits, seed, grow_threshold, rehash_count: 0 }
+    }
+
+    /// The wrapped table.
+    pub fn inner(&self) -> &F::Table {
+        &self.inner
+    }
+
+    /// Number of full-table rehashes (growth steps) so far.
+    pub fn rehash_count(&self) -> usize {
+        self.rehash_count
+    }
+
+    /// The growth threshold.
+    pub fn grow_threshold(&self) -> f64 {
+        self.grow_threshold
+    }
+
+    /// Double the capacity, retrying with fresh seeds if the rebuild
+    /// itself fails (possible for Cuckoo tables at unlucky seeds).
+    fn grow(&mut self) {
+        let entries = {
+            let mut v = Vec::with_capacity(self.inner.len());
+            self.inner.for_each(&mut |k, val| v.push((k, val)));
+            v
+        };
+        let mut bits = self.bits + 1;
+        let mut attempt = 0u64;
+        'outer: loop {
+            assert!(bits <= MAX_BITS, "dynamic table exceeded 2^{MAX_BITS} slots");
+            let seed = self
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + attempt));
+            let mut bigger = self.factory.build(bits, seed);
+            for &(k, v) in &entries {
+                if bigger.insert(k, v).is_err() {
+                    attempt += 1;
+                    if attempt % 3 == 0 {
+                        bits += 1;
+                    }
+                    continue 'outer;
+                }
+            }
+            self.inner = bigger;
+            self.bits = bits;
+            self.rehash_count += 1;
+            return;
+        }
+    }
+}
+
+impl<F: TableFactory> HashTable for DynamicTable<F> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        // Grow *before* the threshold is crossed. Lookups of existing keys
+        // (replacements) never trigger growth, matching the paper's
+        // element-count-based rehash policy.
+        if (self.inner.len() + 1) as f64 > self.grow_threshold * self.inner.capacity() as f64
+            && self.inner.lookup(key).is_none()
+        {
+            self.grow();
+        }
+        loop {
+            match self.inner.insert(key, value) {
+                Ok(outcome) => return Ok(outcome),
+                Err(TableError::TableFull)
+                | Err(TableError::CuckooFailure)
+                | Err(TableError::MemoryBudgetExceeded) => {
+                    // Capacity pressure the threshold missed (e.g. cuckoo
+                    // cycles below threshold): grow and retry.
+                    self.grow();
+                }
+                Err(e @ TableError::ReservedKey) => return Err(e),
+            }
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.inner.lookup(key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        self.inner.delete(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        self.inner.for_each(f)
+    }
+
+    fn display_name(&self) -> String {
+        self.inner.display_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_common::*;
+    use hashfn::{MultShift, Murmur};
+
+    #[test]
+    fn grows_on_threshold() {
+        let mut t = DynamicTable::new(LpFactory::<Murmur>::new(), 4, 1, 0.5);
+        assert_eq!(t.capacity(), 16);
+        for k in 1..=8u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Eight entries in sixteen slots sit exactly at the threshold.
+        assert_eq!(t.capacity(), 16);
+        assert_eq!(t.rehash_count(), 0);
+        // The 9th key would cross 50% → the table doubles first.
+        t.insert(9, 9).unwrap();
+        assert_eq!(t.capacity(), 32);
+        assert_eq!(t.rehash_count(), 1);
+        for k in 1..=9u64 {
+            assert_eq!(t.lookup(k), Some(k), "key {k} lost in growth");
+        }
+    }
+
+    #[test]
+    fn replacement_does_not_grow() {
+        let mut t = DynamicTable::new(LpFactory::<Murmur>::new(), 4, 1, 0.5);
+        for k in 1..=8u64 {
+            t.insert(k, k).unwrap();
+        }
+        let cap = t.capacity();
+        // Updating existing keys repeatedly must not trigger growth.
+        for _ in 0..100 {
+            t.insert(3, 99).unwrap();
+        }
+        assert_eq!(t.capacity(), cap);
+    }
+
+    #[test]
+    fn sustained_inserts_grow_repeatedly() {
+        let mut t = DynamicTable::new(RhFactory::<MultShift>::new(), 4, 7, 0.9);
+        for k in 1..=10_000u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert!(t.rehash_count() >= 9, "rehashed {} times", t.rehash_count());
+        assert!(t.load_factor() <= 0.9 + 1e-9);
+        for k in (1..=10_000u64).step_by(37) {
+            assert_eq!(t.lookup(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn cuckoo_dynamic_handles_internal_failures() {
+        let mut t = DynamicTable::new(CuckooFactory::<Murmur, 2>::new(), 4, 3, 0.45);
+        for k in 1..=5_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.len(), 5000);
+        for k in (1..=5_000u64).step_by(17) {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn chained_factories_track_nominal_capacity() {
+        let mut t = DynamicTable::new(Chained24Factory::<Murmur>::new(), 6, 1, 0.5);
+        assert_eq!(t.capacity(), 64);
+        for k in 1..=200u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.capacity() >= 512, "nominal capacity should have doubled repeatedly");
+        for k in 1..=200u64 {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn model_semantics_preserved_across_growth() {
+        let mut t = DynamicTable::new(QpFactory::<Murmur>::new(), 4, 5, 0.7);
+        check_against_model(&mut t, 4000, 0xD1);
+    }
+
+    #[test]
+    #[should_panic(expected = "grow threshold")]
+    fn rejects_invalid_threshold() {
+        let _ = DynamicTable::new(LpFactory::<Murmur>::new(), 4, 1, 1.5);
+    }
+}

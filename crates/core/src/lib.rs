@@ -1,0 +1,272 @@
+//! Hashing schemes for 64-bit integer keys and values, as studied in
+//! *"A Seven-Dimensional Analysis of Hashing Methods and its Implications on
+//! Query Processing"* (Richter, Alvarez, Dittrich; PVLDB 9(3), 2015).
+//!
+//! # Schemes (paper §2)
+//!
+//! | Type | Paper name | Collision handling |
+//! |---|---|---|
+//! | [`ChainedTable8`]  | ChainedH8  | directory of 8-byte links; all entries in a slab |
+//! | [`ChainedTable24`] | ChainedH24 | 24-byte directory entries with inline first element |
+//! | [`LinearProbing`]  | LP | open addressing, step 1, optimized tombstones |
+//! | [`LinearProbingSoA`] | LP (SoA layout) | as LP, keys/values in split arrays |
+//! | [`QuadraticProbing`] | QP | triangular probing `h + i(i+1)/2`, full slot coverage |
+//! | [`RobinHood`] | RH | LP + displacement-ordered clusters, cache-line early abort, backward-shift deletes |
+//! | [`Cuckoo`] | CuckooH2/3/4 | k independently hashed sub-tables, kick-out chains, rehash on failure |
+//!
+//! Every scheme is generic over the hash function (see the [`hashfn`]
+//! crate), giving the paper's scheme × function grid (e.g. `LPMult` is
+//! `LinearProbing<MultShift>`).
+//!
+//! # Map semantics and reserved keys
+//!
+//! All tables are maps from `u64` keys to `u64` values: inserting an
+//! existing key replaces its value. Open-addressing slots store control
+//! values in-band, exactly like the paper's C++ tables, so two keys are
+//! reserved: [`EMPTY_KEY`] and [`TOMBSTONE_KEY`]. Inserting them yields
+//! [`TableError::ReservedKey`].
+//!
+//! # Layout
+//!
+//! Open-addressing tables default to array-of-structs (AoS) — interleaved
+//! 16-byte key/value pairs — which the paper found superior in most cases
+//! (§7). [`LinearProbingSoA`] provides the struct-of-arrays alternative,
+//! and both layouts have AVX2-accelerated probing variants (see [`simd`])
+//! used by the Figure 7 reproduction.
+
+pub mod budget;
+pub mod chained;
+pub mod cuckoo;
+pub mod decision;
+pub mod dynamic;
+pub mod linear_probing;
+pub mod lp_soa;
+pub mod quadratic;
+pub mod robin_hood;
+pub mod simd;
+pub mod stats;
+
+#[cfg(test)]
+pub(crate) mod tests_common;
+
+pub use budget::MemoryBudget;
+pub use chained::{ChainedTable24, ChainedTable8};
+pub use cuckoo::Cuckoo;
+pub use decision::{recommend, TableChoice, WorkloadProfile};
+pub use dynamic::{
+    Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, LpFactory, LpSoAFactory,
+    QpFactory, RhFactory, TableFactory,
+};
+pub use linear_probing::LinearProbing;
+pub use lp_soa::LinearProbingSoA;
+pub use quadratic::QuadraticProbing;
+pub use robin_hood::RobinHood;
+
+use hashfn::HashFn64;
+
+/// In-band marker for a free open-addressing slot.
+///
+/// The paper stores "special values denoting whether the corresponding slot
+/// is free" directly in the table (§2); we reserve the top two key values
+/// for that purpose.
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+/// In-band marker for a deleted open-addressing slot (LP/QP tombstones).
+pub const TOMBSTONE_KEY: u64 = u64::MAX - 1;
+
+/// Largest key a table accepts (`u64::MAX - 2`).
+pub const MAX_KEY: u64 = u64::MAX - 2;
+
+/// Returns `true` for keys that collide with the in-band slot markers.
+#[inline(always)]
+pub fn is_reserved_key(key: u64) -> bool {
+    key >= TOMBSTONE_KEY
+}
+
+/// A 16-byte key/value pair — one AoS slot ("similar to a row layout").
+#[repr(C)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pair {
+    /// The key, or [`EMPTY_KEY`] / [`TOMBSTONE_KEY`] for control slots.
+    pub key: u64,
+    /// The value (meaningless in control slots).
+    pub value: u64,
+}
+
+const _: () = assert!(std::mem::size_of::<Pair>() == 16);
+
+impl Pair {
+    /// A free slot.
+    #[inline(always)]
+    pub const fn empty() -> Self {
+        Pair { key: EMPTY_KEY, value: 0 }
+    }
+
+    /// A tombstone slot.
+    #[inline(always)]
+    pub const fn tombstone() -> Self {
+        Pair { key: TOMBSTONE_KEY, value: 0 }
+    }
+
+    /// Whether this slot is free.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.key == EMPTY_KEY
+    }
+
+    /// Whether this slot is a tombstone.
+    #[inline(always)]
+    pub fn is_tombstone(&self) -> bool {
+        self.key == TOMBSTONE_KEY
+    }
+
+    /// Whether this slot holds a live entry.
+    #[inline(always)]
+    pub fn is_occupied(&self) -> bool {
+        self.key < TOMBSTONE_KEY
+    }
+}
+
+/// What an insert did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The key was new; the table grew by one entry.
+    Inserted,
+    /// The key existed; its previous value is returned.
+    Replaced(u64),
+}
+
+/// Why an insert was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// Every slot is occupied (open addressing) — the fixed-capacity table
+    /// cannot take another distinct key.
+    TableFull,
+    /// The key collides with an in-band control value
+    /// ([`EMPTY_KEY`] / [`TOMBSTONE_KEY`]).
+    ReservedKey,
+    /// A chained table would exceed its memory budget (paper §4.5) by
+    /// allocating another entry.
+    MemoryBudgetExceeded,
+    /// Cuckoo insertion failed even after the configured number of full
+    /// rehash attempts with fresh hash functions.
+    CuckooFailure,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::TableFull => write!(f, "hash table is full"),
+            TableError::ReservedKey => {
+                write!(f, "key collides with reserved control value (u64::MAX or u64::MAX-1)")
+            }
+            TableError::MemoryBudgetExceeded => {
+                write!(f, "chained table memory budget exceeded")
+            }
+            TableError::CuckooFailure => {
+                write!(f, "cuckoo insertion failed after maximum rehash attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Common interface of all hash tables in the study.
+///
+/// The trait is deliberately narrow — exactly the operations the paper's
+/// workloads exercise — so the workload drivers and the query-processing
+/// layer stay generic over scheme × hash function.
+pub trait HashTable {
+    /// Insert or update `key → value`.
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError>;
+
+    /// Look up `key`, returning its value if present.
+    fn lookup(&self, key: u64) -> Option<u64>;
+
+    /// Remove `key`, returning its value if it was present.
+    fn delete(&mut self, key: u64) -> Option<u64>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// `len() == 0`.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nominal slot capacity: `l` for open addressing; for chained tables,
+    /// the open-addressing-equivalent capacity they are budgeted against
+    /// (falling back to the directory size for unbudgeted tables).
+    fn capacity(&self) -> usize;
+
+    /// `len() / capacity()` — the paper's α (only meaningful for chained
+    /// tables in the budgeted sense, see §4.5).
+    fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    /// Bytes owned by the table (directory + slabs + auxiliary arrays),
+    /// the quantity plotted in the paper's Figure 3 / Figure 5(d–f).
+    fn memory_bytes(&self) -> usize;
+
+    /// Visit every live entry. Iteration order is unspecified.
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64));
+
+    /// Display name in the paper's naming style, e.g. `"LPMult"`.
+    fn display_name(&self) -> String;
+}
+
+/// Derive the home slot of `key` in a `2^bits`-slot table using hash
+/// function `h` (top-bits convention, see [`hashfn::fold_to_bits`]).
+#[inline(always)]
+pub fn home_slot<H: HashFn64>(h: &H, key: u64, bits: u8) -> usize {
+    hashfn::fold_to_bits(h.hash(key), bits)
+}
+
+/// Validate a capacity expressed as a power-of-two exponent.
+///
+/// Exponents up to 32 (4 Gi slots) are accepted; the paper's largest table
+/// is 2^30.
+#[inline]
+pub(crate) fn check_capacity_bits(bits: u8) -> usize {
+    assert!(bits >= 1 && bits <= 32, "capacity bits must be in 1..=32, got {bits}");
+    1usize << bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_key_predicate() {
+        assert!(is_reserved_key(EMPTY_KEY));
+        assert!(is_reserved_key(TOMBSTONE_KEY));
+        assert!(!is_reserved_key(MAX_KEY));
+        assert!(!is_reserved_key(0));
+    }
+
+    #[test]
+    fn pair_slot_states_are_disjoint() {
+        let e = Pair::empty();
+        let t = Pair::tombstone();
+        let o = Pair { key: 42, value: 7 };
+        assert!(e.is_empty() && !e.is_tombstone() && !e.is_occupied());
+        assert!(!t.is_empty() && t.is_tombstone() && !t.is_occupied());
+        assert!(!o.is_empty() && !o.is_tombstone() && o.is_occupied());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity bits")]
+    fn zero_capacity_bits_rejected() {
+        check_capacity_bits(0);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(TableError::TableFull.to_string().contains("full"));
+        assert!(TableError::ReservedKey.to_string().contains("reserved"));
+        assert!(TableError::MemoryBudgetExceeded.to_string().contains("budget"));
+        assert!(TableError::CuckooFailure.to_string().contains("cuckoo"));
+    }
+}

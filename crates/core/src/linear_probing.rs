@@ -1,0 +1,602 @@
+//! Linear probing with optimized tombstone deletion (paper §2.2).
+//!
+//! The hash function is `h(k, i) = (h'(k) + i) mod l`: on a collision the
+//! probe walks consecutive slots circularly until it finds the key, an
+//! empty slot, or (for inserts) a reusable tombstone. Low code complexity
+//! and a sequential access pattern make LP the fastest scheme at low load
+//! factors; primary clustering makes it degrade beyond ~60–70%, and
+//! unsuccessful lookups must scan whole clusters.
+//!
+//! Deletion follows the paper's tuned strategy: a tombstone is placed
+//! *only if the next slot is occupied* — i.e. only when removing the entry
+//! would otherwise disconnect a cluster; if the next slot is empty the slot
+//! is simply cleared. Inserts recycle the first tombstone found on their
+//! probe path after confirming the key is absent.
+
+use crate::simd::{scan_pairs, ProbeKind, ScanOutcome};
+use crate::{
+    check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
+};
+use hashfn::{HashFamily, HashFn64};
+
+/// Linear probing over an array-of-structs slot array.
+///
+/// `LPMult` in the paper is `LinearProbing<MultShift>`, `LPMurmur` is
+/// `LinearProbing<Murmur>`.
+#[derive(Clone)]
+pub struct LinearProbing<H: HashFn64> {
+    pub(crate) slots: Box<[Pair]>,
+    pub(crate) bits: u8,
+    pub(crate) mask: usize,
+    pub(crate) hash: H,
+    len: usize,
+    tombstones: usize,
+    probe_kind: ProbeKind,
+}
+
+impl<H: HashFamily> LinearProbing<H> {
+    /// Create a table with `2^bits` slots and a hash function drawn from
+    /// seed `seed`.
+    pub fn with_seed(bits: u8, seed: u64) -> Self {
+        Self::with_hash(bits, H::from_seed(seed))
+    }
+
+    /// Like [`LinearProbing::with_seed`], but probing compares four keys
+    /// per step with AVX2 where available (paper §7, "LPAoSMultSIMD").
+    pub fn with_seed_simd(bits: u8, seed: u64) -> Self {
+        let mut t = Self::with_hash(bits, H::from_seed(seed));
+        t.probe_kind = ProbeKind::Simd;
+        t
+    }
+}
+
+impl<H: HashFn64> LinearProbing<H> {
+    /// Create a table with `2^bits` slots using an explicit hash function.
+    pub fn with_hash(bits: u8, hash: H) -> Self {
+        let cap = check_capacity_bits(bits);
+        Self {
+            slots: vec![Pair::empty(); cap].into_boxed_slice(),
+            bits,
+            mask: cap - 1,
+            hash,
+            len: 0,
+            tombstones: 0,
+            probe_kind: ProbeKind::Scalar,
+        }
+    }
+
+    /// Switch between scalar and SIMD probing.
+    pub fn set_probe_kind(&mut self, kind: ProbeKind) {
+        self.probe_kind = kind;
+    }
+
+    /// The probe kind in use.
+    pub fn probe_kind(&self) -> ProbeKind {
+        self.probe_kind
+    }
+
+    /// The hash function in use.
+    #[inline]
+    pub fn hash_fn(&self) -> &H {
+        &self.hash
+    }
+
+    /// Home slot of `key`.
+    #[inline(always)]
+    pub(crate) fn home(&self, key: u64) -> usize {
+        home_slot(&self.hash, key, self.bits)
+    }
+
+    /// Number of tombstone slots currently in the table.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Direct slot access for statistics and tests.
+    pub fn raw_slots(&self) -> &[Pair] {
+        &self.slots
+    }
+
+    /// Rebuild the table in place (same capacity, same hash function),
+    /// dropping all tombstones — the paper's "shrink ... and perform a
+    /// rehash anyway" remedy after heavy deletion.
+    pub fn rehash_in_place(&mut self) {
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![Pair::empty(); self.mask + 1].into_boxed_slice(),
+        );
+        self.len = 0;
+        self.tombstones = 0;
+        for p in old.iter().filter(|p| p.is_occupied()) {
+            // Re-inserting distinct keys into an equally-sized empty table
+            // cannot fail or replace.
+            let _ = self.insert(p.key, p.value);
+        }
+    }
+
+    /// Delete by **partial cluster rehash** — the paper's alternative to
+    /// tombstones (§2.2): clear the slot, then re-insert every following
+    /// entry of the cluster so no probe chain is broken. Slower per delete
+    /// than the tombstone strategy but leaves the table tombstone-free,
+    /// so it never degrades future lookups. Returns the removed value.
+    ///
+    /// The default [`HashTable::delete`] uses optimized tombstones (the
+    /// strategy the paper selected for its experiments); this method backs
+    /// the deletion-strategy ablation.
+    pub fn delete_rehash(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        let pos = self.probe(key).ok()?;
+        let value = self.slots[pos].value;
+        self.slots[pos] = Pair::empty();
+        self.len -= 1;
+        // Re-place every entry between the hole and the end of the
+        // cluster. Tombstones encountered on the way can be dropped too —
+        // re-insertion rebuilds the chains they were keeping alive.
+        let mut cur = (pos + 1) & self.mask;
+        while !self.slots[cur].is_empty() {
+            let entry = self.slots[cur];
+            self.slots[cur] = Pair::empty();
+            if entry.is_tombstone() {
+                self.tombstones -= 1;
+            } else {
+                self.len -= 1;
+                let _ = self.insert(entry.key, entry.value);
+            }
+            cur = (cur + 1) & self.mask;
+        }
+        Some(value)
+    }
+
+    /// Insert via the full probe: used by the SIMD path and by the
+    /// boundary case where only one empty slot remains (a fresh key may
+    /// then only take a tombstone).
+    fn insert_slow(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        match self.probe(key) {
+            Ok(pos) => {
+                let old = std::mem::replace(&mut self.slots[pos].value, value);
+                Ok(InsertOutcome::Replaced(old))
+            }
+            // Scan exhausted the whole table (unreachable while the
+            // one-empty-slot invariant holds, kept defensively).
+            Err(usize::MAX) => Err(TableError::TableFull),
+            Err(pos) => {
+                if self.slots[pos].is_tombstone() {
+                    self.tombstones -= 1;
+                } else if self.len + self.tombstones >= self.mask {
+                    // Filling the last empty slot would leave no probe
+                    // terminator; keep one slot free, as open-addressing
+                    // tables must.
+                    return Err(TableError::TableFull);
+                }
+                self.slots[pos] = Pair { key, value };
+                self.len += 1;
+                Ok(InsertOutcome::Inserted)
+            }
+        }
+    }
+
+    /// Probe for `key`: returns `Ok(slot)` if found, or `Err(first_free)`
+    /// where `first_free` is the slot an insert should use (first tombstone
+    /// on the path if any, else the terminating empty slot).
+    ///
+    /// Returns `Err(usize::MAX)` if the probe wrapped the entire table
+    /// without finding key or empty slot (table saturated with
+    /// entries/tombstones and key absent).
+    #[inline]
+    fn probe(&self, key: u64) -> Result<usize, usize> {
+        if self.probe_kind == ProbeKind::Simd {
+            let r = scan_pairs(&self.slots, self.home(key), key, ProbeKind::Simd);
+            return match r.outcome {
+                ScanOutcome::FoundKey(pos) => Ok(pos),
+                ScanOutcome::FoundEmpty(pos) => Err(r.first_tombstone.unwrap_or(pos)),
+                ScanOutcome::Exhausted => Err(r.first_tombstone.unwrap_or(usize::MAX)),
+            };
+        }
+        // Termination: `insert` maintains len + tombstones ≤ capacity − 1
+        // (non-empty slots never reach capacity), so an EMPTY slot always
+        // exists and the unguarded loop is safe.
+        let mut pos = self.home(key);
+        let mut first_tombstone = usize::MAX;
+        loop {
+            let slot = &self.slots[pos];
+            if slot.key == key {
+                return Ok(pos);
+            }
+            if slot.is_empty() {
+                return Err(if first_tombstone != usize::MAX { first_tombstone } else { pos });
+            }
+            if slot.is_tombstone() && first_tombstone == usize::MAX {
+                first_tombstone = pos;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+}
+
+impl<H: HashFn64> HashTable for LinearProbing<H> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        if self.probe_kind == ProbeKind::Simd || self.len + self.tombstones >= self.mask {
+            return self.insert_slow(key, value);
+        }
+        // Hot path — more than one empty slot remains, so storing into an
+        // empty slot cannot violate the one-empty-terminator invariant and
+        // no capacity check is needed per probe. Empty-first ordering:
+        // fresh keys dominate insert workloads and usually land in or near
+        // their home slot ("low code complexity which allows for fast
+        // execution", §2.2).
+        let mut pos = self.home(key);
+        let mut first_tombstone = usize::MAX;
+        loop {
+            let slot = &self.slots[pos];
+            if slot.is_empty() {
+                if first_tombstone != usize::MAX {
+                    self.tombstones -= 1;
+                    pos = first_tombstone;
+                }
+                self.slots[pos] = Pair { key, value };
+                self.len += 1;
+                return Ok(InsertOutcome::Inserted);
+            }
+            if slot.key == key {
+                let old = std::mem::replace(&mut self.slots[pos].value, value);
+                return Ok(InsertOutcome::Replaced(old));
+            }
+            if slot.is_tombstone() && first_tombstone == usize::MAX {
+                first_tombstone = pos;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        if self.probe_kind == ProbeKind::Simd {
+            return match scan_pairs(&self.slots, self.home(key), key, ProbeKind::Simd).outcome {
+                ScanOutcome::FoundKey(pos) => Some(self.slots[pos].value),
+                _ => None,
+            };
+        }
+        let mut pos = self.home(key);
+        loop {
+            let slot = &self.slots[pos];
+            if slot.key == key {
+                return Some(slot.value);
+            }
+            if slot.is_empty() {
+                return None;
+            }
+            pos = (pos + 1) & self.mask;
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        let pos = self.probe(key).ok()?;
+        let value = self.slots[pos].value;
+        let next = (pos + 1) & self.mask;
+        // Optimized tombstones (§2.2): only keep the cluster connected when
+        // it actually continues past the deleted slot.
+        if self.slots[next].is_empty() {
+            self.slots[pos] = Pair::empty();
+        } else {
+            self.slots[pos] = Pair::tombstone();
+            self.tombstones += 1;
+        }
+        self.len -= 1;
+        Some(value)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Pair>()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        for p in self.slots.iter().filter(|p| p.is_occupied()) {
+            f(p.key, p.value);
+        }
+    }
+
+    fn display_name(&self) -> String {
+        match self.probe_kind {
+            ProbeKind::Scalar => format!("LP{}", H::name()),
+            ProbeKind::Simd => format!("LP{}SIMD", H::name()),
+        }
+    }
+}
+
+/// Make the lookup loop's termination explicit for the `EMPTY`-free edge
+/// case: `insert` always keeps at least one empty slot (see `TableFull`
+/// handling), so `lookup`'s unguarded loop always terminates.
+#[allow(dead_code)]
+const LOOKUP_TERMINATION_NOTE: () = ();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_common::*;
+    use hashfn::{MultShift, Murmur};
+
+    fn table(bits: u8) -> LinearProbing<Murmur> {
+        LinearProbing::with_seed(bits, 42)
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        check_roundtrip(&mut table(8));
+    }
+
+    #[test]
+    fn map_semantics_replace() {
+        check_replace_semantics(&mut table(8));
+    }
+
+    #[test]
+    fn reserved_keys_rejected() {
+        check_reserved_keys(&mut table(4));
+    }
+
+    #[test]
+    fn fills_to_capacity_minus_one() {
+        let mut t = table(4); // 16 slots
+        let mut inserted = 0;
+        for k in 0..16u64 {
+            match t.insert(k, k) {
+                Ok(InsertOutcome::Inserted) => inserted += 1,
+                Err(TableError::TableFull) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(inserted, 15, "one slot must stay empty as probe terminator");
+        // All inserted keys still found.
+        for k in 0..inserted as u64 {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+        assert_eq!(t.lookup(100), None);
+    }
+
+    #[test]
+    fn colliding_keys_probe_linearly() {
+        // Multiplier 1 ⇒ home slot = top bits of the raw key: keys below
+        // 2^60 all land in slot 0 of a 16-slot table.
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(4, MultShift::new(1));
+        for k in 1..=5u64 {
+            t.insert(k, k * 100).unwrap();
+        }
+        // They occupy slots 0..5 in insertion order.
+        for (i, k) in (1..=5u64).enumerate() {
+            assert_eq!(t.raw_slots()[i].key, k);
+        }
+        for k in 1..=5u64 {
+            assert_eq!(t.lookup(k), Some(k * 100));
+        }
+        assert_eq!(t.lookup(6), None);
+    }
+
+    #[test]
+    fn probe_wraps_around_table_end() {
+        // Put home slots at the last slot and force wraparound.
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(4, MultShift::new(1));
+        // Keys with top-4 bits = 15 → home slot 15.
+        let base = 0xF000_0000_0000_0000u64;
+        t.insert(base, 1).unwrap();
+        t.insert(base + 1, 2).unwrap(); // wraps to slot 0
+        t.insert(base + 2, 3).unwrap(); // slot 1
+        assert_eq!(t.raw_slots()[15].key, base);
+        assert_eq!(t.raw_slots()[0].key, base + 1);
+        assert_eq!(t.raw_slots()[1].key, base + 2);
+        assert_eq!(t.lookup(base + 2), Some(3));
+        // Deleting the middle of a wrapped cluster keeps it connected.
+        assert_eq!(t.delete(base + 1), Some(2));
+        assert_eq!(t.lookup(base + 2), Some(3));
+    }
+
+    #[test]
+    fn tombstone_only_when_cluster_continues() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(4, MultShift::new(1));
+        let base = 0x1000_0000_0000_0000u64; // home slot 1
+        t.insert(base, 1).unwrap(); // slot 1
+        t.insert(base + 1, 2).unwrap(); // slot 2
+        // Deleting the tail entry: next slot (3) is empty → no tombstone.
+        t.delete(base + 1);
+        assert_eq!(t.tombstone_count(), 0);
+        assert!(t.raw_slots()[2].is_empty());
+        // Re-insert and delete the head: next slot occupied → tombstone.
+        t.insert(base + 1, 2).unwrap();
+        t.delete(base);
+        assert_eq!(t.tombstone_count(), 1);
+        assert!(t.raw_slots()[1].is_tombstone());
+        // Lookup scans across the tombstone.
+        assert_eq!(t.lookup(base + 1), Some(2));
+    }
+
+    #[test]
+    fn insert_recycles_tombstones() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(4, MultShift::new(1));
+        let base = 0x1000_0000_0000_0000u64;
+        t.insert(base, 1).unwrap();
+        t.insert(base + 1, 2).unwrap();
+        t.delete(base); // tombstone at slot 1
+        assert_eq!(t.tombstone_count(), 1);
+        // A new colliding key reuses the tombstone slot.
+        t.insert(base + 2, 3).unwrap();
+        assert_eq!(t.tombstone_count(), 0);
+        assert_eq!(t.raw_slots()[1].key, base + 2);
+        assert_eq!(t.lookup(base + 1), Some(2));
+        assert_eq!(t.lookup(base + 2), Some(3));
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_take_earlier_tombstone() {
+        // Key present *behind* a tombstone: insert must replace, not
+        // duplicate into the tombstone.
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(4, MultShift::new(1));
+        let base = 0x1000_0000_0000_0000u64;
+        t.insert(base, 1).unwrap();
+        t.insert(base + 1, 2).unwrap();
+        t.delete(base); // tombstone at slot 1; base+1 still at slot 2
+        assert_eq!(t.insert(base + 1, 99), Ok(InsertOutcome::Replaced(2)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(base + 1), Some(99));
+    }
+
+    #[test]
+    fn rehash_in_place_drops_tombstones() {
+        let mut t = table(8);
+        for k in 0..100u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0..50u64 {
+            t.delete(k);
+        }
+        let before = t.tombstone_count();
+        assert!(before > 0, "expect some tombstones after deletions");
+        t.rehash_in_place();
+        assert_eq!(t.tombstone_count(), 0);
+        assert_eq!(t.len(), 50);
+        for k in 50..100u64 {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn saturated_with_tombstones_still_terminates() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(2, MultShift::new(1));
+        // Fill 3 of 4 slots, delete them all (head deletes leave tombstones
+        // where clusters continue), then look up a missing key.
+        t.insert(1, 1).unwrap();
+        t.insert(2, 2).unwrap();
+        t.insert(3, 3).unwrap();
+        t.delete(1);
+        t.delete(2);
+        t.delete(3);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup(9), None);
+        // And inserting still works by recycling tombstones.
+        t.insert(7, 70).unwrap();
+        assert_eq!(t.lookup(7), Some(70));
+    }
+
+    #[test]
+    fn memory_is_constant_16_bytes_per_slot() {
+        let t = table(10);
+        assert_eq!(t.memory_bytes(), 1024 * 16);
+        assert_eq!(t.capacity(), 1024);
+    }
+
+    #[test]
+    fn display_name_matches_paper_style() {
+        assert_eq!(table(4).display_name(), "LPMurmur");
+        let t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        assert_eq!(t.display_name(), "LPMult");
+    }
+
+    #[test]
+    fn for_each_visits_all_live_entries() {
+        check_for_each(&mut table(8));
+    }
+
+    #[test]
+    fn model_test_against_std_hashmap() {
+        check_against_model(&mut table(10), 5000, 0xC0FFEE);
+    }
+
+    #[test]
+    fn model_test_simd_probing() {
+        let mut t: LinearProbing<Murmur> = LinearProbing::with_seed_simd(10, 42);
+        check_against_model(&mut t, 5000, 0x51D);
+    }
+
+    #[test]
+    fn delete_rehash_leaves_no_tombstones() {
+        let mut t = table(8);
+        for k in 1..=150u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (1..=150u64).step_by(3) {
+            assert_eq!(t.delete_rehash(k), Some(k));
+            assert_eq!(t.delete_rehash(k), None);
+        }
+        assert_eq!(t.tombstone_count(), 0, "rehash deletes never tombstone");
+        for k in 1..=150u64 {
+            let expect = if k % 3 == 1 { None } else { Some(k) };
+            assert_eq!(t.lookup(k), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn delete_rehash_repairs_clusters() {
+        // All keys collide into one cluster (multiplier 1, small keys).
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(5, MultShift::new(1));
+        for k in 1..=10u64 {
+            t.insert(k, k * 10).unwrap();
+        }
+        // Delete from the middle: the cluster must close up and every
+        // remaining key stay reachable.
+        assert_eq!(t.delete_rehash(4), Some(40));
+        assert_eq!(t.delete_rehash(7), Some(70));
+        for k in [1u64, 2, 3, 5, 6, 8, 9, 10] {
+            assert_eq!(t.lookup(k), Some(k * 10), "key {k}");
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn delete_rehash_clears_existing_tombstones_in_cluster() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(5, MultShift::new(1));
+        for k in 1..=8u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.delete(2); // tombstone (cluster continues)
+        assert_eq!(t.tombstone_count(), 1);
+        // A rehash-delete sweeping the cluster drops the tombstone too.
+        assert_eq!(t.delete_rehash(1), Some(1));
+        assert_eq!(t.tombstone_count(), 0);
+        for k in 3..=8u64 {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn delete_rehash_matches_model_semantics() {
+        // Differential: tombstone-delete table vs rehash-delete table must
+        // agree on every observable.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut a = table(8);
+        let mut b = table(8);
+        for step in 0..4000 {
+            let k = rng.gen_range(1..120u64);
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    assert_eq!(a.insert(k, k), b.insert(k, k), "step {step}");
+                }
+                1 => {
+                    assert_eq!(a.delete(k), b.delete_rehash(k), "step {step}");
+                }
+                _ => {
+                    assert_eq!(a.lookup(k), b.lookup(k), "step {step}");
+                }
+            }
+            assert_eq!(a.len(), b.len(), "step {step}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Linear probing in struct-of-arrays layout (paper §7).
+//!
+//! Keys and values live in two separate, index-aligned arrays ("similar to
+//! column layout"). A probe touches keys only — twice as many keys per
+//! cache line as AoS — but every *successful* lookup pays a second cache
+//! line for the value. The paper's Figure 7 maps out the resulting
+//! trade-off against [`crate::LinearProbing`] (AoS): AoS wins inserts and
+//! successful-heavy lookups, SoA wins long unsuccessful scans, and SIMD
+//! favours SoA because packed keys load straight into vector registers
+//! while AoS needs gathers.
+//!
+//! Semantics (probe order, optimized tombstones, map behaviour) are
+//! identical to [`crate::LinearProbing`]; the shared behavioural test
+//! suite runs against both.
+
+use crate::simd::{scan_keys, ProbeKind, ScanOutcome};
+use crate::{
+    check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, TableError,
+    EMPTY_KEY, TOMBSTONE_KEY,
+};
+use hashfn::{HashFamily, HashFn64};
+
+/// Linear probing over split key/value arrays, optionally SIMD-probed.
+#[derive(Clone)]
+pub struct LinearProbingSoA<H: HashFn64> {
+    keys: Box<[u64]>,
+    values: Box<[u64]>,
+    bits: u8,
+    mask: usize,
+    hash: H,
+    len: usize,
+    tombstones: usize,
+    probe_kind: ProbeKind,
+}
+
+impl<H: HashFamily> LinearProbingSoA<H> {
+    /// Create a table with `2^bits` slots and a hash function drawn from
+    /// seed `seed` (scalar probing).
+    pub fn with_seed(bits: u8, seed: u64) -> Self {
+        Self::with_hash(bits, H::from_seed(seed))
+    }
+
+    /// Like [`LinearProbingSoA::with_seed`] with AVX2 probing where
+    /// available (paper §7, "LPSoAMultSIMD").
+    pub fn with_seed_simd(bits: u8, seed: u64) -> Self {
+        let mut t = Self::with_hash(bits, H::from_seed(seed));
+        t.probe_kind = ProbeKind::Simd;
+        t
+    }
+}
+
+impl<H: HashFn64> LinearProbingSoA<H> {
+    /// Create a table with `2^bits` slots using an explicit hash function.
+    pub fn with_hash(bits: u8, hash: H) -> Self {
+        let cap = check_capacity_bits(bits);
+        Self {
+            keys: vec![EMPTY_KEY; cap].into_boxed_slice(),
+            values: vec![0; cap].into_boxed_slice(),
+            bits,
+            mask: cap - 1,
+            hash,
+            len: 0,
+            tombstones: 0,
+            probe_kind: ProbeKind::Scalar,
+        }
+    }
+
+    /// Switch between scalar and SIMD probing.
+    pub fn set_probe_kind(&mut self, kind: ProbeKind) {
+        self.probe_kind = kind;
+    }
+
+    /// The probe kind in use.
+    pub fn probe_kind(&self) -> ProbeKind {
+        self.probe_kind
+    }
+
+    /// The hash function in use.
+    pub fn hash_fn(&self) -> &H {
+        &self.hash
+    }
+
+    /// Number of tombstone slots currently in the table.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Direct key-array access for statistics and tests.
+    pub fn raw_keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    #[inline(always)]
+    fn home(&self, key: u64) -> usize {
+        home_slot(&self.hash, key, self.bits)
+    }
+
+    /// Probe with the configured kind (kernels shared with the SIMD
+    /// module; the scalar kernel is the reference implementation).
+    #[inline]
+    fn probe(&self, key: u64) -> Result<usize, usize> {
+        let r = scan_keys(&self.keys, self.home(key), key, self.probe_kind);
+        match r.outcome {
+            ScanOutcome::FoundKey(pos) => Ok(pos),
+            ScanOutcome::FoundEmpty(pos) => Err(r.first_tombstone.unwrap_or(pos)),
+            ScanOutcome::Exhausted => Err(r.first_tombstone.unwrap_or(usize::MAX)),
+        }
+    }
+}
+
+impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        if self.probe_kind != ProbeKind::Simd && self.len + self.tombstones < self.mask {
+            // Hot scalar path, mirroring the AoS variant: empty-first
+            // probing over the key array, values touched only on the
+            // final store — the defining SoA cost profile.
+            let mut pos = self.home(key);
+            let mut first_tombstone = usize::MAX;
+            loop {
+                let k = self.keys[pos];
+                if k == EMPTY_KEY {
+                    if first_tombstone != usize::MAX {
+                        self.tombstones -= 1;
+                        pos = first_tombstone;
+                    }
+                    self.keys[pos] = key;
+                    self.values[pos] = value;
+                    self.len += 1;
+                    return Ok(InsertOutcome::Inserted);
+                }
+                if k == key {
+                    let old = std::mem::replace(&mut self.values[pos], value);
+                    return Ok(InsertOutcome::Replaced(old));
+                }
+                if k == TOMBSTONE_KEY && first_tombstone == usize::MAX {
+                    first_tombstone = pos;
+                }
+                pos = (pos + 1) & self.mask;
+            }
+        }
+        match self.probe(key) {
+            Ok(pos) => {
+                let old = std::mem::replace(&mut self.values[pos], value);
+                Ok(InsertOutcome::Replaced(old))
+            }
+            Err(usize::MAX) => Err(TableError::TableFull),
+            Err(pos) => {
+                if self.keys[pos] == TOMBSTONE_KEY {
+                    self.tombstones -= 1;
+                } else if self.len + self.tombstones >= self.mask {
+                    // Keep one empty slot as the probe terminator.
+                    return Err(TableError::TableFull);
+                }
+                self.keys[pos] = key;
+                self.values[pos] = value;
+                self.len += 1;
+                Ok(InsertOutcome::Inserted)
+            }
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        match scan_keys(&self.keys, self.home(key), key, self.probe_kind).outcome {
+            // The value array is touched only on a hit — SoA's defining
+            // cost profile.
+            ScanOutcome::FoundKey(pos) => Some(self.values[pos]),
+            _ => None,
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        let pos = self.probe(key).ok()?;
+        let value = self.values[pos];
+        let next = (pos + 1) & self.mask;
+        // Optimized tombstones, exactly as in the AoS variant.
+        if self.keys[next] == EMPTY_KEY {
+            self.keys[pos] = EMPTY_KEY;
+        } else {
+            self.keys[pos] = TOMBSTONE_KEY;
+            self.tombstones += 1;
+        }
+        self.len -= 1;
+        Some(value)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.keys.len() + self.values.len()) * std::mem::size_of::<u64>()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k < TOMBSTONE_KEY {
+                f(k, self.values[i]);
+            }
+        }
+    }
+
+    fn display_name(&self) -> String {
+        match self.probe_kind {
+            ProbeKind::Scalar => format!("LPSoA{}", H::name()),
+            ProbeKind::Simd => format!("LPSoA{}SIMD", H::name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_common::*;
+    use hashfn::{MultShift, Murmur};
+
+    fn scalar(bits: u8) -> LinearProbingSoA<Murmur> {
+        LinearProbingSoA::with_seed(bits, 42)
+    }
+
+    fn simd(bits: u8) -> LinearProbingSoA<Murmur> {
+        LinearProbingSoA::with_seed_simd(bits, 42)
+    }
+
+    #[test]
+    fn roundtrip_scalar() {
+        check_roundtrip(&mut scalar(8));
+    }
+
+    #[test]
+    fn roundtrip_simd() {
+        check_roundtrip(&mut simd(8));
+    }
+
+    #[test]
+    fn replace_semantics_both_kinds() {
+        check_replace_semantics(&mut scalar(8));
+        check_replace_semantics(&mut simd(8));
+    }
+
+    #[test]
+    fn reserved_keys_both_kinds() {
+        check_reserved_keys(&mut scalar(4));
+        check_reserved_keys(&mut simd(4));
+    }
+
+    #[test]
+    fn for_each_visits_live_entries() {
+        check_for_each(&mut scalar(8));
+    }
+
+    #[test]
+    fn model_test_scalar() {
+        check_against_model(&mut scalar(10), 5000, 0x50A);
+    }
+
+    #[test]
+    fn model_test_simd() {
+        check_against_model(&mut simd(10), 5000, 0x50B);
+    }
+
+    #[test]
+    fn memory_is_16_bytes_per_slot_total() {
+        // Same total footprint as AoS, just split.
+        assert_eq!(scalar(10).memory_bytes(), 1024 * 16);
+    }
+
+    #[test]
+    fn layouts_agree_slot_by_slot() {
+        // Same hash function => identical probe decisions => identical
+        // key placement between AoS and SoA.
+        let h = MultShift::new(0x9E37_79B9_7F4A_7C15);
+        let mut aos = crate::LinearProbing::with_hash(8, h);
+        let mut soa = LinearProbingSoA::with_hash(8, h);
+        let mut rng_state = 1u64;
+        for _ in 0..180 {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let k = rng_state >> 8;
+            assert_eq!(aos.insert(k, k).is_ok(), soa.insert(k, k).is_ok());
+        }
+        for (i, &k) in soa.raw_keys().iter().enumerate() {
+            assert_eq!(aos.raw_slots()[i].key, k, "slot {i} diverged");
+        }
+        // Deletes keep them in lockstep too.
+        let victims: Vec<u64> =
+            soa.raw_keys().iter().copied().filter(|&k| k < u64::MAX - 1).step_by(3).collect();
+        for k in victims {
+            assert_eq!(aos.delete(k), soa.delete(k));
+        }
+        for (i, &k) in soa.raw_keys().iter().enumerate() {
+            assert_eq!(aos.raw_slots()[i].key, k, "slot {i} diverged after deletes");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(scalar(4).display_name(), "LPSoAMurmur");
+        assert_eq!(simd(4).display_name(), "LPSoAMurmurSIMD");
+        let t: LinearProbingSoA<MultShift> = LinearProbingSoA::with_seed(4, 1);
+        assert_eq!(t.display_name(), "LPSoAMult");
+    }
+}

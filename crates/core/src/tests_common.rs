@@ -1,0 +1,125 @@
+//! Shared behavioural checks used by every scheme's unit tests.
+//!
+//! Each function takes a freshly built table and drives it through a
+//! scenario that any conforming [`HashTable`] must pass, so the six schemes
+//! get identical semantic coverage without copy-pasted test bodies.
+
+use crate::{HashTable, InsertOutcome, TableError, EMPTY_KEY, TOMBSTONE_KEY};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Insert a batch, look everything up, delete half, verify the rest.
+pub fn check_roundtrip<T: HashTable>(t: &mut T) {
+    let n = 100u64;
+    for k in 1..=n {
+        assert_eq!(t.insert(k, k * 2), Ok(InsertOutcome::Inserted), "insert {k}");
+    }
+    assert_eq!(t.len(), n as usize);
+    for k in 1..=n {
+        assert_eq!(t.lookup(k), Some(k * 2), "lookup {k}");
+    }
+    assert_eq!(t.lookup(n + 1), None);
+    assert_eq!(t.lookup(0), None);
+    for k in 1..=n / 2 {
+        assert_eq!(t.delete(k), Some(k * 2), "delete {k}");
+        assert_eq!(t.delete(k), None, "double delete {k}");
+    }
+    assert_eq!(t.len(), (n / 2) as usize);
+    for k in 1..=n {
+        let expect = if k <= n / 2 { None } else { Some(k * 2) };
+        assert_eq!(t.lookup(k), expect, "post-delete lookup {k}");
+    }
+}
+
+/// Inserting an existing key must replace and return the old value.
+pub fn check_replace_semantics<T: HashTable>(t: &mut T) {
+    assert_eq!(t.insert(7, 70), Ok(InsertOutcome::Inserted));
+    assert_eq!(t.insert(7, 71), Ok(InsertOutcome::Replaced(70)));
+    assert_eq!(t.insert(7, 72), Ok(InsertOutcome::Replaced(71)));
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.lookup(7), Some(72));
+    assert_eq!(t.delete(7), Some(72));
+    assert!(t.is_empty());
+}
+
+/// Reserved control keys must be refused by insert and inert elsewhere.
+pub fn check_reserved_keys<T: HashTable>(t: &mut T) {
+    assert_eq!(t.insert(EMPTY_KEY, 1), Err(TableError::ReservedKey));
+    assert_eq!(t.insert(TOMBSTONE_KEY, 1), Err(TableError::ReservedKey));
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.lookup(EMPTY_KEY), None);
+    assert_eq!(t.lookup(TOMBSTONE_KEY), None);
+    assert_eq!(t.delete(EMPTY_KEY), None);
+    assert_eq!(t.delete(TOMBSTONE_KEY), None);
+}
+
+/// `for_each` must visit exactly the live entries.
+pub fn check_for_each<T: HashTable>(t: &mut T) {
+    for k in 1..=50u64 {
+        t.insert(k, k + 1000).unwrap();
+    }
+    for k in 1..=10u64 {
+        t.delete(k);
+    }
+    let mut seen = HashMap::new();
+    t.for_each(&mut |k, v| {
+        assert!(seen.insert(k, v).is_none(), "duplicate visit of key {k}");
+    });
+    assert_eq!(seen.len(), 40);
+    for k in 11..=50u64 {
+        assert_eq!(seen.get(&k), Some(&(k + 1000)));
+    }
+}
+
+/// Randomized differential test against `std::collections::HashMap`.
+///
+/// Drives `ops` random operations (insert-heavy, with deletes and lookups
+/// of both present and absent keys from a small key universe to force
+/// collisions and reuse) and checks every observable result against the
+/// model.
+pub fn check_against_model<T: HashTable>(t: &mut T, ops: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    // Small universe => frequent duplicate inserts, deletes of present
+    // keys, tombstone churn.
+    let universe = (t.capacity() / 2).max(16) as u64;
+    for step in 0..ops {
+        let key = rng.gen_range(1..=universe);
+        match rng.gen_range(0..10) {
+            // 50% inserts
+            0..=4 => {
+                if model.len() < t.capacity() * 7 / 10 {
+                    let value = rng.gen::<u64>() >> 1;
+                    let expect = match model.insert(key, value) {
+                        None => InsertOutcome::Inserted,
+                        Some(old) => InsertOutcome::Replaced(old),
+                    };
+                    assert_eq!(t.insert(key, value), Ok(expect), "step {step} insert {key}");
+                }
+            }
+            // 20% deletes
+            5..=6 => {
+                assert_eq!(t.delete(key), model.remove(&key), "step {step} delete {key}");
+            }
+            // 30% lookups
+            _ => {
+                assert_eq!(
+                    t.lookup(key),
+                    model.get(&key).copied(),
+                    "step {step} lookup {key}"
+                );
+            }
+        }
+        assert_eq!(t.len(), model.len(), "step {step} len");
+    }
+    // Final full verification.
+    for (&k, &v) in &model {
+        assert_eq!(t.lookup(k), Some(v), "final lookup {k}");
+    }
+    let mut visited = 0usize;
+    t.for_each(&mut |k, v| {
+        assert_eq!(model.get(&k), Some(&v), "final for_each {k}");
+        visited += 1;
+    });
+    assert_eq!(visited, model.len());
+}

@@ -1,0 +1,399 @@
+//! The class of engineered hash functions the paper's Murmur represents.
+//!
+//! Footnote 6 of the paper names the family: "Like FNV, CRC, DJB, CityHash
+//! for example" — functions without formal independence guarantees but
+//! with good empirical behaviour. Murmur carries the flag in the paper's
+//! figures; this module implements the named alternatives so the quality
+//! and cost harness can rank the whole class:
+//!
+//! * [`Fnv1a`] — Fowler–Noll–Vo 1a over the key's eight bytes.
+//! * [`Djb2`] — Bernstein's `hash * 33 + byte` over the key's bytes.
+//! * [`Crc`] — CRC32-C folded to 64 bits; uses the SSE4.2 `crc32`
+//!   instruction when available, with a bit-identical software fallback.
+//! * [`CityMix`] — the 16-byte mixing route of CityHash64 specialized to
+//!   one 8-byte integer (Hash128to64-style multiply-xor folding).
+//!
+//! All are seeded the same way as [`crate::Murmur`] (seed XOR-ed into the
+//! key) so they form proper families for Cuckoo hashing and rehashes.
+//!
+//! Beware: unlike Murmur, **DJB2 and FNV-1a concentrate their entropy in
+//! the low bits** (both are byte-wise multiply-accumulate chains), while
+//! the tables in this workspace consume the *top* bits. Both functions
+//! therefore get a finalizing spread (borrowed from their common
+//! `hash % table_size` usage we cannot replicate with power-of-two
+//! tables); the raw chains are exposed for the quality harness to show
+//! exactly why that is necessary.
+
+use crate::{HashFamily, HashFn64};
+use rand::Rng;
+
+/// Spread a byte-chain hash's low-bit entropy into the top bits. DJB2 of
+/// eight bytes never exceeds ~2^53 (its chain multiplies by 33 at most
+/// eight times), so without this step the top bits the tables consume
+/// would be nearly constant. Two xor-shift-multiply rounds — the standard
+/// remedy when such functions meet power-of-two tables.
+#[inline(always)]
+fn spread(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 29;
+    h.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// FNV-1a, 64-bit, over the key's little-endian bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv1a {
+    seed: u64,
+}
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// Unseeded (canonical) FNV-1a.
+    pub fn canonical() -> Self {
+        Self { seed: 0 }
+    }
+
+    /// Raw FNV-1a chain without the top-bit spread — low bits are good,
+    /// high bits are weak; exposed for the quality harness.
+    pub fn raw(key: u64) -> u64 {
+        let mut h = FNV_OFFSET;
+        for b in key.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+impl HashFn64 for Fnv1a {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        spread(Self::raw(key ^ self.seed))
+    }
+
+    fn name() -> &'static str {
+        "FNV"
+    }
+}
+
+impl HashFamily for Fnv1a {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { seed: rng.gen() }
+    }
+}
+
+/// DJB2 (`h = h·33 + byte`) over the key's little-endian bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Djb2 {
+    seed: u64,
+}
+
+impl Djb2 {
+    /// Unseeded (canonical) DJB2 with the traditional initial value 5381.
+    pub fn canonical() -> Self {
+        Self { seed: 0 }
+    }
+
+    /// Raw DJB2 chain without the top-bit spread.
+    pub fn raw(key: u64) -> u64 {
+        let mut h = 5381u64;
+        for b in key.to_le_bytes() {
+            h = h.wrapping_mul(33).wrapping_add(b as u64);
+        }
+        h
+    }
+}
+
+impl HashFn64 for Djb2 {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        spread(Self::raw(key ^ self.seed))
+    }
+
+    fn name() -> &'static str {
+        "DJB"
+    }
+}
+
+impl HashFamily for Djb2 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { seed: rng.gen() }
+    }
+}
+
+/// CRC32-C (Castagnoli) folded to 64 bits: the two 32-bit halves of the
+/// key are CRC-ed into the low and high output words. Uses the SSE4.2
+/// hardware instruction when present.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc {
+    seed: u64,
+}
+
+impl Crc {
+    /// Unseeded CRC-based hash.
+    pub fn canonical() -> Self {
+        Self { seed: 0 }
+    }
+
+    /// CRC32-C accumulation over a u64 (software, bitwise) with the exact
+    /// semantics of the SSE4.2 `crc32` instruction: raw reflected update,
+    /// no pre/post inversion (callers add those if they want standard
+    /// checksum framing; for hashing the raw update is what matters).
+    pub fn crc32c_sw(mut state: u32, data: u64) -> u32 {
+        const POLY: u32 = 0x82F6_3B78; // reflected Castagnoli
+        for b in data.to_le_bytes() {
+            state ^= b as u32;
+            for _ in 0..8 {
+                let mask = (state & 1).wrapping_neg();
+                state = (state >> 1) ^ (POLY & mask);
+            }
+        }
+        state
+    }
+
+    /// CRC32-C of a u64, hardware-accelerated when possible.
+    #[inline]
+    pub fn crc32c(state: u32, data: u64) -> u32 {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("sse4.2") {
+                // SAFETY: SSE4.2 availability checked above.
+                return unsafe { Self::crc32c_hw(state, data) };
+            }
+        }
+        Self::crc32c_sw(state, data)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse4.2")]
+    unsafe fn crc32c_hw(state: u32, data: u64) -> u32 {
+        // _mm_crc32_u64 computes over bit-reflected CRC32-C exactly like
+        // the software loop (with implicit pre/post inversion handled by
+        // feeding the raw state).
+        std::arch::x86_64::_mm_crc32_u64(state as u64, data) as u32
+    }
+}
+
+impl HashFn64 for Crc {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        let k = key ^ self.seed;
+        // Two CRC lanes with different initial states → 64 output bits.
+        let lo = Self::crc32c(0, k) as u64;
+        let hi = Self::crc32c(0xFFFF_FFFF, k) as u64;
+        lo | (hi << 32)
+    }
+
+    fn name() -> &'static str {
+        "CRC"
+    }
+}
+
+impl HashFamily for Crc {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { seed: rng.gen() }
+    }
+}
+
+/// CityHash64's short-input route specialized to a single 8-byte integer:
+/// the `Hash128to64` multiply-xor fold over (key, seed) with City's
+/// constants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CityMix {
+    seed: u64,
+}
+
+const CITY_K2: u64 = 0x9ae1_6a3b_2f90_404f;
+const CITY_MUL: u64 = 0x9ddf_ea08_eb38_2d69;
+
+impl CityMix {
+    /// Unseeded City-style mixer.
+    pub fn canonical() -> Self {
+        Self { seed: CITY_K2 }
+    }
+
+    #[inline(always)]
+    fn hash128_to_64(lo: u64, hi: u64) -> u64 {
+        let mut a = (lo ^ hi).wrapping_mul(CITY_MUL);
+        a ^= a >> 47;
+        let mut b = (hi ^ a).wrapping_mul(CITY_MUL);
+        b ^= b >> 47;
+        b.wrapping_mul(CITY_MUL)
+    }
+}
+
+impl HashFn64 for CityMix {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        Self::hash128_to_64(key, self.seed)
+    }
+
+    fn name() -> &'static str {
+        "City"
+    }
+}
+
+impl HashFamily for CityMix {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { seed: rng.gen() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{avalanche_bias_top_bits, bucket_stats};
+
+    #[test]
+    fn fnv_known_vectors() {
+        // FNV-1a of eight zero bytes and of 1,0,0,... — computed from the
+        // reference chain.
+        assert_eq!(Fnv1a::raw(0), {
+            let mut h = FNV_OFFSET;
+            for _ in 0..8 {
+                h = (h ^ 0).wrapping_mul(FNV_PRIME);
+            }
+            h
+        });
+        // Chain is byte-order sensitive.
+        assert_ne!(Fnv1a::raw(1), Fnv1a::raw(1 << 8));
+    }
+
+    #[test]
+    fn djb2_matches_reference_chain() {
+        let mut h = 5381u64;
+        for b in 0x0102_0304_0506_0708u64.to_le_bytes() {
+            h = h.wrapping_mul(33).wrapping_add(b as u64);
+        }
+        assert_eq!(Djb2::raw(0x0102_0304_0506_0708), h);
+    }
+
+    #[test]
+    fn crc_hardware_matches_software() {
+        for (i, data) in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x0123_4567_89AB_CDEF]
+            .into_iter()
+            .enumerate()
+        {
+            let sw = Crc::crc32c_sw(0, data);
+            let any = Crc::crc32c(0, data);
+            assert_eq!(sw, any, "case {i}");
+            let sw = Crc::crc32c_sw(0xFFFF_FFFF, data);
+            let any = Crc::crc32c(0xFFFF_FFFF, data);
+            assert_eq!(sw, any, "case {i} with nonzero state");
+        }
+    }
+
+    #[test]
+    fn crc32c_standard_checksum_framing() {
+        // The standard CRC32-C of "12345678" (prefix of the classic
+        // "123456789" test vector) uses ~0 initial state and final
+        // inversion around the raw update our function implements.
+        let data = u64::from_le_bytes(*b"12345678");
+        let framed = !Crc::crc32c(!0u32, data);
+        assert_eq!(framed, 0x6087_809a, "CRC32-C(\"12345678\")");
+    }
+
+    #[test]
+    fn crc_is_linear_hence_fails_avalanche() {
+        // CRC is linear over GF(2): flipping input bit i flips a *fixed*
+        // pattern of output bits regardless of the key. Great for error
+        // detection, a real weakness for hashing — each (input, output)
+        // bit pair flips with probability exactly 0 or 1, the worst
+        // possible avalanche bias. Verify both the linearity and the
+        // resulting bias.
+        let h = Crc::canonical();
+        let d1 = h.hash(0x1234) ^ h.hash(0x1234 ^ (1 << 7));
+        let d2 = h.hash(0xABCD_EF00) ^ h.hash(0xABCD_EF00 ^ (1 << 7));
+        assert_eq!(d1, d2, "flip pattern must be key-independent");
+        let samples: Vec<u64> =
+            (0..128u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+        let bias = crate::quality::avalanche_bias(&h, &samples);
+        assert!(bias > 0.4, "linear function must show extreme bias, got {bias}");
+    }
+
+    #[test]
+    fn top_bit_quality_after_spread() {
+        // The finalized nonlinear functions must pass the top-bit
+        // avalanche screen the tables rely on (CRC is linear and checked
+        // separately).
+        let samples: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+        for (name, bias) in [
+            ("FNV", avalanche_bias_top_bits(&Fnv1a::canonical(), &samples, 16)),
+            ("DJB", avalanche_bias_top_bits(&Djb2::canonical(), &samples, 16)),
+            ("City", avalanche_bias_top_bits(&CityMix::canonical(), &samples, 16)),
+        ] {
+            assert!(bias < 0.12, "{name} top-bit bias {bias}");
+        }
+    }
+
+    #[test]
+    fn raw_djb_chain_fails_top_bits() {
+        // Why the spread exists: DJB2 of eight bytes stays below ~2^53,
+        // so the top bits of the raw chain are nearly constant and a
+        // top-bit table would put everything in one bucket.
+        let keys: Vec<u64> = (1..=4096u64).collect();
+        #[derive(Clone)]
+        struct RawDjb;
+        impl HashFn64 for RawDjb {
+            fn hash(&self, k: u64) -> u64 {
+                Djb2::raw(k)
+            }
+            fn name() -> &'static str {
+                "RawDJB"
+            }
+        }
+        let raw = bucket_stats(&RawDjb, &keys, 10);
+        assert!(raw.chi_square_per_dof() > 100.0, "raw DJB {}", raw.chi_square_per_dof());
+        let fin = bucket_stats(&Djb2::canonical(), &keys, 10);
+        assert!(fin.chi_square_per_dof() < 2.0, "finalized DJB {}", fin.chi_square_per_dof());
+    }
+
+    #[test]
+    fn dense_key_bucket_quality() {
+        let keys: Vec<u64> = (1..=(1u64 << 14)).collect();
+        for (name, r) in [
+            ("FNV", bucket_stats(&Fnv1a::canonical(), &keys, 8).collision_ratio()),
+            ("DJB", bucket_stats(&Djb2::canonical(), &keys, 8).collision_ratio()),
+            ("CRC", bucket_stats(&Crc::canonical(), &keys, 8).collision_ratio()),
+            ("City", bucket_stats(&CityMix::canonical(), &keys, 8).collision_ratio()),
+        ] {
+            assert!((0.5..1.5).contains(&r), "{name} collision ratio {r}");
+        }
+    }
+
+    #[test]
+    fn seeded_members_differ() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Crc::sample(&mut rng);
+        let b = Crc::sample(&mut rng);
+        assert!((0..64u64).any(|k| a.hash(k) != b.hash(k)));
+        let a = CityMix::sample(&mut rng);
+        let b = CityMix::sample(&mut rng);
+        assert!((0..64u64).any(|k| a.hash(k) != b.hash(k)));
+    }
+
+    #[test]
+    fn tables_work_end_to_end_with_engineered_functions() {
+        // Smoke: each engineered function drives a probing table.
+        use crate::fold_to_bits;
+        for f in 0..4 {
+            let hash = |k: u64| match f {
+                0 => Fnv1a::canonical().hash(k),
+                1 => Djb2::canonical().hash(k),
+                2 => Crc::canonical().hash(k),
+                _ => CityMix::canonical().hash(k),
+            };
+            let mut buckets = [0u32; 64];
+            for k in 1..=1024u64 {
+                buckets[fold_to_bits(hash(k), 6)] += 1;
+            }
+            let max = *buckets.iter().max().unwrap();
+            assert!(max < 64, "function {f} clumps: max bucket {max}");
+        }
+    }
+}

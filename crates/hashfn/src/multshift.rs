@@ -1,0 +1,110 @@
+//! Multiply-shift hashing (paper §3.1).
+//!
+//! `h_z(x) = (x · z mod 2^64) div 2^(64-d)` for an odd random 64-bit `z`.
+//! The `mod 2^64` is the wrapping semantics of native 64-bit multiplication
+//! and the `div` is a right shift, so one `imul` plus one `shr` suffice —
+//! the cheapest function in the study. For `z` drawn uniformly from the odd
+//! 64-bit integers the family is universal with collision probability
+//! `1/2^(d-1)` on the top `d` bits (Dietzfelbinger et al.).
+//!
+//! The shift is left to the *table* (via [`crate::fold_to_bits`]): `hash`
+//! returns the full product so a single function instance serves any table
+//! size.
+
+use crate::{HashFamily, HashFn64};
+use rand::Rng;
+
+/// One member of the multiply-shift family: an odd 64-bit multiplier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultShift {
+    z: u64,
+}
+
+impl MultShift {
+    /// Create from an explicit multiplier. Even multipliers are rounded up
+    /// to the next odd value (an even `z` would lose the universality
+    /// guarantee: the product's top bits would ignore part of the key).
+    #[inline]
+    pub fn new(z: u64) -> Self {
+        Self { z: z | 1 }
+    }
+
+    /// The multiplier in use (always odd).
+    #[inline]
+    pub fn multiplier(&self) -> u64 {
+        self.z
+    }
+}
+
+impl Default for MultShift {
+    /// A fixed high-entropy odd constant (the golden-ratio multiplier of
+    /// Fibonacci hashing) — convenient for doc examples; experiments should
+    /// sample seeded members.
+    fn default() -> Self {
+        Self::new(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl HashFn64 for MultShift {
+    #[inline(always)]
+    fn hash(&self, key: u64) -> u64 {
+        key.wrapping_mul(self.z)
+    }
+
+    fn name() -> &'static str {
+        "Mult"
+    }
+}
+
+impl HashFamily for MultShift {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(rng.gen::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold_to_bits;
+
+    #[test]
+    fn multiplier_is_forced_odd() {
+        assert_eq!(MultShift::new(2).multiplier(), 3);
+        assert_eq!(MultShift::new(3).multiplier(), 3);
+        assert_eq!(MultShift::new(0).multiplier(), 1);
+        assert_eq!(MultShift::new(u64::MAX - 1).multiplier(), u64::MAX);
+    }
+
+    #[test]
+    fn matches_definition() {
+        // h_z(x) = (x*z mod 2^64) >> (64-d) for d-bit tables.
+        let h = MultShift::new(0xDEAD_BEEF_1234_5679);
+        let x = 0x0123_4567_89AB_CDEFu64;
+        let product = x.wrapping_mul(0xDEAD_BEEF_1234_5679);
+        for d in [1u8, 8, 16, 32, 63] {
+            assert_eq!(fold_to_bits(h.hash(x), d) as u64, product >> (64 - d as u32));
+        }
+    }
+
+    #[test]
+    fn dense_keys_give_arithmetic_progression() {
+        // Paper §5.2: under the dense distribution Mult produces an
+        // approximate arithmetic progression of hash codes, which is why
+        // dense+Mult is LP's best case. Verify the progression property:
+        // consecutive keys differ by exactly z (mod 2^64).
+        let h = MultShift::new(0x9E37_79B9_7F4A_7C15);
+        for k in 1u64..1000 {
+            assert_eq!(
+                h.hash(k + 1).wrapping_sub(h.hash(k)),
+                h.multiplier()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero() {
+        // Structural property of multiply-shift (no additive part).
+        let h = MultShift::default();
+        assert_eq!(h.hash(0), 0);
+    }
+}

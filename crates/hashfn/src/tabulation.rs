@@ -1,0 +1,146 @@
+//! Simple tabulation hashing (paper §3.3).
+//!
+//! Split the 64-bit key into eight 8-bit characters `c1..c8`; for each
+//! position keep a table `T_i` of 256 truly random 64-bit codes; then
+//!
+//! ```text
+//! h(x) = T_1[c1] ^ T_2[c2] ^ ... ^ T_8[c8]
+//! ```
+//!
+//! With random table contents the scheme is 3-independent (but not more),
+//! and Pătraşcu & Thorup showed it gives linear probing expected O(1)
+//! operations. All eight tables together occupy 256 · 8 · 8 B = 16 KiB —
+//! small enough to sit in L1, which is why evaluation is fast despite the
+//! eight dependent loads (the paper measured those loads to dominate its
+//! cost nonetheless, §4.4).
+
+use crate::{HashFamily, HashFn64};
+use rand::Rng;
+use std::sync::Arc;
+
+const CHARS: usize = 8;
+const TABLE_LEN: usize = 256;
+
+/// One member of the simple-tabulation family: eight tables of 256 random
+/// 64-bit codes.
+///
+/// The tables are shared behind an [`Arc`] so cloning a function (e.g. to
+/// hand the same member to a lookup thread or a statistics pass) does not
+/// copy 16 KiB.
+#[derive(Clone, Debug)]
+pub struct Tabulation {
+    tables: Arc<[[u64; TABLE_LEN]; CHARS]>,
+}
+
+impl Tabulation {
+    /// Build from explicit table contents (primarily for tests).
+    pub fn from_tables(tables: [[u64; TABLE_LEN]; CHARS]) -> Self {
+        Self { tables: Arc::new(tables) }
+    }
+
+    /// Total size of the lookup tables in bytes (16 KiB).
+    pub const fn table_bytes() -> usize {
+        CHARS * TABLE_LEN * std::mem::size_of::<u64>()
+    }
+}
+
+impl HashFn64 for Tabulation {
+    #[inline]
+    fn hash(&self, key: u64) -> u64 {
+        let t = &*self.tables;
+        // Unrolled: eight independent L1 loads XOR-ed together. The
+        // compiler keeps `key >> (8*i)` in registers; indices are u8 so no
+        // bounds checks survive optimization.
+        t[0][(key & 0xFF) as usize]
+            ^ t[1][((key >> 8) & 0xFF) as usize]
+            ^ t[2][((key >> 16) & 0xFF) as usize]
+            ^ t[3][((key >> 24) & 0xFF) as usize]
+            ^ t[4][((key >> 32) & 0xFF) as usize]
+            ^ t[5][((key >> 40) & 0xFF) as usize]
+            ^ t[6][((key >> 48) & 0xFF) as usize]
+            ^ t[7][((key >> 56) & 0xFF) as usize]
+    }
+
+    fn name() -> &'static str {
+        "Tab"
+    }
+}
+
+impl HashFamily for Tabulation {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut tables = [[0u64; TABLE_LEN]; CHARS];
+        for table in tables.iter_mut() {
+            for code in table.iter_mut() {
+                *code = rng.gen::<u64>();
+            }
+        }
+        Self::from_tables(tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample(seed: u64) -> Tabulation {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tabulation::sample(&mut rng)
+    }
+
+    #[test]
+    fn single_byte_keys_read_single_table() {
+        let mut tables = [[0u64; 256]; 8];
+        tables[0][0x42] = 0xAAAA;
+        // All other T_i[0] stay 0, so h(0x42) = T_0[0x42].
+        let h = Tabulation::from_tables(tables);
+        assert_eq!(h.hash(0x42), 0xAAAA);
+    }
+
+    #[test]
+    fn xor_structure() {
+        // h(x) over bytes (b0, b1) equals T0[b0] ^ T1[b1] ^ (tables of 0).
+        let mut tables = [[0u64; 256]; 8];
+        tables[0][0x10] = 0x1111;
+        tables[1][0x20] = 0x2222;
+        let h = Tabulation::from_tables(tables);
+        assert_eq!(h.hash(0x2010), 0x1111 ^ 0x2222);
+    }
+
+    #[test]
+    fn zero_tables_hash_everything_to_zero() {
+        let h = Tabulation::from_tables([[0u64; 256]; 8]);
+        assert_eq!(h.hash(u64::MAX), 0);
+        assert_eq!(h.hash(0x0123_4567_89AB_CDEF), 0);
+    }
+
+    #[test]
+    fn clone_shares_tables() {
+        let h = sample(3);
+        let h2 = h.clone();
+        // Clones are the same function (shared tables), byte for byte.
+        for k in (0..100_000u64).step_by(977) {
+            assert_eq!(h.hash(k), h2.hash(k));
+        }
+        for k in [0u64, 5, 1 << 40, u64::MAX] {
+            assert_eq!(h.hash(k), h2.hash(k));
+        }
+        assert!(std::sync::Arc::ptr_eq(&h.tables, &h2.tables));
+    }
+
+    #[test]
+    fn table_bytes_is_16kib() {
+        assert_eq!(Tabulation::table_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        // Sanity: over 10k sequential keys, a random member should have no
+        // 64-bit collisions (probability ~ 10^-12).
+        let h = sample(11);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..10_000u64 {
+            assert!(seen.insert(h.hash(k)), "collision at key {k}");
+        }
+    }
+}

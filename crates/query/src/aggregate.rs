@@ -1,0 +1,158 @@
+//! Hash grouping and aggregation (paper §1, §4: "aggregate operations
+//! like AVERAGE, SUM, MIN, MAX, and COUNT").
+//!
+//! A group-by over `(group_key, value)` tuples maintains one running
+//! aggregate per group in a hash table: each tuple costs one lookup and
+//! one insert-or-update — which is why the paper's indexing workload
+//! "resembles very closely" aggregation, and why the scheme/function
+//! choice transfers directly.
+
+use sevendim_core::{HashTable, TableError};
+
+/// The distributive aggregates the paper lists (AVERAGE is algebraic and
+/// handled by [`group_average`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    /// Sum of values per group (wrapping on overflow).
+    Sum,
+    /// Minimum value per group.
+    Min,
+    /// Maximum value per group.
+    Max,
+    /// Tuples per group.
+    Count,
+}
+
+impl AggFn {
+    fn init(&self, value: u64) -> u64 {
+        match self {
+            AggFn::Sum | AggFn::Min | AggFn::Max => value,
+            AggFn::Count => 1,
+        }
+    }
+
+    fn combine(&self, acc: u64, value: u64) -> u64 {
+        match self {
+            AggFn::Sum => acc.wrapping_add(value),
+            AggFn::Min => acc.min(value),
+            AggFn::Max => acc.max(value),
+            AggFn::Count => acc + 1,
+        }
+    }
+}
+
+/// Group `rows` by key and fold each group with `f`, using `table` as the
+/// aggregation state. Returns `(group_key, aggregate)` pairs in
+/// unspecified order.
+pub fn group_aggregate<T: HashTable>(
+    table: &mut T,
+    rows: &[(u64, u64)],
+    f: AggFn,
+) -> Result<Vec<(u64, u64)>, TableError> {
+    assert!(table.is_empty(), "group_aggregate expects a fresh state table");
+    for &(key, value) in rows {
+        let next = match table.lookup(key) {
+            Some(acc) => f.combine(acc, value),
+            None => f.init(value),
+        };
+        table.insert(key, next)?;
+    }
+    let mut out = Vec::with_capacity(table.len());
+    table.for_each(&mut |k, v| out.push((k, v)));
+    Ok(out)
+}
+
+/// AVERAGE per group: algebraic over (SUM, COUNT), maintained in two state
+/// tables of the same scheme. Returns `(group_key, average)` pairs.
+pub fn group_average<T: HashTable>(
+    sum_table: &mut T,
+    count_table: &mut T,
+    rows: &[(u64, u64)],
+) -> Result<Vec<(u64, f64)>, TableError> {
+    let sums = group_aggregate(sum_table, rows, AggFn::Sum)?;
+    let _counts = group_aggregate(count_table, rows, AggFn::Count)?;
+    Ok(sums
+        .into_iter()
+        .map(|(k, sum)| {
+            let count = count_table.lookup(k).expect("count exists for every group");
+            (k, sum as f64 / count as f64)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashfn::{MultShift, Murmur};
+    use sevendim_core::{ChainedTable8, LinearProbing, QuadraticProbing};
+    use std::collections::HashMap;
+
+    fn sample_rows() -> Vec<(u64, u64)> {
+        // 40 groups, values with collisions and repeats.
+        (0..1000u64).map(|i| (i % 40 + 1, i * 3 % 97)).collect()
+    }
+
+    fn reference(rows: &[(u64, u64)], f: AggFn) -> HashMap<u64, u64> {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in rows {
+            m.entry(k)
+                .and_modify(|acc| *acc = f.combine(*acc, v))
+                .or_insert_with(|| f.init(v));
+        }
+        m
+    }
+
+    #[test]
+    fn all_aggregates_match_reference() {
+        let rows = sample_rows();
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Count] {
+            let expect = reference(&rows, f);
+            let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(8, 1);
+            let got: HashMap<u64, u64> =
+                group_aggregate(&mut t, &rows, f).unwrap().into_iter().collect();
+            assert_eq!(got, expect, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn schemes_agree_on_results() {
+        let rows = sample_rows();
+        let expect = reference(&rows, AggFn::Sum);
+        let mut qp: QuadraticProbing<Murmur> = QuadraticProbing::with_seed(8, 2);
+        let got: HashMap<u64, u64> =
+            group_aggregate(&mut qp, &rows, AggFn::Sum).unwrap().into_iter().collect();
+        assert_eq!(got, expect);
+        let mut ch: ChainedTable8<Murmur> = ChainedTable8::with_seed(6, 3);
+        let got: HashMap<u64, u64> =
+            group_aggregate(&mut ch, &rows, AggFn::Sum).unwrap().into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn average_is_sum_over_count() {
+        let rows = vec![(1u64, 10u64), (1, 20), (2, 5), (1, 30), (2, 15)];
+        let mut sums: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        let mut counts: LinearProbing<MultShift> = LinearProbing::with_seed(4, 2);
+        let mut avgs = group_average(&mut sums, &mut counts, &rows).unwrap();
+        avgs.sort_by_key(|&(k, _)| k);
+        assert_eq!(avgs.len(), 2);
+        assert_eq!(avgs[0].0, 1);
+        assert!((avgs[0].1 - 20.0).abs() < 1e-9);
+        assert_eq!(avgs[1].0, 2);
+        assert!((avgs[1].1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        assert!(group_aggregate(&mut t, &[], AggFn::Sum).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sum_wraps_instead_of_panicking() {
+        let rows = vec![(1u64, u64::MAX - 3), (1, 10)];
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        let out = group_aggregate(&mut t, &rows, AggFn::Sum).unwrap();
+        assert_eq!(out, vec![(1, 6)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Hash equi-join over the study's tables.
+//!
+//! The classic two-phase algorithm: **build** a hash table over the
+//! smaller relation's join keys, then **probe** it with every tuple of the
+//! larger relation. This is exactly the "indexing workload — which in turn
+//! captures the essence of ... joins" the paper measures (§1.1, §4): the
+//! build phase is WORM's insert phase, the probe phase its lookup phase,
+//! and the probe hit rate is the paper's successful-lookup ratio (a
+//! foreign key that always matches ⇒ 100% successful; a semi-join with
+//! selective filters ⇒ plenty of misses — which is why the unsuccessful
+//! dimension matters to join planning).
+//!
+//! Tables in the study are maps with unique keys, so the build side must
+//! be duplicate-free — the primary-key side of a PK–FK join. Build-side
+//! duplicates are rejected rather than silently dropped.
+
+use sevendim_core::{HashTable, InsertOutcome, TableError};
+
+/// Result of a hash join.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinOutput {
+    /// Matched rows: `(key, build_payload, probe_payload)`.
+    pub rows: Vec<(u64, u64, u64)>,
+    /// Probe tuples that found no partner (count only; an outer join
+    /// would emit them).
+    pub probe_misses: usize,
+}
+
+/// Errors from [`hash_join`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinError {
+    /// The build side contained a duplicate key (not a primary key).
+    DuplicateBuildKey(u64),
+    /// The build table refused an insert.
+    Table(TableError),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::DuplicateBuildKey(k) => {
+                write!(f, "duplicate key {k} on the build side of a PK-FK join")
+            }
+            JoinError::Table(e) => write!(f, "build table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// PK–FK equi-join: build on `build` (unique keys), probe with `probe`.
+///
+/// The caller supplies the (empty) build table, choosing scheme, hash
+/// function, and capacity — the knobs the paper shows matter. Probe order
+/// is preserved in the output.
+pub fn hash_join<T: HashTable>(
+    table: &mut T,
+    build: &[(u64, u64)],
+    probe: &[(u64, u64)],
+) -> Result<JoinOutput, JoinError> {
+    assert!(table.is_empty(), "hash_join expects a fresh build table");
+    for &(k, payload) in build {
+        match table.insert(k, payload) {
+            Ok(InsertOutcome::Inserted) => {}
+            Ok(InsertOutcome::Replaced(_)) => return Err(JoinError::DuplicateBuildKey(k)),
+            Err(e) => return Err(JoinError::Table(e)),
+        }
+    }
+    let mut out = JoinOutput::default();
+    for &(k, probe_payload) in probe {
+        match table.lookup(k) {
+            Some(build_payload) => out.rows.push((k, build_payload, probe_payload)),
+            None => out.probe_misses += 1,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashfn::{MultShift, Murmur};
+    use sevendim_core::{ChainedTable24, LinearProbing, RobinHood};
+
+    fn reference_join(build: &[(u64, u64)], probe: &[(u64, u64)]) -> JoinOutput {
+        let mut rows = Vec::new();
+        let mut misses = 0;
+        for &(k, pp) in probe {
+            match build.iter().find(|(bk, _)| *bk == k) {
+                Some(&(_, bp)) => rows.push((k, bp, pp)),
+                None => misses += 1,
+            }
+        }
+        JoinOutput { rows, probe_misses: misses }
+    }
+
+    fn sample_relations() -> (Vec<(u64, u64)>, Vec<(u64, u64)>) {
+        // Orders (PK) and line items (FK), with some dangling FKs.
+        let build: Vec<(u64, u64)> = (1..=100).map(|k| (k, k * 1000)).collect();
+        let probe: Vec<(u64, u64)> =
+            (1..=300).map(|i| ((i * 7) % 150 + 1, i)).collect();
+        (build, probe)
+    }
+
+    #[test]
+    fn matches_nested_loop_reference() {
+        let (build, probe) = sample_relations();
+        let expect = reference_join(&build, &probe);
+
+        let mut lp: LinearProbing<MultShift> = LinearProbing::with_seed(8, 1);
+        assert_eq!(hash_join(&mut lp, &build, &probe).unwrap(), expect);
+
+        let mut rh: RobinHood<Murmur> = RobinHood::with_seed(8, 2);
+        assert_eq!(hash_join(&mut rh, &build, &probe).unwrap(), expect);
+
+        let mut ch: ChainedTable24<Murmur> = ChainedTable24::with_seed(8, 3);
+        assert_eq!(hash_join(&mut ch, &build, &probe).unwrap(), expect);
+    }
+
+    #[test]
+    fn counts_probe_misses() {
+        let build = vec![(1u64, 10u64), (2, 20)];
+        let probe = vec![(1u64, 1u64), (3, 2), (4, 3)];
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        let out = hash_join(&mut t, &build, &probe).unwrap();
+        assert_eq!(out.rows, vec![(1, 10, 1)]);
+        assert_eq!(out.probe_misses, 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_build_keys() {
+        let build = vec![(5u64, 1u64), (5, 2)];
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        assert_eq!(
+            hash_join(&mut t, &build, &[]),
+            Err(JoinError::DuplicateBuildKey(5))
+        );
+    }
+
+    #[test]
+    fn empty_sides() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        let out = hash_join(&mut t, &[], &[(1, 1)]).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.probe_misses, 1);
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
+        let out = hash_join(&mut t, &[(1, 1)], &[]).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.probe_misses, 0);
+    }
+
+    #[test]
+    fn build_overflow_is_reported() {
+        let build: Vec<(u64, u64)> = (1..=16).map(|k| (k, k)).collect();
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1); // 16 slots
+        match hash_join(&mut t, &build, &[]) {
+            Err(JoinError::Table(TableError::TableFull)) => {}
+            other => panic!("expected TableFull, got {other:?}"),
+        }
+    }
+}

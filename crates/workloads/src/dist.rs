@@ -1,0 +1,212 @@
+//! The paper's three key distributions (§4.3).
+//!
+//! * **Dense**: every key in `[1 : n]` — generated primary keys.
+//! * **Sparse**: `n ≪ 2^64` keys drawn uniformly at random from
+//!   `[1 : 2^64 − 1]` (we exclude the two reserved control values, an
+//!   immeasurable sliver of the universe).
+//! * **Grid**: every byte of every key in `[1 : 14]`, using the first `n`
+//!   keys of the 14^8 = 1,475,789,056-element universe in sorted order —
+//!   "a different kind of dense distribution" resembling dotted IPs.
+//!
+//! Elements are randomly shuffled before insertion and lookup keys are
+//! shuffled as well, exactly as in the paper. For unsuccessful lookups
+//! each distribution supplies *miss keys* that are provably disjoint from
+//! the inserted set but drawn from the same flavour of universe (dense →
+//! the next `m` integers, grid → the next `m` grid points, sparse → fresh
+//! uniform keys not in the inserted set).
+
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Number of keys in the grid universe: 14^8.
+pub const GRID_UNIVERSE: u64 = 1_475_789_056;
+
+/// Largest key the generators may emit (reserved control values excluded).
+const MAX_GENERATED_KEY: u64 = u64::MAX - 2;
+
+/// The `i`-th grid key (0-based) in sorted order: write `i` in base 14,
+/// eight digits, and map digit `d` to byte `d + 1`.
+///
+/// ```
+/// # use workloads::grid_key;
+/// assert_eq!(grid_key(0), 0x0101_0101_0101_0101);
+/// assert_eq!(grid_key(1), 0x0101_0101_0101_0102);
+/// assert_eq!(grid_key(14), 0x0101_0101_0101_0201);
+/// ```
+pub fn grid_key(i: u64) -> u64 {
+    assert!(i < GRID_UNIVERSE, "grid universe has only 14^8 keys, asked for index {i}");
+    let mut rem = i;
+    let mut key = 0u64;
+    for byte_pos in 0..8 {
+        let digit = rem % 14;
+        rem /= 14;
+        key |= (digit + 1) << (8 * byte_pos);
+    }
+    key
+}
+
+/// One of the paper's three key distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Keys `1..=n`.
+    Dense,
+    /// Uniform random 64-bit keys.
+    Sparse,
+    /// Bytes in `1..=14`, first `n` keys in sorted order.
+    Grid,
+}
+
+/// Generated insert keys plus disjoint miss keys, both shuffled.
+#[derive(Clone, Debug)]
+pub struct KeySets {
+    /// Keys to insert (length `n`, shuffled).
+    pub inserts: Vec<u64>,
+    /// Keys guaranteed absent from `inserts` (shuffled), for unsuccessful
+    /// lookups.
+    pub misses: Vec<u64>,
+}
+
+impl Distribution {
+    /// All three distributions, in the paper's presentation order.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::Dense, Distribution::Grid, Distribution::Sparse];
+
+    /// Paper-style name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Dense => "dense",
+            Distribution::Sparse => "sparse",
+            Distribution::Grid => "grid",
+        }
+    }
+
+    /// Generate `n` shuffled insert keys.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<u64> {
+        self.generate_with_misses(n, 0, seed).inserts
+    }
+
+    /// Generate `n` shuffled insert keys plus `m` disjoint miss keys.
+    pub fn generate_with_misses(&self, n: usize, m: usize, seed: u64) -> KeySets {
+        // Salted so distribution streams differ from other seeded components.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD157_5EED_D157_5EED);
+        let (mut inserts, mut misses) = match self {
+            Distribution::Dense => {
+                let last = n as u64 + m as u64;
+                assert!(last <= MAX_GENERATED_KEY, "dense universe exhausted");
+                ((1..=n as u64).collect(), (n as u64 + 1..=last).collect())
+            }
+            Distribution::Grid => {
+                assert!((n + m) as u64 <= GRID_UNIVERSE, "grid universe exhausted");
+                (
+                    (0..n as u64).map(grid_key).collect::<Vec<_>>(),
+                    (n as u64..(n + m) as u64).map(grid_key).collect::<Vec<_>>(),
+                )
+            }
+            Distribution::Sparse => {
+                // Rejection-sample distinct keys; the universe dwarfs any
+                // practical n, so retries are vanishingly rare.
+                let mut seen = HashSet::with_capacity(n + m);
+                let mut draw = |seen: &mut HashSet<u64>| loop {
+                    let k = rng.gen_range(1..=MAX_GENERATED_KEY);
+                    if seen.insert(k) {
+                        return k;
+                    }
+                };
+                let inserts: Vec<u64> = (0..n).map(|_| draw(&mut seen)).collect();
+                let misses: Vec<u64> = (0..m).map(|_| draw(&mut seen)).collect();
+                (inserts, misses)
+            }
+        };
+        inserts.shuffle(&mut rng);
+        misses.shuffle(&mut rng);
+        KeySets { inserts, misses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_key_digits_are_in_range() {
+        for i in [0u64, 1, 13, 14, 195, 196, GRID_UNIVERSE - 1] {
+            let k = grid_key(i);
+            for b in k.to_le_bytes() {
+                assert!((1..=14).contains(&b), "key {k:#x} has byte {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_keys_are_sorted_and_distinct() {
+        let keys: Vec<u64> = (0..10_000).map(grid_key).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "not strictly increasing at {:#x}", w[0]);
+        }
+    }
+
+    #[test]
+    fn grid_last_key_is_all_fourteens() {
+        assert_eq!(grid_key(GRID_UNIVERSE - 1), 0x0E0E_0E0E_0E0E_0E0E);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid universe")]
+    fn grid_index_out_of_universe_panics() {
+        grid_key(GRID_UNIVERSE);
+    }
+
+    #[test]
+    fn dense_is_a_permutation_of_one_to_n() {
+        let keys = Distribution::Dense.generate(1000, 7);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=1000u64).collect::<Vec<_>>());
+        // Shuffled: astronomically unlikely to be identity.
+        assert_ne!(keys, sorted);
+    }
+
+    #[test]
+    fn sparse_keys_are_distinct() {
+        let keys = Distribution::Sparse.generate(50_000, 3);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+        assert!(keys.iter().all(|&k| k >= 1 && k <= u64::MAX - 2));
+    }
+
+    #[test]
+    fn misses_are_disjoint_from_inserts() {
+        for dist in Distribution::ALL {
+            let ks = dist.generate_with_misses(5000, 5000, 11);
+            assert_eq!(ks.inserts.len(), 5000);
+            assert_eq!(ks.misses.len(), 5000);
+            let inserted: HashSet<u64> = ks.inserts.iter().copied().collect();
+            assert!(
+                ks.misses.iter().all(|k| !inserted.contains(k)),
+                "{}: miss key collides with inserted set",
+                dist.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for dist in Distribution::ALL {
+            let a = dist.generate_with_misses(1000, 100, 42);
+            let b = dist.generate_with_misses(1000, 100, 42);
+            assert_eq!(a.inserts, b.inserts);
+            assert_eq!(a.misses, b.misses);
+            let c = dist.generate_with_misses(1000, 100, 43);
+            assert_ne!(a.inserts, c.inserts, "{}: seed must matter", dist.name());
+        }
+    }
+
+    #[test]
+    fn grid_inserts_are_first_n_sorted_universe_keys() {
+        let ks = Distribution::Grid.generate_with_misses(300, 10, 5);
+        let mut sorted = ks.inserts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300).map(grid_key).collect::<Vec<_>>());
+    }
+}

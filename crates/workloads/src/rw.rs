@@ -1,0 +1,329 @@
+//! The read-write (RW) workload (paper §6).
+//!
+//! A long stream of operations in random order over a growing table:
+//!
+//! * a configurable **update percentage** (the x-axis of Figure 5) splits
+//!   operations into updates and lookups;
+//! * updates are inserts and deletes at **4:1** (20% deletions, all
+//!   successful);
+//! * lookups are successful and unsuccessful at **3:1** (25% misses).
+//!
+//! The paper runs 1000 M operations starting from 16 M keys (≈47% initial
+//! load). Both sizes are configurable here; the defaults are scaled to
+//! laptop budgets and the figure binaries accept `--scale paper`.
+//!
+//! The stream is produced in chunks by [`RwStream`], which maintains the
+//! live-key model (what's inserted and not yet deleted) so that delete
+//! targets and successful-lookup keys are always valid *at their position
+//! in the stream*. Execution therefore measures pure table work.
+//!
+//! Fresh insert keys come from the Murmur finalizer applied to a counter —
+//! a bijection, so keys never repeat — placing the RW key distribution in
+//! the paper's "sparse" regime (§6 presents sparse only). Miss keys come
+//! from a disjoint counter region.
+
+use hashfn::Murmur;
+use metrics::Throughput;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sevendim_core::{HashTable, TableError};
+
+/// One operation of the RW stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RwOp {
+    /// Insert a fresh key (never seen before).
+    Insert(u64),
+    /// Delete a key currently in the table (always successful).
+    Delete(u64),
+    /// Look up a key currently in the table (must hit).
+    LookupHit(u64),
+    /// Look up a key never inserted (must miss).
+    LookupMiss(u64),
+}
+
+/// Configuration of an RW run.
+#[derive(Clone, Copy, Debug)]
+pub struct RwConfig {
+    /// Keys inserted before the measured stream starts (paper: 16 M).
+    pub initial_keys: usize,
+    /// Operations in the measured stream (paper: 1000 M).
+    pub operations: usize,
+    /// Percentage of operations that are updates (Figure 5 sweeps
+    /// 0, 5, 25, 50, 75, 100).
+    pub update_pct: u8,
+    /// Seed for the operation mix.
+    pub seed: u64,
+}
+
+impl RwConfig {
+    /// The update percentages on Figure 5's x-axis.
+    pub const UPDATE_PCTS: [u8; 6] = [0, 5, 25, 50, 75, 100];
+}
+
+/// Generates the operation stream chunk by chunk while tracking the
+/// live-key model.
+pub struct RwStream {
+    cfg: RwConfig,
+    rng: StdRng,
+    /// Keys currently in the table (model).
+    live: Vec<u64>,
+    /// Counter for fresh insert keys (bijectively mixed).
+    next_insert: u64,
+    /// Counter for never-inserted miss keys.
+    next_miss: u64,
+    generated: usize,
+}
+
+/// Insert keys come from mixing counters in `[0, 2^62)`; miss keys from
+/// `[2^62, 2^63)` — disjoint by construction, and the Murmur finalizer is
+/// a bijection, so the two key populations can never collide.
+const MISS_REGION: u64 = 1 << 62;
+
+fn fresh_key(counter: u64) -> u64 {
+    // The finalizer maps 0 → 0 and could in principle emit the reserved
+    // control values; offset and re-mix in those vanishingly rare cases.
+    let k = Murmur::fmix64(counter.wrapping_add(1));
+    if k == 0 || k >= u64::MAX - 1 {
+        Murmur::fmix64(k ^ 0xA5A5_A5A5_A5A5_A5A5)
+    } else {
+        k
+    }
+}
+
+impl RwStream {
+    /// Create a stream for `cfg`. Call [`RwStream::initial_keys`] first to
+    /// pre-populate the table, then [`RwStream::next_chunk`] repeatedly.
+    pub fn new(cfg: RwConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x8B_1005_77EA),
+            cfg,
+            live: Vec::new(),
+            next_insert: 0,
+            next_miss: MISS_REGION,
+            generated: 0,
+        }
+    }
+
+    /// The keys to insert before measurement begins (also recorded in the
+    /// live model).
+    pub fn initial_keys(&mut self) -> Vec<u64> {
+        let keys: Vec<u64> = (0..self.cfg.initial_keys)
+            .map(|_| {
+                let k = fresh_key(self.next_insert);
+                self.next_insert += 1;
+                k
+            })
+            .collect();
+        self.live.extend_from_slice(&keys);
+        keys
+    }
+
+    /// Operations remaining in the configured stream.
+    pub fn remaining(&self) -> usize {
+        self.cfg.operations - self.generated
+    }
+
+    /// Current live-key count in the model.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Produce the next chunk of at most `max_len` operations, or `None`
+    /// when the stream is exhausted.
+    pub fn next_chunk(&mut self, max_len: usize) -> Option<Vec<RwOp>> {
+        if self.remaining() == 0 {
+            return None;
+        }
+        let len = max_len.min(self.remaining());
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let op = self.gen_op();
+            ops.push(op);
+        }
+        self.generated += len;
+        Some(ops)
+    }
+
+    fn gen_op(&mut self) -> RwOp {
+        let is_update = self.rng.gen_range(0..100u8) < self.cfg.update_pct;
+        if is_update {
+            // Insert : delete = 4 : 1.
+            if self.rng.gen_range(0..5u8) < 4 || self.live.is_empty() {
+                let k = fresh_key(self.next_insert);
+                self.next_insert += 1;
+                self.live.push(k);
+                RwOp::Insert(k)
+            } else {
+                let idx = self.rng.gen_range(0..self.live.len());
+                let k = self.live.swap_remove(idx);
+                RwOp::Delete(k)
+            }
+        } else {
+            // Successful : unsuccessful = 3 : 1.
+            if self.rng.gen_range(0..4u8) < 3 && !self.live.is_empty() {
+                let idx = self.rng.gen_range(0..self.live.len());
+                RwOp::LookupHit(self.live[idx])
+            } else {
+                let k = fresh_key(self.next_miss);
+                self.next_miss += 1;
+                RwOp::LookupMiss(k)
+            }
+        }
+    }
+}
+
+/// Execute a chunk against a table, verifying every operation's outcome
+/// against the model's expectation. Returns the chunk throughput.
+pub fn run_chunk<T: HashTable>(table: &mut T, ops: &[RwOp]) -> Result<Throughput, TableError> {
+    let mut failure = Ok(());
+    #[allow(unused_mut)] // mutated only in release builds (checksum arms)
+    let mut checksum = 0u64;
+    let throughput = Throughput::measure(ops.len() as u64, || {
+        for op in ops {
+            match *op {
+                RwOp::Insert(k) => {
+                    if let Err(e) = table.insert(k, k) {
+                        failure = Err(e);
+                        return;
+                    }
+                }
+                RwOp::Delete(k) => {
+                    debug_assert!(table.delete(k).is_some(), "delete of live key {k} missed");
+                    #[cfg(not(debug_assertions))]
+                    {
+                        table.delete(k);
+                    }
+                }
+                RwOp::LookupHit(k) => {
+                    debug_assert!(table.lookup(k).is_some(), "lookup of live key {k} missed");
+                    #[cfg(not(debug_assertions))]
+                    if let Some(v) = table.lookup(k) {
+                        checksum ^= v;
+                    }
+                }
+                RwOp::LookupMiss(k) => {
+                    debug_assert!(table.lookup(k).is_none(), "phantom hit for {k}");
+                    #[cfg(not(debug_assertions))]
+                    if let Some(v) = table.lookup(k) {
+                        checksum ^= v;
+                    }
+                }
+            }
+        }
+    });
+    std::hint::black_box(checksum);
+    failure.map(|()| throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashfn::MultShift;
+    use sevendim_core::{DynamicTable, HashTable, LpFactory};
+    use std::collections::HashSet;
+
+    fn cfg(update_pct: u8) -> RwConfig {
+        RwConfig { initial_keys: 1000, operations: 20_000, update_pct, seed: 5 }
+    }
+
+    #[test]
+    fn fresh_keys_are_distinct_and_legal() {
+        let mut seen = HashSet::new();
+        for c in 0..100_000u64 {
+            let k = fresh_key(c);
+            assert!(k != 0 && k < u64::MAX - 1);
+            assert!(seen.insert(k), "duplicate fresh key at counter {c}");
+        }
+    }
+
+    #[test]
+    fn op_mix_matches_configured_ratios() {
+        let mut s = RwStream::new(cfg(50));
+        let _ = s.initial_keys();
+        let ops = s.next_chunk(20_000).unwrap();
+        let (mut ins, mut del, mut hit, mut miss) = (0f64, 0f64, 0f64, 0f64);
+        for op in &ops {
+            match op {
+                RwOp::Insert(_) => ins += 1.0,
+                RwOp::Delete(_) => del += 1.0,
+                RwOp::LookupHit(_) => hit += 1.0,
+                RwOp::LookupMiss(_) => miss += 1.0,
+            }
+        }
+        let n = ops.len() as f64;
+        // 50% updates, split 4:1 → 40% inserts, 10% deletes;
+        // 50% lookups, split 3:1 → 37.5% hits, 12.5% misses.
+        assert!((ins / n - 0.40).abs() < 0.02, "inserts {}", ins / n);
+        assert!((del / n - 0.10).abs() < 0.02, "deletes {}", del / n);
+        assert!((hit / n - 0.375).abs() < 0.02, "hits {}", hit / n);
+        assert!((miss / n - 0.125).abs() < 0.02, "misses {}", miss / n);
+    }
+
+    #[test]
+    fn zero_update_pct_is_pure_lookups() {
+        let mut s = RwStream::new(cfg(0));
+        let _ = s.initial_keys();
+        let ops = s.next_chunk(5000).unwrap();
+        assert!(ops
+            .iter()
+            .all(|op| matches!(op, RwOp::LookupHit(_) | RwOp::LookupMiss(_))));
+    }
+
+    #[test]
+    fn hundred_update_pct_has_no_lookups() {
+        let mut s = RwStream::new(cfg(100));
+        let _ = s.initial_keys();
+        let ops = s.next_chunk(5000).unwrap();
+        assert!(ops.iter().all(|op| matches!(op, RwOp::Insert(_) | RwOp::Delete(_))));
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let collect = || {
+            let mut s = RwStream::new(cfg(25));
+            let _ = s.initial_keys();
+            let mut all = Vec::new();
+            while let Some(chunk) = s.next_chunk(777) {
+                all.extend(chunk);
+            }
+            all
+        };
+        let a = collect();
+        let b = collect();
+        assert_eq!(a.len(), 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn model_consistency_under_execution() {
+        // Execute the full stream against a growing table in debug mode:
+        // every Delete/LookupHit must hit, every LookupMiss must miss
+        // (enforced by debug_assert! inside run_chunk).
+        let mut s = RwStream::new(cfg(50));
+        let mut table = DynamicTable::new(LpFactory::<MultShift>::new(), 11, 3, 0.7);
+        for k in s.initial_keys() {
+            table.insert(k, k).unwrap();
+        }
+        let mut total_ops = 0u64;
+        while let Some(chunk) = s.next_chunk(4096) {
+            let t = run_chunk(&mut table, &chunk).unwrap();
+            total_ops += t.ops;
+        }
+        assert_eq!(total_ops, 20_000);
+        assert_eq!(table.len(), s.live_len());
+    }
+
+    #[test]
+    fn chunking_respects_remaining() {
+        let mut s = RwStream::new(RwConfig {
+            initial_keys: 10,
+            operations: 100,
+            update_pct: 25,
+            seed: 1,
+        });
+        let _ = s.initial_keys();
+        assert_eq!(s.next_chunk(64).unwrap().len(), 64);
+        assert_eq!(s.remaining(), 36);
+        assert_eq!(s.next_chunk(64).unwrap().len(), 36);
+        assert!(s.next_chunk(64).is_none());
+    }
+}

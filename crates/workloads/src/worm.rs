@@ -1,0 +1,243 @@
+//! The write-once-read-many (WORM) workload (paper §5).
+//!
+//! A WORM run has two phases:
+//!
+//! 1. **Build**: insert `n = α · 2^bits` keys of a distribution (shuffled)
+//!    into a freshly constructed table. The table never rehashes — WORM is
+//!    static. Insert throughput is the left column of Figures 2 and 4.
+//! 2. **Probe**: issue a shuffled stream of lookups in which a configured
+//!    percentage is unsuccessful (keys provably absent, drawn from the
+//!    same distribution flavour). The paper sweeps 0/25/50/75/100%.
+//!
+//! Lookup results are checksummed (values XOR-folded) so the compiler
+//! cannot elide table accesses, and hit counts are verified against the
+//! expectation — a silent correctness failure would invalidate a
+//! measurement.
+
+use crate::dist::Distribution;
+use metrics::Throughput;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use sevendim_core::{HashTable, TableError};
+
+/// The unsuccessful-lookup percentages on every figure's x-axis.
+pub const UNSUCCESSFUL_PCTS: [u8; 5] = [0, 25, 50, 75, 100];
+
+/// Configuration of one WORM cell (capacity × load factor × distribution).
+#[derive(Clone, Copy, Debug)]
+pub struct WormConfig {
+    /// Table capacity exponent: `l = 2^capacity_bits` slots.
+    pub capacity_bits: u8,
+    /// Target load factor α; `n = α · l` keys are inserted.
+    pub load_factor: f64,
+    /// Key distribution.
+    pub dist: Distribution,
+    /// Number of lookups per probe phase.
+    pub probes: usize,
+    /// Seed for key generation and shuffles.
+    pub seed: u64,
+}
+
+impl WormConfig {
+    /// Number of keys this configuration inserts.
+    pub fn n_keys(&self) -> usize {
+        ((1usize << self.capacity_bits) as f64 * self.load_factor).round() as usize
+    }
+}
+
+/// Pre-generated key material for one WORM cell: insert keys plus one
+/// probe stream per unsuccessful percentage.
+pub struct WormKeys {
+    /// Keys to insert, shuffled.
+    pub inserts: Vec<u64>,
+    /// `(unsuccessful_pct, probe_keys, expected_hits)` triples.
+    pub probe_streams: Vec<(u8, Vec<u64>, usize)>,
+}
+
+impl WormKeys {
+    /// Generate all key material for `cfg` with probe streams at the
+    /// paper's five unsuccessful percentages.
+    pub fn prepare(cfg: &WormConfig) -> Self {
+        Self::prepare_with_pcts(cfg, &UNSUCCESSFUL_PCTS)
+    }
+
+    /// Generate key material with custom unsuccessful percentages.
+    pub fn prepare_with_pcts(cfg: &WormConfig, pcts: &[u8]) -> Self {
+        let n = cfg.n_keys();
+        let max_miss = pcts
+            .iter()
+            .map(|&p| cfg.probes * p as usize / 100)
+            .max()
+            .unwrap_or(0);
+        let sets = cfg.dist.generate_with_misses(n, max_miss, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9097_0B35);
+
+        // Hit keys must be drawn uniformly from the *whole* inserted set.
+        // Taking a prefix in insertion order would bias the stream toward
+        // early-inserted keys — which in LP sit at near-zero displacement
+        // (first-come-first-served slots) while Robin Hood redistributes
+        // them, so the bias would corrupt exactly the LP-vs-RH comparison
+        // the study is about.
+        let mut hit_pool = sets.inserts.clone();
+
+        let probe_streams = pcts
+            .iter()
+            .map(|&pct| {
+                let miss_count = cfg.probes * pct as usize / 100;
+                let hit_count = cfg.probes - miss_count;
+                let mut stream = Vec::with_capacity(cfg.probes);
+                hit_pool.shuffle(&mut rng);
+                stream.extend(hit_pool.iter().cycle().take(hit_count));
+                stream.extend(sets.misses.iter().take(miss_count));
+                stream.shuffle(&mut rng);
+                (pct, stream, hit_count)
+            })
+            .collect();
+
+        WormKeys { inserts: sets.inserts, probe_streams }
+    }
+}
+
+/// Timed build phase: insert every key, returning the insert throughput.
+///
+/// Fails fast on the first refused insert (e.g. a chained table exceeding
+/// its §4.5 memory budget) — the caller decides whether that cell is
+/// reported as absent, as the paper does for chained hashing at ≥70%.
+pub fn run_build<T: HashTable>(table: &mut T, inserts: &[u64]) -> Result<Throughput, TableError> {
+    let mut result = Ok(());
+    let t = Throughput::measure(inserts.len() as u64, || {
+        for &k in inserts {
+            if let Err(e) = table.insert(k, k.wrapping_mul(2)) {
+                result = Err(e);
+                return;
+            }
+        }
+    });
+    result.map(|()| t)
+}
+
+/// Timed probe phase. Returns the lookup throughput and the observed hit
+/// count; panics if hits deviate from the expectation (a correctness bug
+/// would otherwise masquerade as a performance result).
+pub fn run_probes<T: HashTable>(
+    table: &T,
+    probes: &[u64],
+    expected_hits: usize,
+) -> (Throughput, u64) {
+    let mut hits = 0u64;
+    let mut checksum = 0u64;
+    let throughput = Throughput::measure(probes.len() as u64, || {
+        for &k in probes {
+            if let Some(v) = table.lookup(k) {
+                hits += 1;
+                checksum ^= v;
+            }
+        }
+    });
+    assert_eq!(
+        hits as usize, expected_hits,
+        "hit count mismatch: the table lost or invented keys"
+    );
+    // Keep the checksum observable.
+    std::hint::black_box(checksum);
+    (throughput, hits)
+}
+
+/// Convenience: build + probe all streams for one cell. Returns
+/// `(insert_throughput, Vec<(pct, lookup_throughput)>)`, or the build
+/// error if the table could not hold the keys.
+pub fn run_cell<T: HashTable>(
+    table: &mut T,
+    keys: &WormKeys,
+) -> Result<(Throughput, Vec<(u8, Throughput)>), TableError> {
+    let build = run_build(table, &keys.inserts)?;
+    let lookups = keys
+        .probe_streams
+        .iter()
+        .map(|(pct, stream, expected)| {
+            let (t, _) = run_probes(table, stream, *expected);
+            (*pct, t)
+        })
+        .collect();
+    Ok((build, lookups))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hashfn::MultShift;
+    use sevendim_core::{ChainedTable8, LinearProbing, RobinHood};
+
+    fn cfg(dist: Distribution) -> WormConfig {
+        WormConfig { capacity_bits: 10, load_factor: 0.5, dist, probes: 2000, seed: 9 }
+    }
+
+    #[test]
+    fn n_keys_respects_load_factor() {
+        assert_eq!(cfg(Distribution::Dense).n_keys(), 512);
+        let c = WormConfig { load_factor: 0.9, ..cfg(Distribution::Dense) };
+        assert_eq!(c.n_keys(), 922);
+    }
+
+    #[test]
+    fn probe_streams_have_exact_miss_fractions() {
+        let c = cfg(Distribution::Sparse);
+        let keys = WormKeys::prepare(&c);
+        assert_eq!(keys.probe_streams.len(), 5);
+        for (pct, stream, expected_hits) in &keys.probe_streams {
+            assert_eq!(stream.len(), 2000);
+            assert_eq!(*expected_hits, 2000 - 2000 * *pct as usize / 100);
+        }
+    }
+
+    #[test]
+    fn run_cell_counts_hits_correctly() {
+        for dist in Distribution::ALL {
+            let c = cfg(dist);
+            let keys = WormKeys::prepare(&c);
+            let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(c.capacity_bits, 1);
+            let (build, lookups) = run_cell(&mut t, &keys).unwrap();
+            assert_eq!(build.ops, 512);
+            assert_eq!(lookups.len(), 5);
+            assert_eq!(t.len(), 512, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn budgeted_chained_reports_build_failure() {
+        // 90% of a 2^10 table cannot fit chained hashing's budget: the
+        // constructor refuses, reproducing the paper's missing cells.
+        let c = WormConfig {
+            capacity_bits: 10,
+            load_factor: 0.9,
+            dist: Distribution::Sparse,
+            probes: 10,
+            seed: 1,
+        };
+        assert!(ChainedTable8::<MultShift>::with_budget(c.capacity_bits, c.n_keys(), 1).is_err());
+    }
+
+    #[test]
+    fn probes_find_inserted_values() {
+        let c = cfg(Distribution::Dense);
+        let keys = WormKeys::prepare(&c);
+        let mut t: RobinHood<MultShift> = RobinHood::with_seed(c.capacity_bits, 2);
+        run_build(&mut t, &keys.inserts).unwrap();
+        // All-successful stream: every probe is a hit with value 2k.
+        let (_, stream, expected) = &keys.probe_streams[0];
+        let (_t, hits) = run_probes(&t, stream, *expected);
+        assert_eq!(hits as usize, stream.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "hit count mismatch")]
+    fn hit_verification_catches_lost_keys() {
+        let c = cfg(Distribution::Dense);
+        let keys = WormKeys::prepare(&c);
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(c.capacity_bits, 1);
+        run_build(&mut t, &keys.inserts).unwrap();
+        t.delete(keys.inserts[0]);
+        let (_, stream, expected) = &keys.probe_streams[0];
+        let _ = run_probes(&t, stream, *expected);
+    }
+}

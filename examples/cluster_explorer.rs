@@ -1,0 +1,80 @@
+//! Cluster explorer: see *why* the figures look the way they do.
+//!
+//! ```text
+//! cargo run --release --example cluster_explorer [log2_capacity]
+//! ```
+//!
+//! Prints displacement and cluster statistics for linear probing and
+//! Robin Hood under every distribution × hash function × load factor —
+//! the structural quantities behind the paper's §5 discussion:
+//!
+//! * dense + Mult ⇒ an approximate arithmetic progression: near-zero
+//!   displacement even at 90% load (LP's best case);
+//! * sparse/grid keys ⇒ primary clustering as load grows (long maximum
+//!   clusters = slow unsuccessful lookups);
+//! * RH leaves totals unchanged but slashes variance and max — the
+//!   reason its worst case is so much better.
+
+use seven_dim_hashing::prelude::*;
+
+fn main() {
+    let bits: u8 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    println!("capacity 2^{bits}\n");
+    println!(
+        "{:<8} {:<8} {:<5} | {:>10} {:>8} {:>8} {:>10} | {:>9} {:>9}",
+        "dist", "hash", "lf%", "disp.mean", "disp.max", "var", "RH.max", "clusters", "max.clust"
+    );
+    println!("{}", "-".repeat(100));
+
+    for dist in [Distribution::Dense, Distribution::Grid, Distribution::Sparse] {
+        for hash_name in ["Mult", "Murmur"] {
+            for lf in [0.5f64, 0.7, 0.9] {
+                let n = ((1usize << bits) as f64 * lf) as usize;
+                let keys = dist.generate(n, 11);
+                let (lp_stats, rh_stats, clusters) = match hash_name {
+                    "Mult" => build::<MultShift>(bits, &keys),
+                    _ => build::<Murmur>(bits, &keys),
+                };
+                println!(
+                    "{:<8} {:<8} {:<5.0} | {:>10.2} {:>8} {:>8.1} {:>10} | {:>9} {:>9}",
+                    dist.name(),
+                    hash_name,
+                    lf * 100.0,
+                    lp_stats.0,
+                    lp_stats.1,
+                    lp_stats.2,
+                    rh_stats,
+                    clusters.0,
+                    clusters.1,
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nReading guide: dense+Mult rows keep disp.mean near 0 even at 90% — \
+         the arithmetic-progression effect (§5.2). Murmur rows look the same \
+         across distributions — it erases the input distribution. RH.max \
+         (Robin Hood's max displacement) sits far below LP's disp.max at \
+         high load, powering its early-abort lookups (§2.4)."
+    );
+}
+
+/// Build LP and RH tables over `keys`; return (LP mean/max/variance,
+/// RH max displacement, (cluster count, max cluster)).
+fn build<H: HashFamily>(bits: u8, keys: &[u64]) -> ((f64, usize, f64), usize, (usize, usize)) {
+    let mut lp: LinearProbing<H> = LinearProbing::with_seed(bits, 5);
+    let mut rh: RobinHood<H> = RobinHood::with_seed(bits, 5);
+    for &k in keys {
+        lp.insert(k, k).expect("insert lp");
+        rh.insert(k, k).expect("insert rh");
+    }
+    let ls = lp.displacement_stats();
+    let rs = rh.displacement_stats();
+    let cs = lp.cluster_stats();
+    assert_eq!(ls.total, rs.total, "RH must preserve total displacement");
+    ((ls.mean, ls.max, ls.variance), rs.max, (cs.clusters, cs.max_len))
+}

@@ -1,0 +1,79 @@
+//! Join processing with different hash tables — the paper's motivating
+//! use case (§1).
+//!
+//! ```text
+//! cargo run --release --example hash_join [n_orders] [n_lineitems]
+//! ```
+//!
+//! A PK–FK join of `orders ⋈ lineitem` (unique order keys on the build
+//! side, several line items per order probing it), executed with several
+//! build tables. The FK hit rate is deliberately < 100% (think of a
+//! filtered orders table) so the unsuccessful-lookup dimension — the one
+//! the paper shows drives the LP-vs-chained crossover — is visible.
+
+use seven_dim_hashing::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_orders: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let n_items: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
+
+    // Orders: dense primary keys 1..=n (generated keys, the paper's dense
+    // distribution); payload = customer id.
+    let orders: Vec<(u64, u64)> = (1..=n_orders as u64).map(|k| (k, k % 1000)).collect();
+    // Line items reference orders from a 25% wider key space: ~20% of
+    // probes miss (filtered build side).
+    let probe_space = (n_orders as u64 * 5) / 4;
+    let items: Vec<(u64, u64)> = (0..n_items as u64)
+        .map(|i| {
+            let fk = Murmur::fmix64(i) % probe_space + 1;
+            (fk, i)
+        })
+        .collect();
+
+    // Capacity: next power of two holding the orders at ≤ 50% load.
+    let mut bits = 1u8;
+    while (1usize << bits) < n_orders * 2 {
+        bits += 1;
+    }
+
+    println!(
+        "orders JOIN lineitem: {n_orders} build rows, {n_items} probe rows, \
+         build table 2^{bits} slots\n"
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "build table", "matches", "misses", "M probes/s", "total ms"
+    );
+
+    run(&mut LinearProbing::<MultShift>::with_seed(bits, 1), &orders, &items);
+    run(&mut RobinHood::<MultShift>::with_seed(bits, 1), &orders, &items);
+    run(&mut QuadraticProbing::<Murmur>::with_seed(bits, 1), &orders, &items);
+    run(&mut ChainedTable24::<MultShift>::with_seed(bits - 1, 1), &orders, &items);
+    run(&mut CuckooH4::<Murmur>::with_seed(bits, 1), &orders, &items);
+
+    println!(
+        "\nThe paper's Figure 2 story: LPMult and ChainedH24Mult contend for \
+         the top spot, with the probe miss rate deciding the crossover \
+         (LP favoured when most probes hit, chained as misses grow); \
+         CuckooH4's flat-but-higher probe cost trails at this load factor."
+    );
+}
+
+fn run<T: HashTable>(table: &mut T, orders: &[(u64, u64)], items: &[(u64, u64)]) {
+    let name = table.display_name();
+    let t0 = Instant::now();
+    let out = hash_join(table, orders, items).expect("join");
+    let total = t0.elapsed();
+    // Probe throughput estimate: the probe side dominates at 5 items/order.
+    let probe_mops = items.len() as f64 / total.as_secs_f64() / 1e6;
+    println!(
+        "{:<22} {:>12} {:>12} {:>12.1} {:>10.1}",
+        name,
+        out.rows.len(),
+        out.probe_misses,
+        probe_mops,
+        total.as_secs_f64() * 1e3,
+    );
+}

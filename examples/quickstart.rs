@@ -1,0 +1,93 @@
+//! Quickstart: the core API in two minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds one table of every scheme, exercises map semantics, and asks
+//! the paper's decision graph for a recommendation.
+
+use seven_dim_hashing::prelude::*;
+
+fn main() {
+    // --- 1. Every scheme shares one trait: HashTable. -------------------
+    let mut tables: Vec<Box<dyn HashTable>> = vec![
+        Box::new(LinearProbing::<MultShift>::with_seed(16, 42)),
+        Box::new(QuadraticProbing::<MultShift>::with_seed(16, 42)),
+        Box::new(RobinHood::<MultShift>::with_seed(16, 42)),
+        Box::new(CuckooH4::<MultShift>::with_seed(16, 42)),
+        Box::new(ChainedTable8::<Murmur>::with_seed(15, 42)),
+        Box::new(ChainedTable24::<Murmur>::with_seed(15, 42)),
+    ];
+
+    println!("{:<18} {:>10} {:>12} {:>10}", "table", "entries", "lookup(7)", "MB");
+    for t in tables.iter_mut() {
+        for k in 1..=40_000u64 {
+            t.insert(k, k * 10).expect("insert");
+        }
+        t.delete(13);
+        assert_eq!(t.lookup(13), None);
+        assert_eq!(t.insert(7, 777).expect("update"), InsertOutcome::Replaced(70));
+        println!(
+            "{:<18} {:>10} {:>12?} {:>10.1}",
+            t.display_name(),
+            t.len(),
+            t.lookup(7).unwrap(),
+            t.memory_bytes() as f64 / 1e6,
+        );
+    }
+
+    // --- 2. Hash functions are a separate, swappable dimension. ---------
+    let mult = MultShift::from_seed(1);
+    let murmur = Murmur::from_seed(1);
+    println!("\nmult(12345)   = {:#018x}", mult.hash(12345));
+    println!("murmur(12345) = {:#018x}", murmur.hash(12345));
+
+    // --- 3. The paper's Figure 8, as a function. -------------------------
+    let profiles = [
+        (
+            "point-lookup index, half full, all hits",
+            WorkloadProfile {
+                load_factor: 0.45,
+                successful_ratio: 1.0,
+                write_ratio: 0.05,
+                dense_keys: true,
+                mutability: Mutability::Static,
+            },
+        ),
+        (
+            "existence filter, mostly misses",
+            WorkloadProfile {
+                load_factor: 0.45,
+                successful_ratio: 0.1,
+                write_ratio: 0.0,
+                dense_keys: false,
+                mutability: Mutability::Static,
+            },
+        ),
+        (
+            "OLTP hot table, write-heavy",
+            WorkloadProfile {
+                load_factor: 0.7,
+                successful_ratio: 0.9,
+                write_ratio: 0.7,
+                dense_keys: false,
+                mutability: Mutability::Dynamic,
+            },
+        ),
+        (
+            "memory-tight build side of a join, 90% full",
+            WorkloadProfile {
+                load_factor: 0.9,
+                successful_ratio: 0.95,
+                write_ratio: 0.0,
+                dense_keys: false,
+                mutability: Mutability::Static,
+            },
+        ),
+    ];
+    println!();
+    for (desc, p) in profiles {
+        println!("{desc:<46} -> {}", recommend(&p).name());
+    }
+}

@@ -1,0 +1,84 @@
+//! # seven-dim-hashing
+//!
+//! A faithful, from-scratch Rust reproduction of
+//! *"A Seven-Dimensional Analysis of Hashing Methods and its Implications
+//! on Query Processing"* (Richter, Alvarez, Dittrich; PVLDB 9(3), 2015).
+//!
+//! The paper studies hash tables for 64-bit integer keys along seven
+//! dimensions — data distribution, load factor, dataset size, read/write
+//! ratio, un/successful lookup ratio, hashing scheme, and hash function —
+//! plus memory layout (AoS/SoA) and SIMD probing. This workspace
+//! implements every scheme and hash function in the study, the workload
+//! generators, the measurement harness that regenerates each figure, and
+//! the paper's decision graph as an executable API.
+//!
+//! ## Crate map
+//!
+//! | Module (re-export) | Crate | Contents |
+//! |---|---|---|
+//! | [`hash`] | `hashfn` | Multiply-shift, multiply-add-shift, tabulation, Murmur3 finalizer; quality statistics |
+//! | [`tables`] | `sevendim-core` | ChainedH8/H24, LP (AoS + SoA, scalar + AVX2), QP, RH, CuckooH2/3/4; growing wrapper; displacement/cluster stats; Figure 8 decision graph |
+//! | [`workload`] | `workloads` | dense/sparse/grid distributions; WORM and RW drivers |
+//! | [`measure`] | `metrics` | throughput, multi-seed statistics, figure-shaped report tables |
+//! | [`ops`] | `query` | hash join, group-by aggregation, profile-dispatched point index |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use seven_dim_hashing::prelude::*;
+//!
+//! // A Robin Hood table with multiply-shift hashing: 2^10 slots.
+//! let mut table: RobinHood<MultShift> = RobinHood::with_seed(10, 42);
+//! table.insert(17, 1700).unwrap();
+//! assert_eq!(table.lookup(17), Some(1700));
+//! assert_eq!(table.lookup(18), None);
+//!
+//! // Ask the paper's decision graph what to use for a write-heavy index:
+//! let profile = WorkloadProfile {
+//!     load_factor: 0.7,
+//!     successful_ratio: 0.9,
+//!     write_ratio: 0.8,
+//!     dense_keys: false,
+//!     mutability: Mutability::Dynamic,
+//! };
+//! assert_eq!(recommend(&profile), TableChoice::QPMult);
+//! ```
+
+pub use hashfn as hash;
+pub use metrics as measure;
+pub use query as ops;
+pub use sevendim_core as tables;
+pub use workloads as workload;
+
+/// The names you need for day-to-day use: every table, every hash
+/// function, the workload types, and the decision graph.
+pub mod prelude {
+    pub use hashfn::{
+        HashFamily, HashFn64, MultAddShift, MultAddShift64, MultShift, Murmur, Tabulation,
+    };
+    pub use metrics::{ReportTable, SeedStats, Series, Throughput};
+    pub use query::{group_aggregate, group_average, hash_join, AggFn, PointIndex};
+    pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
+    pub use sevendim_core::{
+        decision::Mutability, recommend, ChainedTable24, ChainedTable8, Cuckoo, DynamicTable,
+        HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing, RobinHood,
+        TableChoice, TableError, WorkloadProfile,
+    };
+    pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_links_all_crates() {
+        let mut t: LinearProbing<Murmur> = LinearProbing::with_seed(8, 1);
+        t.insert(1, 2).unwrap();
+        assert_eq!(t.lookup(1), Some(2));
+        let keys = Distribution::Dense.generate(10, 1);
+        assert_eq!(keys.len(), 10);
+        let tp = Throughput { ops: 1_000_000, nanos: 1_000_000_000 };
+        assert!((tp.m_ops_per_sec() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based invariant tests (proptest) across the workspace.
+//!
+//! Complements the seeded differential suites with *shrinkable* random
+//! inputs: when one of these fails, proptest minimizes the operation
+//! sequence, which is worth a day of debugging. Covered invariants:
+//!
+//! * map conformance of each scheme against `HashMap` under arbitrary
+//!   operation sequences (including reserved-key probes);
+//! * the Robin Hood cluster ordering invariant under churn;
+//! * scalar/SIMD scan-kernel equivalence on arbitrary slot arrays;
+//! * algebraic identities of the hash-function families;
+//! * order and digit-range properties of the grid key generator.
+
+use proptest::prelude::*;
+use seven_dim_hashing::prelude::*;
+use seven_dim_hashing::tables::simd::{scan_keys, scan_keys_scalar, scan_pairs, ProbeKind};
+use seven_dim_hashing::tables::{Pair, EMPTY_KEY, TOMBSTONE_KEY};
+use std::collections::HashMap;
+
+/// A randomized table operation over a small key universe (forces
+/// collisions, duplicate inserts, deletes of absent keys).
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Lookup(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = 1u64..60;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v >> 1)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Lookup),
+    ]
+}
+
+fn run_conformance<T: HashTable>(
+    mut table: T,
+    ops: &[Op],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                // Universe (≤60 keys) always fits the 2^8 tables.
+                let expect = match model.insert(k, v) {
+                    None => InsertOutcome::Inserted,
+                    Some(old) => InsertOutcome::Replaced(old),
+                };
+                prop_assert_eq!(table.insert(k, v), Ok(expect));
+            }
+            Op::Delete(k) => {
+                prop_assert_eq!(table.delete(k), model.remove(&k));
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(table.lookup(k), model.get(&k).copied());
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+    Ok(())
+}
+
+// The closure bodies return Result via prop_assert!; wrap per scheme.
+macro_rules! conformance_prop {
+    ($name:ident, $ctor:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+                run_conformance($ctor, &ops)?;
+            }
+        }
+    };
+}
+
+conformance_prop!(lp_conforms, LinearProbing::<MultShift>::with_seed(8, 1));
+conformance_prop!(lp_simd_conforms, LinearProbing::<Murmur>::with_seed_simd(8, 2));
+conformance_prop!(lp_soa_conforms, LinearProbingSoA::<Murmur>::with_seed(8, 3));
+conformance_prop!(lp_soa_simd_conforms, LinearProbingSoA::<MultShift>::with_seed_simd(8, 4));
+conformance_prop!(qp_conforms, QuadraticProbing::<Murmur>::with_seed(8, 5));
+conformance_prop!(rh_conforms, RobinHood::<MultShift>::with_seed(8, 6));
+conformance_prop!(cuckoo4_conforms, CuckooH4::<Murmur>::with_seed(8, 7));
+conformance_prop!(cuckoo2_conforms, CuckooH2::<Murmur>::with_seed(8, 8));
+conformance_prop!(chained8_conforms, ChainedTable8::<Murmur>::with_seed(6, 9));
+conformance_prop!(chained24_conforms, ChainedTable24::<MultShift>::with_seed(6, 10));
+
+// A deliberately awful hash function: maps everything to a handful of
+// buckets. Conformance must hold regardless of hash quality.
+#[derive(Clone)]
+struct AwfulHash;
+impl HashFn64 for AwfulHash {
+    fn hash(&self, key: u64) -> u64 {
+        (key % 3) << 62
+    }
+    fn name() -> &'static str {
+        "Awful"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #[test]
+    fn lp_conforms_under_awful_hashing(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        run_conformance(LinearProbing::with_hash(8, AwfulHash), &ops)?;
+    }
+
+    #[test]
+    fn qp_conforms_under_awful_hashing(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        run_conformance(QuadraticProbing::with_hash(8, AwfulHash), &ops)?;
+    }
+
+    #[test]
+    fn rh_invariant_under_churn(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let mut t = RobinHood::<Murmur>::with_seed(8, 11);
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => { t.insert(k, v).unwrap(); }
+                Op::Delete(k) => { t.delete(k); }
+                Op::Lookup(k) => { t.lookup(k); }
+            }
+        }
+        prop_assert!(t.check_invariant().is_ok(), "{:?}", t.check_invariant());
+    }
+
+    #[test]
+    fn rh_invariant_under_awful_hashing(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut t = RobinHood::with_hash(8, AwfulHash);
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => { t.insert(k, v).unwrap(); }
+                Op::Delete(k) => { t.delete(k); }
+                Op::Lookup(k) => { t.lookup(k); }
+            }
+        }
+        prop_assert!(t.check_invariant().is_ok());
+    }
+}
+
+/// Slot-array strategy mixing live keys, empties, and tombstones.
+fn slots_strategy() -> impl Strategy<Value = Vec<u64>> {
+    let slot = prop_oneof![
+        3 => (1u64..40),
+        2 => Just(EMPTY_KEY),
+        1 => Just(TOMBSTONE_KEY),
+    ];
+    prop_oneof![
+        proptest::collection::vec(slot.clone(), 4..=4),
+        proptest::collection::vec(slot.clone(), 16..=16),
+        proptest::collection::vec(slot.clone(), 64..=64),
+        proptest::collection::vec(slot, 128..=128),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #[test]
+    fn simd_scan_equals_scalar_scan(
+        keys in slots_strategy(),
+        start_frac in 0usize..128,
+        target in 1u64..40,
+    ) {
+        let start = start_frac % keys.len();
+        let expect = scan_keys_scalar(&keys, start, target);
+        prop_assert_eq!(scan_keys(&keys, start, target, ProbeKind::Simd), expect);
+        let pairs: Vec<Pair> =
+            keys.iter().map(|&k| Pair { key: k, value: k ^ 0xF0F0 }).collect();
+        prop_assert_eq!(scan_pairs(&pairs, start, target, ProbeKind::Simd), expect);
+        prop_assert_eq!(scan_pairs(&pairs, start, target, ProbeKind::Scalar), expect);
+    }
+
+    #[test]
+    fn multadd_native_equals_emulated(a in any::<u128>(), b in any::<u128>(), x in any::<u64>()) {
+        prop_assert_eq!(
+            MultAddShift::new(a, b).hash(x),
+            MultAddShift64::new(a, b).hash(x)
+        );
+    }
+
+    #[test]
+    fn murmur_finalizer_is_bijective(x in any::<u64>()) {
+        prop_assert_eq!(Murmur::fmix64_inverse(Murmur::fmix64(x)), x);
+        prop_assert_eq!(Murmur::fmix64(Murmur::fmix64_inverse(x)), x);
+    }
+
+    #[test]
+    fn multshift_is_linear_in_key_difference(z in any::<u64>(), x in any::<u64>(), d in any::<u64>()) {
+        // h_z(x + d) - h_z(x) ≡ z·d (mod 2^64): the structure behind the
+        // dense-distribution arithmetic progression.
+        let h = MultShift::new(z);
+        prop_assert_eq!(
+            h.hash(x.wrapping_add(d)).wrapping_sub(h.hash(x)),
+            h.multiplier().wrapping_mul(d)
+        );
+    }
+
+    #[test]
+    fn grid_keys_strictly_monotonic(i in 0u64..1_000_000, j in 0u64..1_000_000) {
+        prop_assume!(i != j);
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        prop_assert!(workloads::grid_key(lo) < workloads::grid_key(hi));
+    }
+
+    #[test]
+    fn grid_key_bytes_in_range(i in 0u64..1_475_789_056) {
+        let k = workloads::grid_key(i);
+        for b in k.to_le_bytes() {
+            prop_assert!((1..=14).contains(&b));
+        }
+    }
+
+    #[test]
+    fn fold_to_bits_is_monotone_partition(h1 in any::<u64>(), h2 in any::<u64>(), bits in 1u8..=32) {
+        // Bucket assignment by top bits preserves order: a smaller hash
+        // never lands in a larger bucket.
+        let (lo, hi) = if h1 < h2 { (h1, h2) } else { (h2, h1) };
+        prop_assert!(hashfn::fold_to_bits(lo, bits) <= hashfn::fold_to_bits(hi, bits));
+    }
+}
