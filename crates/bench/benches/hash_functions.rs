@@ -10,8 +10,8 @@
 use criterion::measurement::WallTime;
 use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
 use hashfn::{
-    CityMix, Crc, Djb2, Fnv1a, HashFamily, MultAddShift, MultAddShift32, MultAddShift64,
-    MultShift, Murmur, Tabulation,
+    CityMix, Crc, Djb2, Fnv1a, HashFamily, MultAddShift, MultAddShift32, MultAddShift64, MultShift,
+    Murmur, Tabulation,
 };
 use std::hint::black_box;
 use std::time::Duration;

@@ -63,19 +63,9 @@ fn probe_schemes(c: &mut Criterion) {
         group.warm_up_time(Duration::from_millis(200));
         group.sample_size(20);
         bench_scheme(&mut group, "LPMult", LinearProbing::<MultShift>::with_seed(BITS, 1), &mat);
-        bench_scheme(
-            &mut group,
-            "QPMult",
-            QuadraticProbing::<MultShift>::with_seed(BITS, 1),
-            &mat,
-        );
+        bench_scheme(&mut group, "QPMult", QuadraticProbing::<MultShift>::with_seed(BITS, 1), &mat);
         bench_scheme(&mut group, "RHMult", RobinHood::<MultShift>::with_seed(BITS, 1), &mat);
-        bench_scheme(
-            &mut group,
-            "CuckooH4Mult",
-            Cuckoo::<MultShift, 4>::with_seed(BITS, 1),
-            &mat,
-        );
+        bench_scheme(&mut group, "CuckooH4Mult", Cuckoo::<MultShift, 4>::with_seed(BITS, 1), &mat);
         if load <= 0.5 {
             // Chained participates where its budget would allow (cf. §4.5).
             bench_scheme(

@@ -32,10 +32,22 @@ fn main() {
     );
 
     fn h8<A: EntryAllocator>(bits: u8, alloc: A) -> ChainedTable8<MultShift, A> {
-        ChainedTable8::new(bits - 1, MultShift::from_seed(1), alloc, MemoryBudget::unlimited(), None)
+        ChainedTable8::new(
+            bits - 1,
+            MultShift::from_seed(1),
+            alloc,
+            MemoryBudget::unlimited(),
+            None,
+        )
     }
     fn h24<A: EntryAllocator>(bits: u8, alloc: A) -> ChainedTable24<MultShift, A> {
-        ChainedTable24::new(bits - 1, MultShift::from_seed(1), alloc, MemoryBudget::unlimited(), None)
+        ChainedTable24::new(
+            bits - 1,
+            MultShift::from_seed(1),
+            alloc,
+            MemoryBudget::unlimited(),
+            None,
+        )
     }
 
     // Slab allocators are pre-sized: "bulk-allocate many (or up to all)
@@ -64,11 +76,7 @@ struct Out {
     bytes: usize,
 }
 
-fn run<A: EntryAllocator>(
-    mut table: impl ChainedOps<A>,
-    inserts: &[u64],
-    fresh: &[u64],
-) -> Out {
+fn run<A: EntryAllocator>(mut table: impl ChainedOps<A>, inserts: &[u64], fresh: &[u64]) -> Out {
     let build = Throughput::measure(inserts.len() as u64, || {
         for &k in inserts {
             table.ins(k);

@@ -49,10 +49,8 @@ fn main() {
                         dist,
                         probes: args.probe_count(),
                         seed: 0,
-                        };
-                    worm_cell(scheme, h, &cfg, &seeds[..1])
-                        .memory_bytes
-                        .map(bytes_to_mb)
+                    };
+                    worm_cell(scheme, h, &cfg, &seeds[..1]).memory_bytes.map(bytes_to_mb)
                 })
                 .collect();
             panel.push(Series::new(scheme.label(h), values));

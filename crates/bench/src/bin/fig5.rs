@@ -35,8 +35,7 @@ fn main() {
     );
 
     for &threshold in &THRESHOLDS {
-        let ticks: Vec<String> =
-            RwConfig::UPDATE_PCTS.iter().map(|p| p.to_string()).collect();
+        let ticks: Vec<String> = RwConfig::UPDATE_PCTS.iter().map(|p| p.to_string()).collect();
         let mut perf = ReportTable::new(
             format!("Fig 5 — growing at {:.0}% load factor — throughput", threshold * 100.0),
             "update %",

@@ -28,10 +28,7 @@ fn main() {
     let bits = args.log2_capacity.unwrap_or(medium);
     let seeds = args.seed_list();
     println!("Figure 8 — decision-graph validation at capacity 2^{bits}\n");
-    println!(
-        "{:<44} {:<16} {:<22} {}",
-        "profile", "recommended", "measured best", "verdict"
-    );
+    println!("{:<44} {:<16} {:<22} verdict", "profile", "recommended", "measured best");
     println!("{}", "-".repeat(100));
 
     let mut agree = 0usize;
@@ -123,10 +120,8 @@ fn tally(
     total: &mut usize,
 ) {
     *total += 1;
-    let best = scores
-        .iter()
-        .filter_map(|&(c, v)| v.map(|v| (c, v)))
-        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let best =
+        scores.iter().filter_map(|&(c, v)| v.map(|v| (c, v))).max_by(|a, b| a.1.total_cmp(&b.1));
     let rec_score = scores.iter().find(|(c, _)| *c == rec).and_then(|&(_, v)| v);
     let (verdict, best_str) = match (best, rec_score) {
         (Some((bc, bv)), Some(rv)) => {
@@ -134,10 +129,7 @@ fn tally(
             if ok {
                 *agree += 1;
             }
-            (
-                if ok { "OK" } else { "MISS" },
-                format!("{} ({bv:.1} M/s; rec {rv:.1})", bc.name()),
-            )
+            (if ok { "OK" } else { "MISS" }, format!("{} ({bv:.1} M/s; rec {rv:.1})", bc.name()))
         }
         (Some((bc, bv)), None) => ("MISS(rec absent)", format!("{} ({bv:.1} M/s)", bc.name())),
         _ => ("no data", "-".to_string()),

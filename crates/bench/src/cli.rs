@@ -140,9 +140,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Args {
     let mut it = argv.into_iter();
     let _bin = it.next();
     while let Some(flag) = it.next() {
-        let mut value_for = |flag: &str| {
-            it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
-        };
+        let mut value_for =
+            |flag: &str| it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
         match flag.as_str() {
             "--scale" => {
                 let v = value_for("--scale");

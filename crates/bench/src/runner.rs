@@ -108,8 +108,7 @@ pub fn worm_cell_with<T: HashTable>(
             Ok((build, per_pct)) => {
                 insert.push(build.m_ops_per_sec());
                 if lookups.is_empty() {
-                    lookups =
-                        per_pct.iter().map(|(pct, _)| (*pct, SeedStats::new())).collect();
+                    lookups = per_pct.iter().map(|(pct, _)| (*pct, SeedStats::new())).collect();
                 }
                 for ((_, stats), (_, t)) in lookups.iter_mut().zip(per_pct.iter()) {
                     stats.push(t.m_ops_per_sec());
@@ -238,28 +237,18 @@ pub fn rw_cell(
     cfg: RwConfig,
 ) -> Result<RwCellOut, TableError> {
     match (scheme, h) {
-        (Scheme::LP, HashId::Mult) => {
-            rw_typed(LpFactory::<MultShift>::new(), grow_threshold, cfg)
-        }
+        (Scheme::LP, HashId::Mult) => rw_typed(LpFactory::<MultShift>::new(), grow_threshold, cfg),
         (Scheme::LP, HashId::Murmur) => rw_typed(LpFactory::<Murmur>::new(), grow_threshold, cfg),
-        (Scheme::QP, HashId::Mult) => {
-            rw_typed(QpFactory::<MultShift>::new(), grow_threshold, cfg)
-        }
+        (Scheme::QP, HashId::Mult) => rw_typed(QpFactory::<MultShift>::new(), grow_threshold, cfg),
         (Scheme::QP, HashId::Murmur) => rw_typed(QpFactory::<Murmur>::new(), grow_threshold, cfg),
-        (Scheme::RH, HashId::Mult) => {
-            rw_typed(RhFactory::<MultShift>::new(), grow_threshold, cfg)
-        }
+        (Scheme::RH, HashId::Mult) => rw_typed(RhFactory::<MultShift>::new(), grow_threshold, cfg),
         (Scheme::RH, HashId::Murmur) => rw_typed(RhFactory::<Murmur>::new(), grow_threshold, cfg),
-        (Scheme::Cuckoo4, HashId::Mult) => rw_typed(
-            sevendim_core::CuckooFactory::<MultShift, 4>::new(),
-            grow_threshold,
-            cfg,
-        ),
-        (Scheme::Cuckoo4, HashId::Murmur) => rw_typed(
-            sevendim_core::CuckooFactory::<Murmur, 4>::new(),
-            grow_threshold,
-            cfg,
-        ),
+        (Scheme::Cuckoo4, HashId::Mult) => {
+            rw_typed(sevendim_core::CuckooFactory::<MultShift, 4>::new(), grow_threshold, cfg)
+        }
+        (Scheme::Cuckoo4, HashId::Murmur) => {
+            rw_typed(sevendim_core::CuckooFactory::<Murmur, 4>::new(), grow_threshold, cfg)
+        }
         (Scheme::Chained24, HashId::Mult) => {
             rw_typed(Chained24Factory::<MultShift>::new(), grow_threshold, cfg)
         }
@@ -316,11 +305,7 @@ mod tests {
         ] {
             for h in [HashId::Mult, HashId::Murmur] {
                 let out = worm_cell(scheme, h, &tiny_cfg(), &[3]);
-                assert!(
-                    out.insert_mops.is_some(),
-                    "{} failed at 50% load",
-                    scheme.label(h)
-                );
+                assert!(out.insert_mops.is_some(), "{} failed at 50% load", scheme.label(h));
             }
         }
     }

@@ -20,9 +20,7 @@
 //! [`TableError::MemoryBudgetExceeded`].
 
 use crate::budget::{chained24_directory_bits, chained8_directory_bits, CHAIN_ENTRY_BYTES};
-use crate::{
-    is_reserved_key, HashTable, InsertOutcome, MemoryBudget, TableError, EMPTY_KEY,
-};
+use crate::{is_reserved_key, HashTable, InsertOutcome, MemoryBudget, TableError, EMPTY_KEY};
 use hashfn::{fold_to_bits, HashFamily, HashFn64};
 use slab_alloc::{Entry, EntryAllocator, EntryRef, SlabAllocator};
 
@@ -41,7 +39,13 @@ impl<H: HashFamily> ChainedTable8<H, SlabAllocator> {
     /// Unbudgeted table with a `2^dir_bits`-slot directory and a slab
     /// allocator; hash function drawn from `seed`.
     pub fn with_seed(dir_bits: u8, seed: u64) -> Self {
-        Self::new(dir_bits, H::from_seed(seed), SlabAllocator::new(), MemoryBudget::unlimited(), None)
+        Self::new(
+            dir_bits,
+            H::from_seed(seed),
+            SlabAllocator::new(),
+            MemoryBudget::unlimited(),
+            None,
+        )
     }
 
     /// Budgeted table standing in for open addressing with `2^oa_bits`
@@ -238,7 +242,13 @@ impl<H: HashFamily> ChainedTable24<H, SlabAllocator> {
     /// Unbudgeted table with a `2^dir_bits`-slot directory and a slab
     /// allocator; hash function drawn from `seed`.
     pub fn with_seed(dir_bits: u8, seed: u64) -> Self {
-        Self::new(dir_bits, H::from_seed(seed), SlabAllocator::new(), MemoryBudget::unlimited(), None)
+        Self::new(
+            dir_bits,
+            H::from_seed(seed),
+            SlabAllocator::new(),
+            MemoryBudget::unlimited(),
+            None,
+        )
     }
 
     /// Budgeted table standing in for open addressing with `2^oa_bits`
@@ -640,10 +650,7 @@ mod tests {
         for k in 1..=100u64 {
             t24.insert(k, k).unwrap();
         }
-        assert_eq!(
-            t24.memory_bytes(),
-            1024 * 24 + t24.chained_entries() * 24
-        );
+        assert_eq!(t24.memory_bytes(), 1024 * 24 + t24.chained_entries() * 24);
     }
 
     #[test]

@@ -16,9 +16,7 @@
 //! four ≈ 97% (Fotakis et al.), and the paper needs load factors up to
 //! 90%. The `K = 2, 3` variants back the threshold ablation.
 
-use crate::{
-    check_capacity_bits, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
-};
+use crate::{check_capacity_bits, is_reserved_key, HashTable, InsertOutcome, Pair, TableError};
 use hashfn::HashFamily;
 use rand::{rngs::StdRng, SeedableRng};
 

@@ -144,11 +144,7 @@ pub fn recommend(p: &WorkloadProfile) -> TableChoice {
         if p.load_factor <= 0.5 {
             return TableChoice::ChainedH24Mult;
         }
-        return if p.load_factor >= 0.8 {
-            TableChoice::CuckooH4Mult
-        } else {
-            TableChoice::RHMult
-        };
+        return if p.load_factor >= 0.8 { TableChoice::CuckooH4Mult } else { TableChoice::RHMult };
     }
 
     // Successful-heavy static reads: RH is the all-rounder; at very high

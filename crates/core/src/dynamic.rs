@@ -245,7 +245,7 @@ impl<F: TableFactory> DynamicTable<F> {
             for &(k, v) in &entries {
                 if bigger.insert(k, v).is_err() {
                     attempt += 1;
-                    if attempt % 3 == 0 {
+                    if attempt.is_multiple_of(3) {
                         bits += 1;
                     }
                     continue 'outer;

@@ -230,7 +230,7 @@ pub fn home_slot<H: HashFn64>(h: &H, key: u64, bits: u8) -> usize {
 /// is 2^30.
 #[inline]
 pub(crate) fn check_capacity_bits(bits: u8) -> usize {
-    assert!(bits >= 1 && bits <= 32, "capacity bits must be in 1..=32, got {bits}");
+    assert!((1..=32).contains(&bits), "capacity bits must be in 1..=32, got {bits}");
     1usize << bits
 }
 

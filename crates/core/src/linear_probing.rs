@@ -160,21 +160,36 @@ impl<H: HashFn64> LinearProbing<H> {
             }
             // Scan exhausted the whole table (unreachable while the
             // one-empty-slot invariant holds, kept defensively).
-            Err(usize::MAX) => Err(TableError::TableFull),
+            Err(usize::MAX) => self.reclaim_or_full(key, value),
             Err(pos) => {
                 if self.slots[pos].is_tombstone() {
                     self.tombstones -= 1;
                 } else if self.len + self.tombstones >= self.mask {
                     // Filling the last empty slot would leave no probe
                     // terminator; keep one slot free, as open-addressing
-                    // tables must.
-                    return Err(TableError::TableFull);
+                    // tables must. Tombstones elsewhere in the table are
+                    // reclaimable capacity, though: rehash them away and
+                    // retry before declaring the table full.
+                    return self.reclaim_or_full(key, value);
                 }
                 self.slots[pos] = Pair { key, value };
                 self.len += 1;
                 Ok(InsertOutcome::Inserted)
             }
         }
+    }
+
+    /// Blocked-insert remedy: if tombstones exist they are the reason the
+    /// probe found no usable slot — drop them all via
+    /// [`LinearProbing::rehash_in_place`] and retry (at most once, since
+    /// the rebuilt table is tombstone-free). Only a table genuinely full
+    /// of live keys reports [`TableError::TableFull`].
+    fn reclaim_or_full(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if self.tombstones == 0 {
+            return Err(TableError::TableFull);
+        }
+        self.rehash_in_place();
+        self.insert_slow(key, value)
     }
 
     /// Probe for `key`: returns `Ok(slot)` if found, or `Err(first_free)`
@@ -414,7 +429,7 @@ mod tests {
         let base = 0x1000_0000_0000_0000u64; // home slot 1
         t.insert(base, 1).unwrap(); // slot 1
         t.insert(base + 1, 2).unwrap(); // slot 2
-        // Deleting the tail entry: next slot (3) is empty → no tombstone.
+                                        // Deleting the tail entry: next slot (3) is empty → no tombstone.
         t.delete(base + 1);
         assert_eq!(t.tombstone_count(), 0);
         assert!(t.raw_slots()[2].is_empty());

@@ -90,6 +90,35 @@ impl<H: HashFn64> LinearProbingSoA<H> {
         &self.keys
     }
 
+    /// Rebuild the table in place (same capacity, same hash function),
+    /// dropping all tombstones — the SoA twin of
+    /// [`LinearProbing::rehash_in_place`](crate::LinearProbing::rehash_in_place).
+    pub fn rehash_in_place(&mut self) {
+        let cap = self.mask + 1;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; cap].into_boxed_slice());
+        let old_values = std::mem::replace(&mut self.values, vec![0; cap].into_boxed_slice());
+        self.len = 0;
+        self.tombstones = 0;
+        for (i, &k) in old_keys.iter().enumerate() {
+            if !is_reserved_key(k) {
+                // Distinct keys into an equally-sized empty table: cannot
+                // fail or replace.
+                let _ = self.insert(k, old_values[i]);
+            }
+        }
+    }
+
+    /// Blocked-insert remedy shared with the AoS variant: reclaim
+    /// tombstones by rehashing, then retry (at most once) before
+    /// reporting a full table.
+    fn reclaim_or_full(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if self.tombstones == 0 {
+            return Err(TableError::TableFull);
+        }
+        self.rehash_in_place();
+        self.insert(key, value)
+    }
+
     #[inline(always)]
     fn home(&self, key: u64) -> usize {
         home_slot(&self.hash, key, self.bits)
@@ -146,13 +175,15 @@ impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
                 let old = std::mem::replace(&mut self.values[pos], value);
                 Ok(InsertOutcome::Replaced(old))
             }
-            Err(usize::MAX) => Err(TableError::TableFull),
+            Err(usize::MAX) => self.reclaim_or_full(key, value),
             Err(pos) => {
                 if self.keys[pos] == TOMBSTONE_KEY {
                     self.tombstones -= 1;
                 } else if self.len + self.tombstones >= self.mask {
-                    // Keep one empty slot as the probe terminator.
-                    return Err(TableError::TableFull);
+                    // Keep one empty slot as the probe terminator; but
+                    // tombstones are reclaimable capacity, so rehash them
+                    // away and retry before declaring the table full.
+                    return self.reclaim_or_full(key, value);
                 }
                 self.keys[pos] = key;
                 self.values[pos] = value;

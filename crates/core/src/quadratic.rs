@@ -91,6 +91,17 @@ impl<H: HashFn64> QuadraticProbing<H> {
         }
     }
 
+    /// Blocked-insert remedy shared with LP: tombstones are reclaimable
+    /// capacity, so rehash them away and retry (at most once — the
+    /// rebuilt table is tombstone-free) before reporting a full table.
+    fn reclaim_or_full(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if self.tombstones == 0 {
+            return Err(TableError::TableFull);
+        }
+        self.rehash_in_place();
+        self.insert(key, value)
+    }
+
     /// Probe for `key` along the triangular sequence: `Ok(slot)` if found,
     /// `Err(insert_slot)` otherwise (first tombstone if any, else the
     /// terminating empty slot; `usize::MAX` if the full sequence found
@@ -128,13 +139,15 @@ impl<H: HashFn64> HashTable for QuadraticProbing<H> {
                 let old = std::mem::replace(&mut self.slots[pos].value, value);
                 Ok(InsertOutcome::Replaced(old))
             }
-            Err(usize::MAX) => Err(TableError::TableFull),
+            Err(usize::MAX) => self.reclaim_or_full(key, value),
             Err(pos) => {
                 if self.slots[pos].is_tombstone() {
                     self.tombstones -= 1;
                 } else if self.len + self.tombstones >= self.mask {
-                    // Keep one empty slot as the probe terminator.
-                    return Err(TableError::TableFull);
+                    // Keep one empty slot as the probe terminator; but
+                    // tombstones are reclaimable capacity, so rehash them
+                    // away and retry before declaring the table full.
+                    return self.reclaim_or_full(key, value);
                 }
                 self.slots[pos] = Pair { key, value };
                 self.len += 1;

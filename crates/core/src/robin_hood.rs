@@ -117,9 +117,7 @@ impl<H: HashFn64> RobinHood<H> {
                     ));
                 }
             } else if d_pos != 0 {
-                return Err(format!(
-                    "cluster head at slot {pos} has nonzero displacement {d_pos}"
-                ));
+                return Err(format!("cluster head at slot {pos} has nonzero displacement {d_pos}"));
             }
         }
         Ok(())
@@ -570,11 +568,6 @@ mod tests {
             t.insert(k, k).unwrap();
         }
         let stats = t.displacement_stats();
-        assert!(
-            t.dmax() as f64 >= 3.0 * stats.mean,
-            "dmax {} vs mean {}",
-            t.dmax(),
-            stats.mean
-        );
+        assert!(t.dmax() as f64 >= 3.0 * stats.mean, "dmax {} vs mean {}", t.dmax(), stats.mean);
     }
 }

@@ -149,15 +149,12 @@ mod avx2 {
         let mut i = from;
         while i + 4 <= to {
             let lanes = _mm256_loadu_si256(base.add(i) as *const __m256i);
-            let m_key = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
-                lanes, v_target,
-            ))) as u32;
-            let m_empty = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
-                lanes, v_empty,
-            ))) as u32;
-            let m_tomb = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
-                lanes, v_tomb,
-            ))) as u32;
+            let m_key =
+                _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, v_target))) as u32;
+            let m_empty =
+                _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, v_empty))) as u32;
+            let m_tomb =
+                _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, v_tomb))) as u32;
             let stop = m_key | m_empty;
             if stop != 0 {
                 let lane = stop.trailing_zeros() as usize;
@@ -226,15 +223,12 @@ mod avx2 {
             // Gather four keys from slots[i..i+4] ("gather-scatter vector
             // addressing", §7 — the expensive part of AoS SIMD).
             let lanes = _mm256_i64gather_epi64::<8>(base, idx);
-            let m_key = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
-                lanes, v_target,
-            ))) as u32;
-            let m_empty = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
-                lanes, v_empty,
-            ))) as u32;
-            let m_tomb = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(
-                lanes, v_tomb,
-            ))) as u32;
+            let m_key =
+                _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, v_target))) as u32;
+            let m_empty =
+                _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, v_empty))) as u32;
+            let m_tomb =
+                _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(lanes, v_tomb))) as u32;
             let stop = m_key | m_empty;
             if stop != 0 {
                 let lane = stop.trailing_zeros() as usize;

@@ -258,7 +258,7 @@ mod tests {
         // Keys at offsets 0, 1, 3, 6 → displacements 0, 1, 2, 3 steps.
         let s = t.displacement_stats();
         assert_eq!(s.entries, 4);
-        assert_eq!(s.total, 0 + 1 + 2 + 3);
+        assert_eq!(s.total, 1 + 2 + 3);
         assert_eq!(s.max, 3);
     }
 

@@ -103,11 +103,7 @@ pub fn check_against_model<T: HashTable>(t: &mut T, ops: usize, seed: u64) {
             }
             // 30% lookups
             _ => {
-                assert_eq!(
-                    t.lookup(key),
-                    model.get(&key).copied(),
-                    "step {step} lookup {key}"
-                );
+                assert_eq!(t.lookup(key), model.get(&key).copied(), "step {step} lookup {key}");
             }
         }
         assert_eq!(t.len(), model.len(), "step {step} len");

@@ -255,7 +255,7 @@ mod tests {
         assert_eq!(Fnv1a::raw(0), {
             let mut h = FNV_OFFSET;
             for _ in 0..8 {
-                h = (h ^ 0).wrapping_mul(FNV_PRIME);
+                h = h.wrapping_mul(FNV_PRIME);
             }
             h
         });
@@ -274,9 +274,8 @@ mod tests {
 
     #[test]
     fn crc_hardware_matches_software() {
-        for (i, data) in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x0123_4567_89AB_CDEF]
-            .into_iter()
-            .enumerate()
+        for (i, data) in
+            [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x0123_4567_89AB_CDEF].into_iter().enumerate()
         {
             let sw = Crc::crc32c_sw(0, data);
             let any = Crc::crc32c(0, data);
@@ -309,8 +308,7 @@ mod tests {
         let d1 = h.hash(0x1234) ^ h.hash(0x1234 ^ (1 << 7));
         let d2 = h.hash(0xABCD_EF00) ^ h.hash(0xABCD_EF00 ^ (1 << 7));
         assert_eq!(d1, d2, "flip pattern must be key-independent");
-        let samples: Vec<u64> =
-            (0..128u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+        let samples: Vec<u64> = (0..128u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
         let bias = crate::quality::avalanche_bias(&h, &samples);
         assert!(bias > 0.4, "linear function must show extreme bias, got {bias}");
     }

@@ -97,12 +97,7 @@ impl MultAddShift64 {
     /// Create from the same 128-bit parameters as [`MultAddShift`].
     #[inline]
     pub fn new(a: u128, b: u128) -> Self {
-        Self {
-            a_lo: a as u64,
-            a_hi: (a >> 64) as u64,
-            b_lo: b as u64,
-            b_hi: (b >> 64) as u64,
-        }
+        Self { a_lo: a as u64, a_hi: (a >> 64) as u64, b_lo: b as u64, b_hi: (b >> 64) as u64 }
     }
 
     /// 64×64→128 multiplication from four 32-bit partial products,
@@ -247,9 +242,7 @@ mod tests {
     fn multadd32_matches_definition_on_32bit_keys() {
         let h = MultAddShift32::new(0xDEAD_BEEF_1234_5677, 0x0F0F_F0F0_1234_5678);
         for x in [0u64, 1, 77, u32::MAX as u64] {
-            let expect = x
-                .wrapping_mul(0xDEAD_BEEF_1234_5677)
-                .wrapping_add(0x0F0F_F0F0_1234_5678);
+            let expect = x.wrapping_mul(0xDEAD_BEEF_1234_5677).wrapping_add(0x0F0F_F0F0_1234_5678);
             assert_eq!(h.hash(x), expect);
         }
     }
@@ -263,11 +256,7 @@ mod tests {
         let h = MultAddShift32::sample(&mut rng);
         let keys: Vec<u64> = (1..=(1u64 << 15)).collect();
         let stats = bucket_stats(&h, &keys, 10);
-        assert!(
-            (0.5..1.5).contains(&stats.collision_ratio()),
-            "ratio {}",
-            stats.collision_ratio()
-        );
+        assert!((0.5..1.5).contains(&stats.collision_ratio()), "ratio {}", stats.collision_ratio());
     }
 
     #[test]

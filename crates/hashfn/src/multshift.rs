@@ -94,10 +94,7 @@ mod tests {
         // consecutive keys differ by exactly z (mod 2^64).
         let h = MultShift::new(0x9E37_79B9_7F4A_7C15);
         for k in 1u64..1000 {
-            assert_eq!(
-                h.hash(k + 1).wrapping_sub(h.hash(k)),
-                h.multiplier()
-            );
+            assert_eq!(h.hash(k + 1).wrapping_sub(h.hash(k)), h.multiplier());
         }
     }
 

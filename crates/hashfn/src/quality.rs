@@ -41,7 +41,11 @@ impl BucketStats {
     pub fn collision_ratio(&self) -> f64 {
         let e = self.expected_pairwise_collisions();
         if e == 0.0 {
-            if self.pairwise_collisions == 0 { 1.0 } else { f64::INFINITY }
+            if self.pairwise_collisions == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.pairwise_collisions as f64 / e
         }
@@ -98,12 +102,12 @@ pub fn avalanche_bias<H: HashFn64>(h: &H, samples: &[u64]) -> f64 {
     let mut flip_counts = [[0u32; 64]; 64];
     for &x in samples {
         let base = h.hash(x);
-        for in_bit in 0..64 {
+        for (in_bit, row) in flip_counts.iter_mut().enumerate() {
             let flipped = h.hash(x ^ (1u64 << in_bit));
             let delta = base ^ flipped;
-            for out_bit in 0..64 {
+            for (out_bit, count) in row.iter_mut().enumerate() {
                 if (delta >> out_bit) & 1 == 1 {
-                    flip_counts[in_bit][out_bit] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -122,7 +126,7 @@ pub fn avalanche_bias<H: HashFn64>(h: &H, samples: &[u64]) -> f64 {
 /// tables in this workspace actually consume. Multiply-shift is much
 /// better here than its full-width bias suggests.
 pub fn avalanche_bias_top_bits<H: HashFn64>(h: &H, samples: &[u64], bits: u8) -> f64 {
-    assert!(bits >= 1 && bits <= 64);
+    assert!((1..=64).contains(&bits));
     let mut flip_counts = vec![[0u32; 64]; bits as usize];
     for &x in samples {
         let base = h.hash(x);

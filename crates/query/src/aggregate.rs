@@ -95,9 +95,7 @@ mod tests {
     fn reference(rows: &[(u64, u64)], f: AggFn) -> HashMap<u64, u64> {
         let mut m: HashMap<u64, u64> = HashMap::new();
         for &(k, v) in rows {
-            m.entry(k)
-                .and_modify(|acc| *acc = f.combine(*acc, v))
-                .or_insert_with(|| f.init(v));
+            m.entry(k).and_modify(|acc| *acc = f.combine(*acc, v)).or_insert_with(|| f.init(v));
         }
         m
     }

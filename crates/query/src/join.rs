@@ -94,11 +94,12 @@ mod tests {
         JoinOutput { rows, probe_misses: misses }
     }
 
-    fn sample_relations() -> (Vec<(u64, u64)>, Vec<(u64, u64)>) {
+    type Relation = Vec<(u64, u64)>;
+
+    fn sample_relations() -> (Relation, Relation) {
         // Orders (PK) and line items (FK), with some dangling FKs.
         let build: Vec<(u64, u64)> = (1..=100).map(|k| (k, k * 1000)).collect();
-        let probe: Vec<(u64, u64)> =
-            (1..=300).map(|i| ((i * 7) % 150 + 1, i)).collect();
+        let probe: Vec<(u64, u64)> = (1..=300).map(|i| ((i * 7) % 150 + 1, i)).collect();
         (build, probe)
     }
 
@@ -131,10 +132,7 @@ mod tests {
     fn rejects_duplicate_build_keys() {
         let build = vec![(5u64, 1u64), (5, 2)];
         let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
-        assert_eq!(
-            hash_join(&mut t, &build, &[]),
-            Err(JoinError::DuplicateBuildKey(5))
-        );
+        assert_eq!(hash_join(&mut t, &build, &[]), Err(JoinError::DuplicateBuildKey(5)));
     }
 
     #[test]

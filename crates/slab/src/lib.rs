@@ -99,14 +99,7 @@ impl SlabAllocator {
     /// (rounded up to a power of two, minimum 8).
     pub fn with_chunk_len(chunk_len: usize) -> Self {
         let chunk_len = chunk_len.max(8).next_power_of_two();
-        Self {
-            chunks: Vec::new(),
-            bump: 0,
-            free_head: None,
-            live: 0,
-            free_len: 0,
-            chunk_len,
-        }
+        Self { chunks: Vec::new(), bump: 0, free_head: None, live: 0, free_len: 0, chunk_len }
     }
 
     /// Pre-allocate room for `n` entries up front ("bulk-allocate many (or

@@ -172,7 +172,7 @@ mod tests {
         let keys = Distribution::Sparse.generate(50_000, 3);
         let set: HashSet<u64> = keys.iter().copied().collect();
         assert_eq!(set.len(), keys.len());
-        assert!(keys.iter().all(|&k| k >= 1 && k <= u64::MAX - 2));
+        assert!(keys.iter().all(|&k| (1..=u64::MAX - 2).contains(&k)));
     }
 
     #[test]

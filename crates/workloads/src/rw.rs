@@ -263,9 +263,7 @@ mod tests {
         let mut s = RwStream::new(cfg(0));
         let _ = s.initial_keys();
         let ops = s.next_chunk(5000).unwrap();
-        assert!(ops
-            .iter()
-            .all(|op| matches!(op, RwOp::LookupHit(_) | RwOp::LookupMiss(_))));
+        assert!(ops.iter().all(|op| matches!(op, RwOp::LookupHit(_) | RwOp::LookupMiss(_))));
     }
 
     #[test]
@@ -314,12 +312,8 @@ mod tests {
 
     #[test]
     fn chunking_respects_remaining() {
-        let mut s = RwStream::new(RwConfig {
-            initial_keys: 10,
-            operations: 100,
-            update_pct: 25,
-            seed: 1,
-        });
+        let mut s =
+            RwStream::new(RwConfig { initial_keys: 10, operations: 100, update_pct: 25, seed: 1 });
         let _ = s.initial_keys();
         assert_eq!(s.next_chunk(64).unwrap().len(), 64);
         assert_eq!(s.remaining(), 36);

@@ -64,11 +64,7 @@ impl WormKeys {
     /// Generate key material with custom unsuccessful percentages.
     pub fn prepare_with_pcts(cfg: &WormConfig, pcts: &[u8]) -> Self {
         let n = cfg.n_keys();
-        let max_miss = pcts
-            .iter()
-            .map(|&p| cfg.probes * p as usize / 100)
-            .max()
-            .unwrap_or(0);
+        let max_miss = pcts.iter().map(|&p| cfg.probes * p as usize / 100).max().unwrap_or(0);
         let sets = cfg.dist.generate_with_misses(n, max_miss, cfg.seed);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9097_0B35);
 
@@ -134,10 +130,7 @@ pub fn run_probes<T: HashTable>(
             }
         }
     });
-    assert_eq!(
-        hits as usize, expected_hits,
-        "hit count mismatch: the table lost or invented keys"
-    );
+    assert_eq!(hits as usize, expected_hits, "hit count mismatch: the table lost or invented keys");
     // Keep the checksum observable.
     std::hint::black_box(checksum);
     (throughput, hits)

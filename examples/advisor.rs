@@ -104,7 +104,7 @@ fn print_rationale(p: &WorkloadProfile, choice: TableChoice) {
 
 fn print_decision_surface() {
     println!("Decision surface (static workloads, sparse keys):\n");
-    println!("{:<14} {}", "", "successful lookups →");
+    println!("{:<14} successful lookups →", "");
     print!("{:<14}", "load factor ↓");
     for s in [0.0, 0.25, 0.5, 0.75, 1.0] {
         print!(" {:>16}", format!("{:.0}%", s * 100.0));

@@ -55,12 +55,7 @@ fn main() {
     let t0 = Instant::now();
     let avgs = group_average(&mut sums, &mut counts, &rows).expect("average");
     let dt = t0.elapsed();
-    println!(
-        "{:<14} {:>10} {:>14.1}",
-        "Avg",
-        avgs.len(),
-        n_rows as f64 / dt.as_secs_f64() / 1e6
-    );
+    println!("{:<14} {:>10} {:>14.1}", "Avg", avgs.len(), n_rows as f64 / dt.as_secs_f64() / 1e6);
     let (k, v) = avgs.iter().find(|(k, _)| *k == 1).expect("group 1 exists");
     println!("\nspot check: AVG(amount) for region {k} = {v:.2}");
 }

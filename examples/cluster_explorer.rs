@@ -18,10 +18,7 @@
 use seven_dim_hashing::prelude::*;
 
 fn main() {
-    let bits: u8 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16);
+    let bits: u8 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
     println!("capacity 2^{bits}\n");
     println!(
         "{:<8} {:<8} {:<5} | {:>10} {:>8} {:>8} {:>10} | {:>9} {:>9}",

@@ -1,0 +1,373 @@
+//! Differential oracle: the **full** scheme × hash-function grid against
+//! `std::collections::HashMap`.
+//!
+//! Complements `model_conformance` (which samples the grid with long
+//! random streams) by covering *every* table variant — including the
+//! SIMD-probing LP layouts and all three cuckoo arities — with every hash
+//! family, over 10 000 mixed insert/replace/delete/lookup operations per
+//! key distribution, followed by churn phases that specifically stress
+//! the deletion machinery:
+//!
+//! * **drain**: delete every live key (backward-shift paths in RH,
+//!   tombstone writes in LP/QP) and verify the table is observably empty;
+//! * **refill**: reinsert the whole key set into the tombstone-saturated
+//!   table (tombstone reuse on insert) and verify every entry;
+//! * **reserved keys**: [`EMPTY_KEY`] / [`TOMBSTONE_KEY`] must be
+//!   rejected by insert and inert for lookup/delete at any point in the
+//!   table's life, while [`MAX_KEY`] (the largest legal key) must
+//!   round-trip.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use seven_dim_hashing::prelude::*;
+use seven_dim_hashing::tables::{EMPTY_KEY, MAX_KEY, TOMBSTONE_KEY};
+use std::collections::HashMap;
+
+/// Slots per open-addressing table (2^11). The 800-key universe tops out
+/// at ~39% load, inside every scheme's comfort zone (CuckooH2 included).
+const BITS: u8 = 11;
+
+/// Distinct keys per distribution.
+const UNIVERSE: usize = 800;
+
+/// Mixed operations in the main phase.
+const OPS: usize = 10_000;
+
+/// Reserved keys must bounce off every observable without disturbing it.
+fn check_reserved_keys_inert<T: HashTable>(table: &mut T, context: &str) {
+    let len_before = table.len();
+    for reserved in [EMPTY_KEY, TOMBSTONE_KEY] {
+        assert_eq!(
+            table.insert(reserved, 1),
+            Err(TableError::ReservedKey),
+            "{context}: insert({reserved:#x}) must be rejected"
+        );
+        assert_eq!(table.lookup(reserved), None, "{context}: lookup({reserved:#x})");
+        assert_eq!(table.delete(reserved), None, "{context}: delete({reserved:#x})");
+    }
+    assert_eq!(table.len(), len_before, "{context}: reserved-key probes changed len");
+}
+
+/// Drive `table` and a `HashMap` model through identical operations;
+/// every observable must match at every step.
+fn oracle<T: HashTable>(mut table: T, keys: &[u64], seed: u64) {
+    let name = table.display_name();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Phase 1: mixed stream — inserts (with frequent replacements), 20%
+    // deletes, 30% lookups over a key universe small enough that every
+    // key sees all three operations repeatedly.
+    for step in 0..OPS {
+        let key = keys[rng.gen_range(0..keys.len())];
+        match rng.gen_range(0..10u8) {
+            0..=4 => {
+                let value = rng.gen::<u64>() >> 1;
+                let expect = match model.insert(key, value) {
+                    None => InsertOutcome::Inserted,
+                    Some(old) => InsertOutcome::Replaced(old),
+                };
+                assert_eq!(
+                    table.insert(key, value),
+                    Ok(expect),
+                    "{name} step {step}: insert {key}"
+                );
+            }
+            5..=6 => {
+                assert_eq!(
+                    table.delete(key),
+                    model.remove(&key),
+                    "{name} step {step}: delete {key}"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    table.lookup(key),
+                    model.get(&key).copied(),
+                    "{name} step {step}: lookup {key}"
+                );
+            }
+        }
+        assert_eq!(table.len(), model.len(), "{name} step {step}: len");
+        if step % 1024 == 0 {
+            check_reserved_keys_inert(&mut table, &format!("{name} step {step}"));
+        }
+    }
+
+    // The largest legal key must round-trip even at the reserved boundary.
+    assert_eq!(table.insert(MAX_KEY, 7), Ok(InsertOutcome::Inserted), "{name}: insert MAX_KEY");
+    assert_eq!(table.lookup(MAX_KEY), Some(7), "{name}: lookup MAX_KEY");
+    assert_eq!(table.delete(MAX_KEY), Some(7), "{name}: delete MAX_KEY");
+
+    // Phases 2+3, twice: drain everything, then refill from the full key
+    // set. The second round reinserts into a table whose free slots are
+    // mostly tombstones, catching delete-then-reinsert bugs on the
+    // LP/QP tombstone and RH backward-shift paths.
+    for round in 0..2 {
+        let mut live: Vec<u64> = model.keys().copied().collect();
+        live.sort_unstable();
+        for key in live {
+            assert_eq!(
+                table.delete(key),
+                model.remove(&key),
+                "{name} drain round {round}: delete {key}"
+            );
+        }
+        assert_eq!(table.len(), 0, "{name} drain round {round}: table not empty");
+        assert!(table.is_empty(), "{name} drain round {round}: is_empty");
+        for &key in keys.iter().take(64) {
+            assert_eq!(
+                table.lookup(key),
+                None,
+                "{name} drain round {round}: drained table still finds {key}"
+            );
+        }
+        check_reserved_keys_inert(&mut table, &format!("{name} drained round {round}"));
+
+        for (i, &key) in keys.iter().enumerate() {
+            let value = key ^ (round as u64) << 32;
+            assert_eq!(
+                table.insert(key, value),
+                Ok(InsertOutcome::Inserted),
+                "{name} refill round {round}: insert #{i} ({key})"
+            );
+            model.insert(key, value);
+        }
+        assert_eq!(table.len(), keys.len(), "{name} refill round {round}: len");
+        for &key in keys {
+            assert_eq!(
+                table.lookup(key),
+                model.get(&key).copied(),
+                "{name} refill round {round}: lookup {key}"
+            );
+        }
+    }
+
+    // Cross-check iteration: for_each must visit exactly the live map.
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    table.for_each(&mut |k, v| {
+        assert!(seen.insert(k, v).is_none(), "{name}: for_each visited {k} twice");
+    });
+    assert_eq!(seen, model, "{name}: for_each contents");
+}
+
+macro_rules! oracle_case {
+    ($name:ident, $ty:ty, $ctor:expr) => {
+        #[test]
+        fn $name() {
+            for (i, dist) in [Distribution::Dense, Distribution::Grid, Distribution::Sparse]
+                .into_iter()
+                .enumerate()
+            {
+                let keys = dist.generate(UNIVERSE, 0xD1FF + i as u64);
+                let table: $ty = $ctor;
+                oracle(table, &keys, 0x0AC1E + 31 * i as u64);
+            }
+        }
+    };
+}
+
+// Chained hashing — directory of 8-byte links / 24-byte inline entries.
+oracle_case!(chained8_mult, ChainedTable8<MultShift>, ChainedTable8::with_seed(BITS, 1));
+oracle_case!(chained8_multadd, ChainedTable8<MultAddShift>, ChainedTable8::with_seed(BITS, 2));
+oracle_case!(chained8_tab, ChainedTable8<Tabulation>, ChainedTable8::with_seed(BITS, 3));
+oracle_case!(chained8_murmur, ChainedTable8<Murmur>, ChainedTable8::with_seed(BITS, 4));
+oracle_case!(chained24_mult, ChainedTable24<MultShift>, ChainedTable24::with_seed(BITS, 5));
+oracle_case!(chained24_multadd, ChainedTable24<MultAddShift>, ChainedTable24::with_seed(BITS, 6));
+oracle_case!(chained24_tab, ChainedTable24<Tabulation>, ChainedTable24::with_seed(BITS, 7));
+oracle_case!(chained24_murmur, ChainedTable24<Murmur>, ChainedTable24::with_seed(BITS, 8));
+
+// Linear probing, AoS layout, scalar probing.
+oracle_case!(lp_mult, LinearProbing<MultShift>, LinearProbing::with_seed(BITS, 9));
+oracle_case!(lp_multadd, LinearProbing<MultAddShift>, LinearProbing::with_seed(BITS, 10));
+oracle_case!(lp_tab, LinearProbing<Tabulation>, LinearProbing::with_seed(BITS, 11));
+oracle_case!(lp_murmur, LinearProbing<Murmur>, LinearProbing::with_seed(BITS, 12));
+
+// Linear probing, AoS layout, SIMD probing (scalar fallback off x86-64
+// AVX2 — either way the observable behaviour must match the model).
+oracle_case!(lp_simd_mult, LinearProbing<MultShift>, LinearProbing::with_seed_simd(BITS, 13));
+oracle_case!(lp_simd_multadd, LinearProbing<MultAddShift>, LinearProbing::with_seed_simd(BITS, 14));
+oracle_case!(lp_simd_tab, LinearProbing<Tabulation>, LinearProbing::with_seed_simd(BITS, 15));
+oracle_case!(lp_simd_murmur, LinearProbing<Murmur>, LinearProbing::with_seed_simd(BITS, 16));
+
+// Linear probing, SoA layout, scalar + SIMD probing.
+oracle_case!(lp_soa_mult, LinearProbingSoA<MultShift>, LinearProbingSoA::with_seed(BITS, 17));
+oracle_case!(lp_soa_multadd, LinearProbingSoA<MultAddShift>, LinearProbingSoA::with_seed(BITS, 18));
+oracle_case!(lp_soa_tab, LinearProbingSoA<Tabulation>, LinearProbingSoA::with_seed(BITS, 19));
+oracle_case!(lp_soa_murmur, LinearProbingSoA<Murmur>, LinearProbingSoA::with_seed(BITS, 20));
+oracle_case!(
+    lp_soa_simd_mult,
+    LinearProbingSoA<MultShift>,
+    LinearProbingSoA::with_seed_simd(BITS, 21)
+);
+oracle_case!(
+    lp_soa_simd_multadd,
+    LinearProbingSoA<MultAddShift>,
+    LinearProbingSoA::with_seed_simd(BITS, 22)
+);
+oracle_case!(
+    lp_soa_simd_tab,
+    LinearProbingSoA<Tabulation>,
+    LinearProbingSoA::with_seed_simd(BITS, 23)
+);
+oracle_case!(
+    lp_soa_simd_murmur,
+    LinearProbingSoA<Murmur>,
+    LinearProbingSoA::with_seed_simd(BITS, 24)
+);
+
+// Quadratic (triangular) probing.
+oracle_case!(qp_mult, QuadraticProbing<MultShift>, QuadraticProbing::with_seed(BITS, 25));
+oracle_case!(qp_multadd, QuadraticProbing<MultAddShift>, QuadraticProbing::with_seed(BITS, 26));
+oracle_case!(qp_tab, QuadraticProbing<Tabulation>, QuadraticProbing::with_seed(BITS, 27));
+oracle_case!(qp_murmur, QuadraticProbing<Murmur>, QuadraticProbing::with_seed(BITS, 28));
+
+// Robin Hood (displacement-ordered LP, backward-shift deletion).
+oracle_case!(rh_mult, RobinHood<MultShift>, RobinHood::with_seed(BITS, 29));
+oracle_case!(rh_multadd, RobinHood<MultAddShift>, RobinHood::with_seed(BITS, 30));
+oracle_case!(rh_tab, RobinHood<Tabulation>, RobinHood::with_seed(BITS, 31));
+oracle_case!(rh_murmur, RobinHood<Murmur>, RobinHood::with_seed(BITS, 32));
+
+// Cuckoo hashing, 2/3/4 sub-tables.
+oracle_case!(cuckoo2_mult, CuckooH2<MultShift>, CuckooH2::with_seed(BITS, 33));
+oracle_case!(cuckoo2_multadd, CuckooH2<MultAddShift>, CuckooH2::with_seed(BITS, 34));
+oracle_case!(cuckoo2_tab, CuckooH2<Tabulation>, CuckooH2::with_seed(BITS, 35));
+oracle_case!(cuckoo2_murmur, CuckooH2<Murmur>, CuckooH2::with_seed(BITS, 36));
+oracle_case!(cuckoo3_mult, CuckooH3<MultShift>, CuckooH3::with_seed(BITS, 37));
+oracle_case!(cuckoo3_multadd, CuckooH3<MultAddShift>, CuckooH3::with_seed(BITS, 38));
+oracle_case!(cuckoo3_tab, CuckooH3<Tabulation>, CuckooH3::with_seed(BITS, 39));
+oracle_case!(cuckoo3_murmur, CuckooH3<Murmur>, CuckooH3::with_seed(BITS, 40));
+oracle_case!(cuckoo4_mult, CuckooH4<MultShift>, CuckooH4::with_seed(BITS, 41));
+oracle_case!(cuckoo4_multadd, CuckooH4<MultAddShift>, CuckooH4::with_seed(BITS, 42));
+oracle_case!(cuckoo4_tab, CuckooH4<Tabulation>, CuckooH4::with_seed(BITS, 43));
+oracle_case!(cuckoo4_murmur, CuckooH4<Murmur>, CuckooH4::with_seed(BITS, 44));
+
+/// Capacity-boundary churn. Open-addressing tables keep one empty slot
+/// as a probe terminator, so a `2^bits` table holds at most
+/// `2^bits - 1` distinct keys; beyond that, a *fresh* key must be
+/// rejected with [`TableError::TableFull`] while replacements, deletes,
+/// and delete-then-reinsert cycles keep working. Reinserting after a
+/// delete at max load is the regression this suite originally flushed
+/// out: the insert used to report `TableFull` instead of reclaiming
+/// tombstones by rehashing in place.
+fn full_table_edges<T: HashTable>(mut table: T, cap: usize) {
+    let name = table.display_name();
+    let n = cap - 1;
+    for k in 1..=n as u64 {
+        table.insert(k, k * 10).unwrap();
+    }
+    assert_eq!(table.len(), n, "{name}: fill to capacity - 1");
+    assert_eq!(table.insert(999, 1), Err(TableError::TableFull), "{name}: overfull insert");
+    assert_eq!(table.insert(1, 11), Ok(InsertOutcome::Replaced(10)), "{name}: replace at max load");
+    assert_eq!(table.lookup(999), None, "{name}: absent lookup at max load");
+    assert_eq!(table.delete(2), Some(20), "{name}: delete at max load");
+    assert_eq!(
+        table.insert(999, 1),
+        Ok(InsertOutcome::Inserted),
+        "{name}: delete-then-reinsert at max load"
+    );
+    for k in [1u64, 999] {
+        assert!(table.lookup(k).is_some(), "{name}: key {k} lost");
+    }
+    let mut live = Vec::new();
+    table.for_each(&mut |k, _| live.push(k));
+    for k in live {
+        table.delete(k).unwrap();
+    }
+    assert_eq!(table.len(), 0, "{name}: drained");
+    assert_eq!(table.lookup(1), None, "{name}: lookup on all-tombstone table");
+    for k in 1..=n as u64 {
+        table.insert(k, k).unwrap();
+    }
+    assert_eq!(table.len(), n, "{name}: refill over tombstones");
+    for k in 1..=n as u64 {
+        assert_eq!(table.lookup(k), Some(k), "{name}: refilled key {k}");
+    }
+}
+
+#[test]
+fn lp_capacity_boundary() {
+    full_table_edges(LinearProbing::<Murmur>::with_seed(2, 1), 4);
+    full_table_edges(LinearProbing::<MultShift>::with_seed(6, 2), 64);
+}
+
+#[test]
+fn lp_simd_capacity_boundary() {
+    full_table_edges(LinearProbing::<Murmur>::with_seed_simd(2, 3), 4);
+    full_table_edges(LinearProbing::<MultShift>::with_seed_simd(6, 4), 64);
+}
+
+#[test]
+fn lp_soa_capacity_boundary() {
+    full_table_edges(LinearProbingSoA::<Murmur>::with_seed(2, 5), 4);
+    full_table_edges(LinearProbingSoA::<MultShift>::with_seed(6, 6), 64);
+}
+
+#[test]
+fn lp_soa_simd_capacity_boundary() {
+    full_table_edges(LinearProbingSoA::<Murmur>::with_seed_simd(2, 7), 4);
+    full_table_edges(LinearProbingSoA::<MultShift>::with_seed_simd(6, 8), 64);
+}
+
+#[test]
+fn qp_capacity_boundary() {
+    full_table_edges(QuadraticProbing::<Murmur>::with_seed(2, 9), 4);
+    full_table_edges(QuadraticProbing::<MultShift>::with_seed(6, 10), 64);
+}
+
+#[test]
+fn rh_capacity_boundary() {
+    full_table_edges(RobinHood::<Murmur>::with_seed(2, 11), 4);
+    full_table_edges(RobinHood::<MultShift>::with_seed(6, 12), 64);
+}
+
+/// Table-level scalar-fallback equivalence: an LP table probing with the
+/// SIMD kernels must be step-for-step indistinguishable from one probing
+/// scalar, given the same hash function. On machines without AVX2 the
+/// "SIMD" table silently runs the scalar fallback, so this test also
+/// certifies that the fallback dispatch preserves behaviour there.
+#[test]
+fn simd_and_scalar_probing_tables_agree_step_by_step() {
+    let mut scalar: LinearProbing<Murmur> = LinearProbing::with_seed(BITS, 77);
+    let mut simd: LinearProbing<Murmur> = LinearProbing::with_seed_simd(BITS, 77);
+    let mut soa_scalar: LinearProbingSoA<Murmur> = LinearProbingSoA::with_seed(BITS, 78);
+    let mut soa_simd: LinearProbingSoA<Murmur> = LinearProbingSoA::with_seed_simd(BITS, 78);
+
+    let keys = Distribution::Sparse.generate(UNIVERSE, 4242);
+    let mut rng = StdRng::seed_from_u64(4243);
+    for step in 0..OPS {
+        let key = keys[rng.gen_range(0..keys.len())];
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let value = rng.gen::<u64>() >> 1;
+                assert_eq!(
+                    scalar.insert(key, value),
+                    simd.insert(key, value),
+                    "AoS step {step}: insert {key}"
+                );
+                assert_eq!(
+                    soa_scalar.insert(key, value),
+                    soa_simd.insert(key, value),
+                    "SoA step {step}: insert {key}"
+                );
+            }
+            1 => {
+                assert_eq!(scalar.delete(key), simd.delete(key), "AoS step {step}: delete {key}");
+                assert_eq!(
+                    soa_scalar.delete(key),
+                    soa_simd.delete(key),
+                    "SoA step {step}: delete {key}"
+                );
+            }
+            _ => {
+                assert_eq!(scalar.lookup(key), simd.lookup(key), "AoS step {step}: lookup {key}");
+                assert_eq!(
+                    soa_scalar.lookup(key),
+                    soa_simd.lookup(key),
+                    "SoA step {step}: lookup {key}"
+                );
+            }
+        }
+        assert_eq!(scalar.len(), simd.len(), "AoS step {step}: len");
+        assert_eq!(soa_scalar.len(), soa_simd.len(), "SoA step {step}: len");
+    }
+}

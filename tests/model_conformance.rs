@@ -28,11 +28,7 @@ fn conformance<T: HashTable>(mut table: T, keys: &[u64], ops: usize, seed: u64) 
                         None => InsertOutcome::Inserted,
                         Some(old) => InsertOutcome::Replaced(old),
                     };
-                    assert_eq!(
-                        table.insert(key, value),
-                        Ok(expect),
-                        "step {step}: insert {key}"
-                    );
+                    assert_eq!(table.insert(key, value), Ok(expect), "step {step}: insert {key}");
                 }
             }
             5..=6 => {
@@ -60,10 +56,9 @@ macro_rules! conformance_suite {
     ($name:ident, $table:ty, $ctor:expr) => {
         #[test]
         fn $name() {
-            for (d, dist) in
-                [Distribution::Dense, Distribution::Grid, Distribution::Sparse]
-                    .into_iter()
-                    .enumerate()
+            for (d, dist) in [Distribution::Dense, Distribution::Grid, Distribution::Sparse]
+                .into_iter()
+                .enumerate()
             {
                 // Key universe intentionally smaller than the op count so
                 // updates, deletes and re-inserts of the same key are common.
@@ -107,16 +102,8 @@ conformance_suite!(cuckoo4_tab, CuckooH4<Tabulation>, Cuckoo::with_seed(BITS, 17
 
 conformance_suite!(chained8_mult, ChainedTable8<MultShift>, ChainedTable8::with_seed(BITS, 18));
 conformance_suite!(chained8_murmur, ChainedTable8<Murmur>, ChainedTable8::with_seed(BITS, 19));
-conformance_suite!(
-    chained24_mult,
-    ChainedTable24<MultShift>,
-    ChainedTable24::with_seed(BITS, 20)
-);
-conformance_suite!(
-    chained24_murmur,
-    ChainedTable24<Murmur>,
-    ChainedTable24::with_seed(BITS, 21)
-);
+conformance_suite!(chained24_mult, ChainedTable24<MultShift>, ChainedTable24::with_seed(BITS, 20));
+conformance_suite!(chained24_murmur, ChainedTable24<Murmur>, ChainedTable24::with_seed(BITS, 21));
 
 #[test]
 fn dynamic_tables_conform_while_growing() {

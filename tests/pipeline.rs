@@ -9,13 +9,7 @@ use seven_dim_hashing::workload::{rw, worm};
 #[test]
 fn worm_pipeline_all_distributions_and_schemes() {
     for dist in [Distribution::Dense, Distribution::Grid, Distribution::Sparse] {
-        let cfg = WormConfig {
-            capacity_bits: 12,
-            load_factor: 0.7,
-            dist,
-            probes: 4000,
-            seed: 21,
-        };
+        let cfg = WormConfig { capacity_bits: 12, load_factor: 0.7, dist, probes: 4000, seed: 21 };
         let keys = WormKeys::prepare(&cfg);
         assert_eq!(keys.inserts.len(), cfg.n_keys());
 

@@ -141,7 +141,7 @@ proptest! {
 /// Slot-array strategy mixing live keys, empties, and tombstones.
 fn slots_strategy() -> impl Strategy<Value = Vec<u64>> {
     let slot = prop_oneof![
-        3 => (1u64..40),
+        3 => 1u64..40,
         2 => Just(EMPTY_KEY),
         1 => Just(TOMBSTONE_KEY),
     ];

@@ -1,0 +1,227 @@
+//! Offline stand-in for the slice of `criterion` this workspace's benches
+//! use.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the API surface of the three bench targets: `Criterion`,
+//! `BenchmarkGroup` (with `measurement_time` / `warm_up_time` /
+//! `sample_size` / `bench_function` / `finish`), `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. It really measures:
+//! per-sample wall-clock timing with iteration-count calibration, then a
+//! median/min/max summary per benchmark — no statistics engine, plots, or
+//! baselines. Swap in the real crate when the registry is reachable.
+
+pub mod measurement {
+    /// Wall-clock measurement marker (the only measurement supported).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+pub use std::hint::black_box;
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Entry point, handed to each `criterion_group!` target function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement_time: Duration::from_millis(500),
+            default_warm_up_time: Duration::from_millis(100),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            sample_size: self.default_sample_size,
+            _parent: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _parent: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Total measuring time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up running time per benchmark before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Number of timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark and print its summary line.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs roughly measurement_time / sample_size.
+        let per_sample =
+            self.measurement_time.max(Duration::from_millis(10)) / self.sample_size as u32;
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            f(&mut b);
+            if b.elapsed >= per_sample || b.iters >= u64::MAX / 2 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                8
+            } else {
+                (per_sample.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            b.iters = b.iters.saturating_mul(grow);
+        }
+        // Remaining warm-up at the calibrated size.
+        while Instant::now() < warm_up_deadline {
+            f(&mut b);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+        println!(
+            "{label:<40} time: [{} {} {}]  ({} iters/sample, {} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            b.iters,
+            samples_ns.len()
+        );
+        self
+    }
+
+    /// End the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Timing context passed to the closure of `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, running it as many times as the harness asks for this
+    /// sample. The return value is black-boxed so the computation is not
+    /// optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(5));
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "benchmark closure never executed");
+    }
+}

@@ -1,0 +1,179 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value *tree*: strategies sample
+/// directly and failures are reported unshrunk.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (cheaply clonable, usable in [`Union`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Arc::new(self)
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub type BoxedStrategy<T> = Arc<dyn Strategy<Value = T>>;
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted choice between strategies of one value type
+/// (built by [`prop_oneof!`](crate::prop_oneof)).
+#[derive(Clone)]
+pub struct Union<T: Clone + Debug> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Clone + Debug> Union<T> {
+    /// Build from `(weight, strategy)` pairs. Total weight must be > 0.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            choices.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "prop_oneof requires a positive total weight"
+        );
+        Union { choices }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.choices.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (weight, strategy) in &self.choices {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_map_tuples_and_unions_sample_sanely() {
+        let mut rng = TestRng::deterministic("strategy::tests");
+        let range = 5u64..10;
+        let mapped = (1u8..=3, Just(100u64)).prop_map(|(a, b)| u64::from(a) + b);
+        let union = crate::prop_oneof![2 => Just(1u32), 1 => Just(2u32)];
+        let mut saw = [0u32; 3];
+        for _ in 0..300 {
+            let x = range.sample(&mut rng);
+            assert!((5..10).contains(&x));
+            let y = mapped.sample(&mut rng);
+            assert!((101..=103).contains(&y));
+            saw[union.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(saw[0], 0);
+        assert!(saw[1] > saw[2], "weight 2 arm should dominate: {saw:?}");
+        assert!(saw[2] > 0, "weight 1 arm must still fire: {saw:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard RNG: xoshiro256++ with SplitMix64 seeding.
+///
+/// Statistically strong for simulation/testing purposes, tiny, and fully
+/// deterministic per seed. Note this is *not* the stream of the real
+/// `rand::rngs::StdRng` (ChaCha12); only determinism and uniformity are
+/// promised, not cross-crate stream compatibility.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ from the canonical all-distinct small state.
+        let mut rng = StdRng { s: [1, 2, 3, 4] };
+        // First output: rotl(s0 + s3, 23) + s0 = rotl(5, 23) + 1.
+        assert_eq!(rng.next_u64(), (5u64 << 23) + 1);
+    }
+
+    #[test]
+    fn zero_seed_state_is_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.s, [0; 4], "SplitMix64 must not map seed 0 to the all-zero state");
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+}

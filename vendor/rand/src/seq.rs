@@ -1,0 +1,63 @@
+//! Sequence-related helpers (`shuffle`, `choose`).
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..1000).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..1000).collect::<Vec<_>>(), "1000 elements staying sorted is ~impossible");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_returns_member_or_none() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = [5u8, 6, 7];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the slice of `serde` this workspace touches.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! only what the code uses today: the `Serialize` / `Deserialize` *derive
+//! macros* and the marker traits they implement. No data format ships in
+//! the workspace yet; types deriving these traits are serialization-ready
+//! markers, and report rendering goes through the hand-written
+//! text/CSV emitters in `metrics`. If a future PR needs real
+//! serialization, replace this stub with the actual crates (or extend the
+//! traits with the required methods).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait implemented by `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker trait implemented by `#[derive(Deserialize)]`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,52 @@
+//! Derive macros for the vendored `serde` stub: emit marker-trait impls.
+//!
+//! Implemented with a hand-rolled token scan (no `syn`/`quote` — the build
+//! environment is offline). Plain `struct`/`enum` items get a marker impl;
+//! generic items fall back to emitting nothing, which is still sound
+//! because the marker traits carry no methods and nothing in the
+//! workspace bounds on them yet.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the derived type, or `None` when the item is generic (or the
+/// scan fails), in which case the caller emits no impl.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
+}
