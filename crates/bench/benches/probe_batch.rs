@@ -1,0 +1,110 @@
+//! Criterion micro-benchmark: single-key vs batched (prefetching) probes.
+//!
+//! The batch-first API exists for exactly one measurable reason: a batch
+//! of independent probes can overlap its cache misses (software prefetch
+//! plus hash amortization) where a single-key loop serializes them. This
+//! bench quantifies that gap per scheme at the paper's load factors, for
+//! all-successful and all-unsuccessful streams.
+//!
+//! CI runs `cargo bench -p bench --bench probe_batch -- --scale smoke`;
+//! the `smoke` token shrinks the table and timing budget to keep the run
+//! in CI seconds while still exercising every code path.
+
+use criterion::measurement::WallTime;
+use criterion::{criterion_group, criterion_main, BenchmarkGroup, Criterion};
+use sevendim_core::{HashKind, HashTable, TableBuilder, TableScheme};
+use std::hint::black_box;
+use std::time::Duration;
+use workloads::Distribution;
+
+/// One batch per `lookup_batch` call — the size the query layer uses.
+const BATCH: usize = 256;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "smoke" || a == "--smoke")
+}
+
+fn bits() -> u8 {
+    if smoke() {
+        12
+    } else {
+        20
+    }
+}
+
+struct Mat {
+    inserts: Vec<u64>,
+    misses: Vec<u64>,
+}
+
+fn material(load: f64) -> Mat {
+    let n = ((1usize << bits()) as f64 * load) as usize;
+    let sets = Distribution::Sparse.generate_with_misses(n, n, 11);
+    Mat { inserts: sets.inserts, misses: sets.misses }
+}
+
+fn bench_stream(
+    group: &mut BenchmarkGroup<'_, WallTime>,
+    label: &str,
+    table: &dyn HashTable,
+    stream: &[u64],
+) {
+    group.bench_function(format!("{label}/single"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut found = 0usize;
+            for _ in 0..BATCH {
+                let k = stream[i % stream.len()];
+                i += 1;
+                found += table.lookup(black_box(k)).is_some() as usize;
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function(format!("{label}/batched"), |b| {
+        let mut out = vec![None; BATCH];
+        let mut i = 0;
+        b.iter(|| {
+            let start = i % (stream.len() - BATCH);
+            i += BATCH;
+            table.lookup_batch(black_box(&stream[start..start + BATCH]), &mut out);
+            black_box(out.iter().flatten().count())
+        })
+    });
+}
+
+fn probe_batch(c: &mut Criterion) {
+    // The paper's WORM load factors where each scheme is interesting:
+    // LP's comfort zone, the mid band, and cuckoo territory.
+    for load in [0.5f64, 0.7, 0.9] {
+        let mat = material(load);
+        let mut group = c.benchmark_group(format!("batch_at_{:.0}pct", load * 100.0));
+        let (measure_ms, warm_ms) = if smoke() { (80, 20) } else { (700, 200) };
+        group.measurement_time(Duration::from_millis(measure_ms));
+        group.warm_up_time(Duration::from_millis(warm_ms));
+        group.sample_size(10);
+        for (scheme, simd) in [
+            (TableScheme::LinearProbing, false),
+            (TableScheme::LinearProbingSoA, true),
+            (TableScheme::RobinHood, false),
+            (TableScheme::Cuckoo4, false),
+        ] {
+            let mut table = TableBuilder::new(scheme)
+                .hash(HashKind::Mult)
+                .bits(bits())
+                .seed(1)
+                .simd(simd)
+                .build();
+            for &k in &mat.inserts {
+                table.insert(k, k).unwrap();
+            }
+            let label = table.display_name();
+            bench_stream(&mut group, &format!("{label}/hit"), &table, &mat.inserts);
+            bench_stream(&mut group, &format!("{label}/miss"), &table, &mat.misses);
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, probe_batch);
+criterion_main!(benches);

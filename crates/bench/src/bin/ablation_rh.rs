@@ -13,7 +13,7 @@
 
 use bench::{parse_args, worm_cell_with};
 use hashfn::MultShift;
-use sevendim_core::{HashTable, LinearProbing, RobinHood};
+use sevendim_core::{HashTable, LinearProbing, RhLookupMode, RobinHood};
 use workloads::{Distribution, WormConfig};
 
 fn main() {
@@ -97,15 +97,19 @@ fn main() {
         rh.dmax(),
         rh.displacement_stats().mean
     );
-    for (name, f) in [
-        ("tuned (cache-line check)", &(|k| rh.lookup(k)) as &dyn Fn(u64) -> Option<u64>),
-        ("dmax bound (rejected)", &|k| rh.lookup_dmax(k)),
-        ("checked every probe (rejected)", &|k| rh.lookup_checked(k)),
+    // The abort criterion is a table configuration now: identical contents,
+    // three lookup modes, probed through the one trait entry point.
+    for (name, mode) in [
+        ("tuned (cache-line check)", RhLookupMode::CacheLine),
+        ("dmax bound (rejected)", RhLookupMode::DmaxBound),
+        ("checked every probe (rejected)", RhLookupMode::CheckedEveryProbe),
     ] {
+        let mut table = rh.clone();
+        table.set_lookup_mode(mode);
         let mut hits = 0u64;
         let t = metrics::Throughput::measure(sets.misses.len() as u64, || {
             for &k in &sets.misses {
-                if f(k).is_some() {
+                if table.lookup(k).is_some() {
                     hits += 1;
                 }
             }

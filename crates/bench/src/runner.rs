@@ -5,12 +5,8 @@
 //! or RW workload against it, and averages throughput over the configured
 //! seeds (§4.2: three independent runs per data point).
 
-use hashfn::{MultShift, Murmur};
 use metrics::{SeedStats, Throughput};
-use sevendim_core::{
-    Chained24Factory, ChainedTable24, ChainedTable8, Cuckoo, DynamicTable, HashTable,
-    LinearProbing, LpFactory, QpFactory, QuadraticProbing, RhFactory, RobinHood, TableError,
-};
+use sevendim_core::{DynamicTable, HashKind, HashTable, TableBuilder, TableError, TableScheme};
 use workloads::{
     rw::{run_chunk, RwStream},
     worm::{run_cell, WormKeys},
@@ -45,21 +41,31 @@ pub enum HashId {
 }
 
 impl Scheme {
+    /// The [`TableBuilder`] scheme this grid position maps to.
+    pub fn table_scheme(&self) -> TableScheme {
+        match self {
+            Scheme::Chained8 => TableScheme::Chained8,
+            Scheme::Chained24 => TableScheme::Chained24,
+            Scheme::LP => TableScheme::LinearProbing,
+            Scheme::QP => TableScheme::Quadratic,
+            Scheme::RH => TableScheme::RobinHood,
+            Scheme::Cuckoo4 => TableScheme::Cuckoo4,
+        }
+    }
+
     /// Paper-style label, e.g. `"RHMult"`.
     pub fn label(&self, h: HashId) -> String {
-        let scheme = match self {
-            Scheme::Chained8 => "ChainedH8",
-            Scheme::Chained24 => "ChainedH24",
-            Scheme::LP => "LP",
-            Scheme::QP => "QP",
-            Scheme::RH => "RH",
-            Scheme::Cuckoo4 => "CuckooH4",
-        };
-        let hash = match h {
-            HashId::Mult => "Mult",
-            HashId::Murmur => "Murmur",
-        };
-        format!("{scheme}{hash}")
+        format!("{}{}", self.table_scheme().name(), h.hash_kind().name())
+    }
+}
+
+impl HashId {
+    /// The [`TableBuilder`] hash family this grid position maps to.
+    pub fn hash_kind(&self) -> HashKind {
+        match self {
+            HashId::Mult => HashKind::Mult,
+            HashId::Murmur => HashKind::Murmur,
+        }
     }
 }
 
@@ -142,47 +148,17 @@ fn cfg_pcts(keys: &WormKeys) -> Vec<(u8, Option<f64>)> {
 }
 
 /// Run one WORM cell for a `(scheme, hash)` pair, averaging over `seeds`.
+///
+/// One [`TableBuilder`] covers the whole grid — chained schemes get the
+/// §4.5 memory budget applied (an infeasible budget makes the cell
+/// absent, matching the paper's removed chained curves at high load).
 pub fn worm_cell(scheme: Scheme, h: HashId, cfg: &WormConfig, seeds: &[u64]) -> WormCellOut {
-    let bits = cfg.capacity_bits;
-    let n = cfg.n_keys();
-    match (scheme, h) {
-        (Scheme::LP, HashId::Mult) => {
-            worm_cell_with(|s| Ok(LinearProbing::<MultShift>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::LP, HashId::Murmur) => {
-            worm_cell_with(|s| Ok(LinearProbing::<Murmur>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::QP, HashId::Mult) => {
-            worm_cell_with(|s| Ok(QuadraticProbing::<MultShift>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::QP, HashId::Murmur) => {
-            worm_cell_with(|s| Ok(QuadraticProbing::<Murmur>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::RH, HashId::Mult) => {
-            worm_cell_with(|s| Ok(RobinHood::<MultShift>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::RH, HashId::Murmur) => {
-            worm_cell_with(|s| Ok(RobinHood::<Murmur>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::Cuckoo4, HashId::Mult) => {
-            worm_cell_with(|s| Ok(Cuckoo::<MultShift, 4>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::Cuckoo4, HashId::Murmur) => {
-            worm_cell_with(|s| Ok(Cuckoo::<Murmur, 4>::with_seed(bits, s)), cfg, seeds)
-        }
-        (Scheme::Chained8, HashId::Mult) => {
-            worm_cell_with(|s| ChainedTable8::<MultShift>::with_budget(bits, n, s), cfg, seeds)
-        }
-        (Scheme::Chained8, HashId::Murmur) => {
-            worm_cell_with(|s| ChainedTable8::<Murmur>::with_budget(bits, n, s), cfg, seeds)
-        }
-        (Scheme::Chained24, HashId::Mult) => {
-            worm_cell_with(|s| ChainedTable24::<MultShift>::with_budget(bits, n, s), cfg, seeds)
-        }
-        (Scheme::Chained24, HashId::Murmur) => {
-            worm_cell_with(|s| ChainedTable24::<Murmur>::with_budget(bits, n, s), cfg, seeds)
-        }
+    let mut builder =
+        TableBuilder::new(scheme.table_scheme()).hash(h.hash_kind()).bits(cfg.capacity_bits);
+    if matches!(scheme, Scheme::Chained8 | Scheme::Chained24) {
+        builder = builder.chained_budget(cfg.n_keys());
     }
+    worm_cell_with(|s| builder.clone().seed(s).try_build(), cfg, seeds)
 }
 
 /// RW result for one cell of Figure 5.
@@ -196,11 +172,19 @@ pub struct RwCellOut {
     pub rehashes: usize,
 }
 
-fn rw_typed<F: sevendim_core::TableFactory>(
-    factory: F,
+/// Run one RW cell (scheme × hash × growth threshold).
+///
+/// The [`TableBuilder`] doubles as the [`DynamicTable`]'s factory: every
+/// growth step re-invokes it with one more capacity bit and a fresh seed.
+pub fn rw_cell(
+    scheme: Scheme,
+    h: HashId,
     grow_threshold: f64,
     cfg: RwConfig,
 ) -> Result<RwCellOut, TableError> {
+    if scheme == Scheme::Chained8 {
+        unimplemented!("the paper's RW comparison does not include ChainedH8")
+    }
     // Initial size: the paper starts 16 M keys in a 2^25 table ≈ 47% load;
     // generalized: the smallest power of two that keeps the initial load
     // under the growth threshold.
@@ -208,6 +192,7 @@ fn rw_typed<F: sevendim_core::TableFactory>(
     while (cfg.initial_keys as f64) > grow_threshold * (1u64 << bits) as f64 {
         bits += 1;
     }
+    let factory = TableBuilder::new(scheme.table_scheme()).hash(h.hash_kind());
     let mut stream = RwStream::new(cfg);
     let mut table = DynamicTable::new(factory, bits, cfg.seed ^ 0xD14_7AB1E, grow_threshold);
     for k in stream.initial_keys() {
@@ -227,38 +212,6 @@ fn rw_typed<F: sevendim_core::TableFactory>(
         memory_bytes: table.memory_bytes(),
         rehashes: table.rehash_count(),
     })
-}
-
-/// Run one RW cell (scheme × hash × growth threshold).
-pub fn rw_cell(
-    scheme: Scheme,
-    h: HashId,
-    grow_threshold: f64,
-    cfg: RwConfig,
-) -> Result<RwCellOut, TableError> {
-    match (scheme, h) {
-        (Scheme::LP, HashId::Mult) => rw_typed(LpFactory::<MultShift>::new(), grow_threshold, cfg),
-        (Scheme::LP, HashId::Murmur) => rw_typed(LpFactory::<Murmur>::new(), grow_threshold, cfg),
-        (Scheme::QP, HashId::Mult) => rw_typed(QpFactory::<MultShift>::new(), grow_threshold, cfg),
-        (Scheme::QP, HashId::Murmur) => rw_typed(QpFactory::<Murmur>::new(), grow_threshold, cfg),
-        (Scheme::RH, HashId::Mult) => rw_typed(RhFactory::<MultShift>::new(), grow_threshold, cfg),
-        (Scheme::RH, HashId::Murmur) => rw_typed(RhFactory::<Murmur>::new(), grow_threshold, cfg),
-        (Scheme::Cuckoo4, HashId::Mult) => {
-            rw_typed(sevendim_core::CuckooFactory::<MultShift, 4>::new(), grow_threshold, cfg)
-        }
-        (Scheme::Cuckoo4, HashId::Murmur) => {
-            rw_typed(sevendim_core::CuckooFactory::<Murmur, 4>::new(), grow_threshold, cfg)
-        }
-        (Scheme::Chained24, HashId::Mult) => {
-            rw_typed(Chained24Factory::<MultShift>::new(), grow_threshold, cfg)
-        }
-        (Scheme::Chained24, HashId::Murmur) => {
-            rw_typed(Chained24Factory::<Murmur>::new(), grow_threshold, cfg)
-        }
-        (Scheme::Chained8, _) => {
-            unimplemented!("the paper's RW comparison does not include ChainedH8")
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,469 @@
+//! Unified table construction: one builder for the whole
+//! scheme × hash × capacity × seed × SIMD × growth grid.
+//!
+//! PR-1 grew a constructor per cell — `with_seed`, `with_seed_simd`,
+//! `with_hash`, `with_budget`, one [`TableFactory`] type per scheme, and
+//! `PointIndex::for_profile` — which forced every consumer (workload
+//! drivers, figure binaries, the query layer) to re-implement the same
+//! dispatch match. [`TableBuilder`] replaces that: describe the table
+//! once, then [`TableBuilder::build`] it as a `Box<dyn HashTable>`
+//! (static or growing), or hand the builder itself to
+//! [`DynamicTable`] — it *is* a [`TableFactory`].
+//!
+//! ```
+//! use sevendim_core::{HashKind, HashTable, TableBuilder, TableScheme};
+//!
+//! let mut table = TableBuilder::new(TableScheme::RobinHood)
+//!     .hash(HashKind::Mult)
+//!     .bits(10)
+//!     .seed(42)
+//!     .build();
+//! table.insert(7, 700).unwrap();
+//! assert_eq!(table.lookup(7), Some(700));
+//! assert_eq!(table.display_name(), "RHMult");
+//!
+//! // The same description, but growing at the paper's 70% threshold:
+//! let growing = TableBuilder::new(TableScheme::RobinHood).bits(4).grow_at(0.7).build();
+//! assert_eq!(growing.capacity(), 16);
+//! ```
+//!
+//! The typed constructors on each table remain available (the per-scheme
+//! unit tests and the SIMD ablations want concrete types); the builder is
+//! the *runtime* grid the query and workload layers drive.
+
+use crate::budget::chained24_directory_bits;
+use crate::decision::{recommend, TableChoice, WorkloadProfile};
+use crate::dynamic::{DynamicTable, TableFactory};
+use crate::simd::ProbeKind;
+use crate::{
+    ChainedTable24, ChainedTable8, Cuckoo, HashTable, LinearProbing, LinearProbingSoA,
+    MemoryBudget, QuadraticProbing, RobinHood, TableError,
+};
+use hashfn::{HashFamily, MultAddShift, MultShift, Murmur, Tabulation};
+use slab_alloc::SlabAllocator;
+
+/// The hashing schemes the builder can instantiate — every variant in the
+/// study (paper §2), including the SoA layout and the cuckoo arities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableScheme {
+    /// ChainedH8: directory of 8-byte links.
+    Chained8,
+    /// ChainedH24: 24-byte inline directory entries.
+    Chained24,
+    /// Linear probing, array-of-structs layout.
+    LinearProbing,
+    /// Linear probing, struct-of-arrays layout.
+    LinearProbingSoA,
+    /// Quadratic (triangular) probing.
+    Quadratic,
+    /// Robin Hood hashing.
+    RobinHood,
+    /// Cuckoo hashing on two sub-tables.
+    Cuckoo2,
+    /// Cuckoo hashing on three sub-tables.
+    Cuckoo3,
+    /// Cuckoo hashing on four sub-tables.
+    Cuckoo4,
+}
+
+impl TableScheme {
+    /// Every scheme, for grid sweeps.
+    pub const ALL: [TableScheme; 9] = [
+        TableScheme::Chained8,
+        TableScheme::Chained24,
+        TableScheme::LinearProbing,
+        TableScheme::LinearProbingSoA,
+        TableScheme::Quadratic,
+        TableScheme::RobinHood,
+        TableScheme::Cuckoo2,
+        TableScheme::Cuckoo3,
+        TableScheme::Cuckoo4,
+    ];
+
+    /// Paper-style scheme label (hash-function suffix not included).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TableScheme::Chained8 => "ChainedH8",
+            TableScheme::Chained24 => "ChainedH24",
+            TableScheme::LinearProbing => "LP",
+            TableScheme::LinearProbingSoA => "LPSoA",
+            TableScheme::Quadratic => "QP",
+            TableScheme::RobinHood => "RH",
+            TableScheme::Cuckoo2 => "CuckooH2",
+            TableScheme::Cuckoo3 => "CuckooH3",
+            TableScheme::Cuckoo4 => "CuckooH4",
+        }
+    }
+}
+
+/// The hash-function families of the study (paper §3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HashKind {
+    /// Multiply-shift.
+    Mult,
+    /// Multiply-add-shift.
+    MultAdd,
+    /// Simple tabulation.
+    Tab,
+    /// Murmur3 64-bit finalizer.
+    Murmur,
+}
+
+impl HashKind {
+    /// Every family, for grid sweeps.
+    pub const ALL: [HashKind; 4] =
+        [HashKind::Mult, HashKind::MultAdd, HashKind::Tab, HashKind::Murmur];
+
+    /// Paper-style suffix, e.g. `"Mult"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HashKind::Mult => "Mult",
+            HashKind::MultAdd => "MultAdd",
+            HashKind::Tab => "Tab",
+            HashKind::Murmur => "Murmur",
+        }
+    }
+}
+
+/// Builder for every table in the study. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct TableBuilder {
+    scheme: TableScheme,
+    hash: HashKind,
+    bits: u8,
+    seed: u64,
+    simd: bool,
+    grow_threshold: Option<f64>,
+    chained_budget: Option<usize>,
+}
+
+impl TableBuilder {
+    /// Start describing a table of `scheme` with the defaults: Mult
+    /// hashing, `2^16` slots, seed 0, scalar probing, no growth.
+    pub fn new(scheme: TableScheme) -> Self {
+        Self {
+            scheme,
+            hash: HashKind::Mult,
+            bits: 16,
+            seed: 0,
+            simd: false,
+            grow_threshold: None,
+            chained_budget: None,
+        }
+    }
+
+    /// Builder preconfigured by the paper's decision graph (Figure 8) for
+    /// workload `profile`, with nominal capacity `2^bits` and hash
+    /// functions derived from `seed` (see [`profile_choice`]).
+    pub fn for_profile(profile: &WorkloadProfile, bits: u8, seed: u64) -> Self {
+        let n_target = ((1usize << bits) as f64 * profile.load_factor).round() as usize;
+        let base = Self::new(TableScheme::LinearProbing).hash(HashKind::Mult).bits(bits).seed(seed);
+        match profile_choice(profile, bits) {
+            TableChoice::LPMult => base.scheme(TableScheme::LinearProbing),
+            TableChoice::QPMult => base.scheme(TableScheme::Quadratic),
+            TableChoice::RHMult => base.scheme(TableScheme::RobinHood),
+            TableChoice::CuckooH4Mult => base.scheme(TableScheme::Cuckoo4),
+            TableChoice::ChainedH24Mult => {
+                base.scheme(TableScheme::Chained24).chained_budget(n_target)
+            }
+        }
+    }
+
+    /// Change the scheme, keeping everything else.
+    pub fn scheme(mut self, scheme: TableScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Hash-function family (default [`HashKind::Mult`]).
+    pub fn hash(mut self, hash: HashKind) -> Self {
+        self.hash = hash;
+        self
+    }
+
+    /// Nominal capacity exponent: `2^bits` slots (default 16). Chained
+    /// tables get a `2^(bits-1)` directory, the footprint-comparable
+    /// convention of §6.
+    pub fn bits(mut self, bits: u8) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Seed for hash-function sampling (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Probe with the AVX2 kernels where available (LP layouts only;
+    /// other schemes ignore the toggle). Default off.
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = on;
+        self
+    }
+
+    /// Wrap the table in a [`DynamicTable`] that doubles when the load
+    /// factor would cross `threshold` (the paper's RW thresholds are
+    /// 0.5, 0.7, 0.9).
+    pub fn grow_at(mut self, threshold: f64) -> Self {
+        self.grow_threshold = Some(threshold);
+        self
+    }
+
+    /// Apply the §4.5 memory budget to a chained scheme, targeting
+    /// `n_target` entries in the `2^bits` open-addressing-equivalent
+    /// footprint. [`TableBuilder::try_build`] then fails with
+    /// [`TableError::MemoryBudgetExceeded`] when no directory size fits —
+    /// the paper's "absent cell". Ignored by non-chained schemes.
+    pub fn chained_budget(mut self, n_target: usize) -> Self {
+        self.chained_budget = Some(n_target);
+        self
+    }
+
+    /// The configured scheme.
+    pub fn scheme_kind(&self) -> TableScheme {
+        self.scheme
+    }
+
+    /// The configured hash family.
+    pub fn hash_kind(&self) -> HashKind {
+        self.hash
+    }
+
+    /// Paper-style label of the configured cell, e.g. `"RHMult"`.
+    pub fn label(&self) -> String {
+        format!("{}{}", self.scheme.name(), self.hash.name())
+    }
+
+    /// Build the described table, wrapping it in a growing
+    /// [`DynamicTable`] when [`TableBuilder::grow_at`] was set.
+    ///
+    /// The only fallible configuration is a budgeted chained table (see
+    /// [`TableBuilder::chained_budget`]); everything else always
+    /// succeeds.
+    pub fn try_build(&self) -> Result<Box<dyn HashTable>, TableError> {
+        match self.grow_threshold {
+            Some(threshold) => {
+                let factory = Self { grow_threshold: None, chained_budget: None, ..self.clone() };
+                Ok(Box::new(DynamicTable::new(factory, self.bits, self.seed, threshold)))
+            }
+            None => self.build_static(),
+        }
+    }
+
+    /// [`TableBuilder::try_build`], panicking on an infeasible chained
+    /// budget — the convenient form for the non-budgeted grid.
+    pub fn build(&self) -> Box<dyn HashTable> {
+        self.try_build().expect("table configuration is infeasible (chained memory budget)")
+    }
+
+    fn build_static(&self) -> Result<Box<dyn HashTable>, TableError> {
+        match self.hash {
+            HashKind::Mult => self.build_with_hash::<MultShift>(),
+            HashKind::MultAdd => self.build_with_hash::<MultAddShift>(),
+            HashKind::Tab => self.build_with_hash::<Tabulation>(),
+            HashKind::Murmur => self.build_with_hash::<Murmur>(),
+        }
+    }
+
+    fn build_with_hash<H: HashFamily>(&self) -> Result<Box<dyn HashTable>, TableError> {
+        let (bits, seed) = (self.bits, self.seed);
+        Ok(match self.scheme {
+            TableScheme::Chained8 => match self.chained_budget {
+                Some(n) => Box::new(ChainedTable8::<H>::with_budget(bits, n, seed)?),
+                None => Box::new(self.unbudgeted_chained8::<H>()),
+            },
+            TableScheme::Chained24 => match self.chained_budget {
+                Some(n) => Box::new(ChainedTable24::<H>::with_budget(bits, n, seed)?),
+                None => Box::new(self.unbudgeted_chained24::<H>()),
+            },
+            TableScheme::LinearProbing => {
+                let mut t = LinearProbing::<H>::with_seed(bits, seed);
+                if self.simd {
+                    t.set_probe_kind(ProbeKind::Simd);
+                }
+                Box::new(t)
+            }
+            TableScheme::LinearProbingSoA => {
+                let mut t = LinearProbingSoA::<H>::with_seed(bits, seed);
+                if self.simd {
+                    t.set_probe_kind(ProbeKind::Simd);
+                }
+                Box::new(t)
+            }
+            TableScheme::Quadratic => Box::new(QuadraticProbing::<H>::with_seed(bits, seed)),
+            TableScheme::RobinHood => Box::new(RobinHood::<H>::with_seed(bits, seed)),
+            TableScheme::Cuckoo2 => Box::new(Cuckoo::<H, 2>::with_seed(bits, seed)),
+            TableScheme::Cuckoo3 => Box::new(Cuckoo::<H, 3>::with_seed(bits, seed)),
+            TableScheme::Cuckoo4 => Box::new(Cuckoo::<H, 4>::with_seed(bits, seed)),
+        })
+    }
+
+    /// Unbudgeted chained table sized like the dynamic factories of §6: a
+    /// `2^(bits-1)` directory tracked against a `2^bits` nominal capacity,
+    /// keeping its footprint comparable to the open-addressing schemes.
+    fn unbudgeted_chained8<H: HashFamily>(&self) -> ChainedTable8<H> {
+        let dir_bits = self.bits.saturating_sub(1).max(1);
+        ChainedTable8::new(
+            dir_bits,
+            H::from_seed(self.seed),
+            SlabAllocator::new(),
+            MemoryBudget::unlimited(),
+            Some(1usize << self.bits),
+        )
+    }
+
+    fn unbudgeted_chained24<H: HashFamily>(&self) -> ChainedTable24<H> {
+        let dir_bits = self.bits.saturating_sub(1).max(1);
+        ChainedTable24::new(
+            dir_bits,
+            H::from_seed(self.seed),
+            SlabAllocator::new(),
+            MemoryBudget::unlimited(),
+            Some(1usize << self.bits),
+        )
+    }
+}
+
+/// The table [`TableBuilder::for_profile`] will actually build: the
+/// decision graph's recommendation (Figure 8), downgraded to `RHMult` —
+/// the paper's all-rounder — when the recommendation is chained hashing
+/// but the §4.5 memory budget for a `2^bits` open-addressing-equivalent
+/// footprint cannot hold the profile's target fill.
+pub fn profile_choice(profile: &WorkloadProfile, bits: u8) -> TableChoice {
+    let choice = recommend(profile);
+    if choice == TableChoice::ChainedH24Mult {
+        let n_target = ((1usize << bits) as f64 * profile.load_factor).round() as usize;
+        let budget = MemoryBudget::open_addressing_equivalent(bits);
+        if chained24_directory_bits(budget, n_target, bits).is_none() {
+            return TableChoice::RHMult;
+        }
+    }
+    choice
+}
+
+/// A `TableBuilder` is a [`TableFactory`]: [`DynamicTable`] re-invokes it
+/// with a larger `bits` (and a fresh seed) on every growth step. Growth
+/// builds are always unbudgeted — a table that is allowed to double has,
+/// by definition, no fixed §4.5 footprint to budget against.
+impl TableFactory for TableBuilder {
+    type Table = Box<dyn HashTable>;
+
+    fn build(&self, bits: u8, seed: u64) -> Box<dyn HashTable> {
+        Self { bits, seed, grow_threshold: None, chained_budget: None, ..self.clone() }
+            .build_static()
+            .expect("unbudgeted static build cannot fail")
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_common::check_against_model;
+    use crate::InsertOutcome;
+
+    #[test]
+    fn builds_every_scheme_hash_cell() {
+        for scheme in TableScheme::ALL {
+            for hash in HashKind::ALL {
+                let mut t = TableBuilder::new(scheme).hash(hash).bits(10).seed(3).build();
+                assert_eq!(
+                    t.display_name(),
+                    format!("{}{}", scheme.name(), hash.name()),
+                    "label mismatch"
+                );
+                for k in 1..=100u64 {
+                    assert_eq!(t.insert(k, k * 2), Ok(InsertOutcome::Inserted));
+                }
+                assert_eq!(t.len(), 100);
+                assert_eq!(t.lookup(40), Some(80));
+                assert_eq!(t.delete(40), Some(80));
+                assert_eq!(t.lookup(40), None);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_toggle_reaches_lp_layouts() {
+        let t = TableBuilder::new(TableScheme::LinearProbing).bits(8).simd(true).build();
+        assert_eq!(t.display_name(), "LPMultSIMD");
+        let t = TableBuilder::new(TableScheme::LinearProbingSoA).bits(8).simd(true).build();
+        assert_eq!(t.display_name(), "LPSoAMultSIMD");
+        // Non-LP schemes ignore the toggle.
+        let t = TableBuilder::new(TableScheme::RobinHood).bits(8).simd(true).build();
+        assert_eq!(t.display_name(), "RHMult");
+    }
+
+    #[test]
+    fn grow_at_produces_a_doubling_table() {
+        let mut t = TableBuilder::new(TableScheme::Quadratic)
+            .hash(HashKind::Murmur)
+            .bits(4)
+            .seed(9)
+            .grow_at(0.5)
+            .build();
+        assert_eq!(t.capacity(), 16);
+        for k in 1..=1000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.capacity() >= 2048, "capacity {} should have doubled repeatedly", t.capacity());
+        for k in (1..=1000u64).step_by(13) {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn budgeted_chained_reports_infeasible_cells() {
+        // 90% of a 2^10 table cannot fit chained hashing's §4.5 budget.
+        let b = TableBuilder::new(TableScheme::Chained24).bits(10).chained_budget(922);
+        assert!(matches!(b.try_build(), Err(TableError::MemoryBudgetExceeded)));
+        // At 45% it fits.
+        let b = TableBuilder::new(TableScheme::Chained24).bits(10).chained_budget(460);
+        assert!(b.try_build().is_ok());
+    }
+
+    #[test]
+    fn for_profile_matches_decision_graph() {
+        let read_low = WorkloadProfile {
+            load_factor: 0.3,
+            successful_ratio: 1.0,
+            write_ratio: 0.0,
+            dense_keys: false,
+            mutability: crate::decision::Mutability::Static,
+        };
+        assert_eq!(TableBuilder::for_profile(&read_low, 10, 1).build().display_name(), "LPMult");
+        let very_full = WorkloadProfile { load_factor: 0.92, ..read_low };
+        assert_eq!(
+            TableBuilder::for_profile(&very_full, 10, 1).build().display_name(),
+            "CuckooH4Mult"
+        );
+        let miss_heavy = WorkloadProfile { successful_ratio: 0.1, ..read_low };
+        assert!(TableBuilder::for_profile(&miss_heavy, 10, 1)
+            .build()
+            .display_name()
+            .starts_with("ChainedH24"));
+    }
+
+    #[test]
+    fn dynamic_builds_keep_model_semantics() {
+        let mut t = TableBuilder::new(TableScheme::Cuckoo3)
+            .hash(HashKind::Tab)
+            .bits(5)
+            .seed(2)
+            .grow_at(0.6)
+            .build();
+        check_against_model(&mut t, 3000, 0x60D);
+    }
+
+    #[test]
+    fn label_matches_display_name_across_grid() {
+        for scheme in TableScheme::ALL {
+            let b = TableBuilder::new(scheme).hash(HashKind::Murmur).bits(8);
+            assert_eq!(b.label(), b.build().display_name());
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! four ≈ 97% (Fotakis et al.), and the paper needs load factors up to
 //! 90%. The `K = 2, 3` variants back the threshold ablation.
 
+use crate::simd::{prefetch_read, PREFETCH_BATCH};
 use crate::{check_capacity_bits, is_reserved_key, HashTable, InsertOutcome, Pair, TableError};
 use hashfn::HashFamily;
 use rand::{rngs::StdRng, SeedableRng};
@@ -265,6 +266,76 @@ impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
         None
     }
 
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "lookup_batch: keys and out lengths differ");
+        // Cuckoo is where batching shines brightest: each key has K
+        // *independent* candidate lines, so pass 1 launches K·window
+        // parallel misses that pass 2 then consumes without stalling.
+        let mut cand = [[0usize; K]; PREFETCH_BATCH];
+        let mut kchunks = keys.chunks(PREFETCH_BATCH);
+        let mut ochunks = out.chunks_mut(PREFETCH_BATCH);
+        while let (Some(kc), Some(oc)) = (kchunks.next(), ochunks.next()) {
+            for (c, &k) in cand.iter_mut().zip(kc) {
+                for (t, slot) in c.iter_mut().enumerate() {
+                    *slot = self.slot_of(t, k);
+                    prefetch_read(&self.slots[*slot] as *const Pair);
+                }
+            }
+            for ((o, &k), c) in oc.iter_mut().zip(kc).zip(&cand) {
+                *o = if is_reserved_key(k) {
+                    None
+                } else {
+                    c.iter().find_map(|&pos| {
+                        let slot = &self.slots[pos];
+                        (slot.key == k).then_some(slot.value)
+                    })
+                };
+            }
+        }
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        assert_eq!(items.len(), out.len(), "insert_batch: items and out lengths differ");
+        // Prefetch-only pass: an insert can resample every hash function
+        // (full rehash on a cycle), so candidate slots cannot be reused
+        // across elements — but warming the K lines each insert touches
+        // first still overlaps the misses of the common no-kick case.
+        let mut ichunks = items.chunks(PREFETCH_BATCH);
+        let mut ochunks = out.chunks_mut(PREFETCH_BATCH);
+        while let (Some(ic), Some(oc)) = (ichunks.next(), ochunks.next()) {
+            for &(k, _) in ic {
+                for t in 0..K {
+                    prefetch_read(&self.slots[self.slot_of(t, k)] as *const Pair);
+                }
+            }
+            for (o, &(k, v)) in oc.iter_mut().zip(ic) {
+                *o = self.insert(k, v);
+            }
+        }
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        // Deletes never rehash, so candidates stay valid across the
+        // window; prefetch all K lines per key, then delete.
+        assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
+        let mut kchunks = keys.chunks(PREFETCH_BATCH);
+        let mut ochunks = out.chunks_mut(PREFETCH_BATCH);
+        while let (Some(kc), Some(oc)) = (kchunks.next(), ochunks.next()) {
+            for &k in kc {
+                for t in 0..K {
+                    prefetch_read(&self.slots[self.slot_of(t, k)] as *const Pair);
+                }
+            }
+            for (o, &k) in oc.iter_mut().zip(kc) {
+                *o = self.delete(k);
+            }
+        }
+    }
+
     fn len(&self) -> usize {
         self.len
     }
@@ -457,5 +528,13 @@ mod tests {
     #[test]
     fn model_test_against_std_hashmap() {
         check_against_model(&mut table(10), 5000, 0xCCC);
+    }
+
+    #[test]
+    fn batch_ops_match_single_key_path() {
+        check_batch_matches_single(&mut table(9), &mut table(9), 0xC0BA);
+        let mut a: CuckooH3<MultShift> = Cuckoo::with_seed(9, 4);
+        let mut b: CuckooH3<MultShift> = Cuckoo::with_seed(9, 4);
+        check_batch_matches_single(&mut a, &mut b, 0xC3BA);
     }
 }

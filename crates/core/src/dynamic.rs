@@ -292,6 +292,19 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
         self.inner.delete(key)
     }
 
+    // Reads and deletes never grow the table, so whole batches delegate
+    // straight to the inner table's (prefetching) overrides. `insert_batch`
+    // deliberately keeps the element-by-element default: each insert must
+    // re-check the growth threshold, and a mid-batch doubling invalidates
+    // any precomputed home slots.
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.inner.lookup_batch(keys, out)
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.inner.delete_batch(keys, out)
+    }
+
     fn len(&self) -> usize {
         self.inner.len()
     }

@@ -35,6 +35,7 @@
 //! used by the Figure 7 reproduction.
 
 pub mod budget;
+pub mod builder;
 pub mod chained;
 pub mod cuckoo;
 pub mod decision;
@@ -50,6 +51,7 @@ pub mod stats;
 pub(crate) mod tests_common;
 
 pub use budget::MemoryBudget;
+pub use builder::{profile_choice, HashKind, TableBuilder, TableScheme};
 pub use chained::{ChainedTable24, ChainedTable8};
 pub use cuckoo::Cuckoo;
 pub use decision::{recommend, TableChoice, WorkloadProfile};
@@ -57,10 +59,10 @@ pub use dynamic::{
     Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, LpFactory, LpSoAFactory,
     QpFactory, RhFactory, TableFactory,
 };
-pub use linear_probing::LinearProbing;
+pub use linear_probing::{DeleteStrategy, LinearProbing};
 pub use lp_soa::LinearProbingSoA;
 pub use quadratic::QuadraticProbing;
-pub use robin_hood::RobinHood;
+pub use robin_hood::{RhLookupMode, RobinHood};
 
 use hashfn::HashFn64;
 
@@ -177,6 +179,17 @@ impl std::error::Error for TableError {}
 /// The trait is deliberately narrow — exactly the operations the paper's
 /// workloads exercise — so the workload drivers and the query-processing
 /// layer stay generic over scheme × hash function.
+///
+/// # Batch operations
+///
+/// Query processing feeds tables keys in bulk (join probes, group-by
+/// updates), so every operation also exists in a `*_batch` form that is
+/// **semantically identical** to calling the single-key form element by
+/// element, in order. The defaults are exactly that loop; the
+/// open-addressing tables override them with a two-pass hash-then-probe
+/// implementation that precomputes home slots and issues software
+/// prefetches so independent cache misses overlap (see
+/// [`simd::prefetch_read`]).
 pub trait HashTable {
     /// Insert or update `key → value`.
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError>;
@@ -186,6 +199,48 @@ pub trait HashTable {
 
     /// Remove `key`, returning its value if it was present.
     fn delete(&mut self, key: u64) -> Option<u64>;
+
+    /// Look up `keys[i]` into `out[i]` for every `i`, exactly as if
+    /// [`HashTable::lookup`] had been called element by element.
+    ///
+    /// # Panics
+    /// Panics if `keys.len() != out.len()`.
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "lookup_batch: keys and out lengths differ");
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.lookup(k);
+        }
+    }
+
+    /// Insert every `(key, value)` of `items` in order, recording each
+    /// outcome in `out[i]`, exactly as if [`HashTable::insert`] had been
+    /// called element by element (later elements still run after an
+    /// earlier element fails).
+    ///
+    /// # Panics
+    /// Panics if `items.len() != out.len()`.
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        assert_eq!(items.len(), out.len(), "insert_batch: items and out lengths differ");
+        for (o, &(k, v)) in out.iter_mut().zip(items) {
+            *o = self.insert(k, v);
+        }
+    }
+
+    /// Delete `keys[i]` into `out[i]` for every `i`, exactly as if
+    /// [`HashTable::delete`] had been called element by element.
+    ///
+    /// # Panics
+    /// Panics if `keys.len() != out.len()`.
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
+        for (o, &k) in out.iter_mut().zip(keys) {
+            *o = self.delete(k);
+        }
+    }
 
     /// Number of live entries.
     fn len(&self) -> usize;
@@ -215,6 +270,69 @@ pub trait HashTable {
 
     /// Display name in the paper's naming style, e.g. `"LPMult"`.
     fn display_name(&self) -> String;
+}
+
+/// Boxed tables are tables: every call — including the batch forms, so a
+/// `Box<dyn HashTable>` still reaches the prefetching overrides through
+/// the vtable — delegates to the boxed value. This is what lets
+/// [`TableBuilder`]-built trait objects flow through every generic
+/// workload driver unchanged.
+impl<T: HashTable + ?Sized> HashTable for Box<T> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        (**self).insert(key, value)
+    }
+
+    fn lookup(&self, key: u64) -> Option<u64> {
+        (**self).lookup(key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        (**self).delete(key)
+    }
+
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        (**self).lookup_batch(keys, out)
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        (**self).insert_batch(items, out)
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        (**self).delete_batch(keys, out)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn capacity(&self) -> usize {
+        (**self).capacity()
+    }
+
+    fn load_factor(&self) -> f64 {
+        (**self).load_factor()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        (**self).for_each(f)
+    }
+
+    fn display_name(&self) -> String {
+        (**self).display_name()
+    }
 }
 
 /// Derive the home slot of `key` in a `2^bits`-slot table using hash

@@ -13,7 +13,8 @@
 //! identical to [`crate::LinearProbing`]; the shared behavioural test
 //! suite runs against both.
 
-use crate::simd::{scan_keys, ProbeKind, ScanOutcome};
+use crate::linear_probing::{two_pass_batch, two_pass_insert_batch};
+use crate::simd::{prefetch_read, scan_keys, ProbeKind, ScanOutcome, PREFETCH_BATCH};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, TableError,
     EMPTY_KEY, TOMBSTONE_KEY,
@@ -124,29 +125,31 @@ impl<H: HashFn64> LinearProbingSoA<H> {
         home_slot(&self.hash, key, self.bits)
     }
 
-    /// Probe with the configured kind (kernels shared with the SIMD
-    /// module; the scalar kernel is the reference implementation).
+    /// Probe for `key` from its home slot `home` (kernels shared with the
+    /// SIMD module; the scalar kernel is the reference implementation).
     #[inline]
-    fn probe(&self, key: u64) -> Result<usize, usize> {
-        let r = scan_keys(&self.keys, self.home(key), key, self.probe_kind);
+    fn probe_from(&self, home: usize, key: u64) -> Result<usize, usize> {
+        let r = scan_keys(&self.keys, home, key, self.probe_kind);
         match r.outcome {
             ScanOutcome::FoundKey(pos) => Ok(pos),
             ScanOutcome::FoundEmpty(pos) => Err(r.first_tombstone.unwrap_or(pos)),
             ScanOutcome::Exhausted => Err(r.first_tombstone.unwrap_or(usize::MAX)),
         }
     }
-}
 
-impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
-    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
-        if is_reserved_key(key) {
-            return Err(TableError::ReservedKey);
-        }
+    /// [`HashTable::insert`] body with a precomputed `home` slot; `key`
+    /// must not be reserved.
+    fn insert_from(
+        &mut self,
+        home: usize,
+        key: u64,
+        value: u64,
+    ) -> Result<InsertOutcome, TableError> {
         if self.probe_kind != ProbeKind::Simd && self.len + self.tombstones < self.mask {
             // Hot scalar path, mirroring the AoS variant: empty-first
             // probing over the key array, values touched only on the
             // final store — the defining SoA cost profile.
-            let mut pos = self.home(key);
+            let mut pos = home;
             let mut first_tombstone = usize::MAX;
             loop {
                 let k = self.keys[pos];
@@ -170,7 +173,7 @@ impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
                 pos = (pos + 1) & self.mask;
             }
         }
-        match self.probe(key) {
+        match self.probe_from(home, key) {
             Ok(pos) => {
                 let old = std::mem::replace(&mut self.values[pos], value);
                 Ok(InsertOutcome::Replaced(old))
@@ -193,12 +196,10 @@ impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
         }
     }
 
+    /// [`HashTable::lookup`] body with a precomputed `home` slot.
     #[inline]
-    fn lookup(&self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        match scan_keys(&self.keys, self.home(key), key, self.probe_kind).outcome {
+    fn lookup_from(&self, home: usize, key: u64) -> Option<u64> {
+        match scan_keys(&self.keys, home, key, self.probe_kind).outcome {
             // The value array is touched only on a hit — SoA's defining
             // cost profile.
             ScanOutcome::FoundKey(pos) => Some(self.values[pos]),
@@ -206,11 +207,9 @@ impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
         }
     }
 
-    fn delete(&mut self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        let pos = self.probe(key).ok()?;
+    /// [`HashTable::delete`] body with a precomputed `home` slot.
+    fn delete_from(&mut self, home: usize, key: u64) -> Option<u64> {
+        let pos = self.probe_from(home, key).ok()?;
         let value = self.values[pos];
         let next = (pos + 1) & self.mask;
         // Optimized tombstones, exactly as in the AoS variant.
@@ -222,6 +221,67 @@ impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
         }
         self.len -= 1;
         Some(value)
+    }
+}
+
+impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        self.insert_from(self.home(key), key, value)
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.lookup_from(self.home(key), key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.delete_from(self.home(key), key)
+    }
+
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        two_pass_batch!(
+            self,
+            keys,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.keys[h] as *const u64,
+            |t: &Self, h, k| if is_reserved_key(k) { None } else { t.lookup_from(h, k) }
+        );
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        two_pass_insert_batch!(
+            self,
+            items,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.keys[h] as *const u64,
+            |t: &mut Self, h, k, v| t.insert_from(h, k, v)
+        );
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        two_pass_batch!(
+            self,
+            keys,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.keys[h] as *const u64,
+            |t: &mut Self, h, k| if is_reserved_key(k) { None } else { t.delete_from(h, k) }
+        );
     }
 
     fn len(&self) -> usize {
@@ -301,6 +361,12 @@ mod tests {
     #[test]
     fn model_test_simd() {
         check_against_model(&mut simd(10), 5000, 0x50B);
+    }
+
+    #[test]
+    fn batch_ops_match_single_key_path() {
+        check_batch_matches_single(&mut scalar(9), &mut scalar(9), 0x50A7);
+        check_batch_matches_single(&mut simd(9), &mut simd(9), 0x50A8);
     }
 
     #[test]

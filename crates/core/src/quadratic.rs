@@ -17,6 +17,8 @@
 //! at which the key reached the slot), so no cheap local check can prove a
 //! cluster stays connected. Inserts recycle tombstones as in LP.
 
+use crate::linear_probing::{two_pass_batch, two_pass_insert_batch};
+use crate::simd::{prefetch_read, PREFETCH_BATCH};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
 };
@@ -102,13 +104,14 @@ impl<H: HashFn64> QuadraticProbing<H> {
         self.insert(key, value)
     }
 
-    /// Probe for `key` along the triangular sequence: `Ok(slot)` if found,
-    /// `Err(insert_slot)` otherwise (first tombstone if any, else the
-    /// terminating empty slot; `usize::MAX` if the full sequence found
-    /// neither the key nor an empty slot nor a tombstone).
+    /// Probe for `key` along the triangular sequence from its home slot
+    /// `home`: `Ok(slot)` if found, `Err(insert_slot)` otherwise (first
+    /// tombstone if any, else the terminating empty slot; `usize::MAX` if
+    /// the full sequence found neither the key nor an empty slot nor a
+    /// tombstone).
     #[inline]
-    fn probe(&self, key: u64) -> Result<usize, usize> {
-        let mut pos = self.home(key);
+    fn probe_from(&self, home: usize, key: u64) -> Result<usize, usize> {
+        let mut pos = home;
         let mut first_tombstone = usize::MAX;
         for i in 1..=(self.mask as u64 + 1) {
             let slot = &self.slots[pos];
@@ -127,14 +130,16 @@ impl<H: HashFn64> QuadraticProbing<H> {
         }
         Err(first_tombstone)
     }
-}
 
-impl<H: HashFn64> HashTable for QuadraticProbing<H> {
-    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
-        if is_reserved_key(key) {
-            return Err(TableError::ReservedKey);
-        }
-        match self.probe(key) {
+    /// [`HashTable::insert`] body with a precomputed `home` slot; `key`
+    /// must not be reserved.
+    fn insert_from(
+        &mut self,
+        home: usize,
+        key: u64,
+        value: u64,
+    ) -> Result<InsertOutcome, TableError> {
+        match self.probe_from(home, key) {
             Ok(pos) => {
                 let old = std::mem::replace(&mut self.slots[pos].value, value);
                 Ok(InsertOutcome::Replaced(old))
@@ -156,12 +161,10 @@ impl<H: HashFn64> HashTable for QuadraticProbing<H> {
         }
     }
 
+    /// [`HashTable::lookup`] body with a precomputed `home` slot.
     #[inline]
-    fn lookup(&self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        let mut pos = self.home(key);
+    fn lookup_from(&self, home: usize, key: u64) -> Option<u64> {
+        let mut pos = home;
         let mut i = 1u64;
         loop {
             let slot = &self.slots[pos];
@@ -176,11 +179,9 @@ impl<H: HashFn64> HashTable for QuadraticProbing<H> {
         }
     }
 
-    fn delete(&mut self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        let pos = self.probe(key).ok()?;
+    /// [`HashTable::delete`] body with a precomputed `home` slot.
+    fn delete_from(&mut self, home: usize, key: u64) -> Option<u64> {
+        let pos = self.probe_from(home, key).ok()?;
         let value = self.slots[pos].value;
         // Unlike LP, a tombstone is always required: other keys reach this
         // slot at different probe iterations and continue to different
@@ -190,6 +191,67 @@ impl<H: HashFn64> HashTable for QuadraticProbing<H> {
         self.tombstones += 1;
         self.len -= 1;
         Some(value)
+    }
+}
+
+impl<H: HashFn64> HashTable for QuadraticProbing<H> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        self.insert_from(self.home(key), key, value)
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.lookup_from(self.home(key), key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.delete_from(self.home(key), key)
+    }
+
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        two_pass_batch!(
+            self,
+            keys,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.slots[h] as *const Pair,
+            |t: &Self, h, k| if is_reserved_key(k) { None } else { t.lookup_from(h, k) }
+        );
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        two_pass_insert_batch!(
+            self,
+            items,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.slots[h] as *const Pair,
+            |t: &mut Self, h, k, v| t.insert_from(h, k, v)
+        );
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        two_pass_batch!(
+            self,
+            keys,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.slots[h] as *const Pair,
+            |t: &mut Self, h, k| if is_reserved_key(k) { None } else { t.delete_from(h, k) }
+        );
     }
 
     fn len(&self) -> usize {
@@ -378,5 +440,10 @@ mod tests {
         // Force heavy secondary clustering with multiplier 1 and dense keys.
         let mut t: QuadraticProbing<MultShift> = QuadraticProbing::with_hash(8, MultShift::new(1));
         check_against_model(&mut t, 4000, 0xDEAD);
+    }
+
+    #[test]
+    fn batch_ops_match_single_key_path() {
+        check_batch_matches_single(&mut table(9), &mut table(9), 0x9BA7);
     }
 }

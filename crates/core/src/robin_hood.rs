@@ -17,6 +17,8 @@
 //! (partial cluster rehash): tombstones are unusable here because they
 //! carry no displacement information.
 
+use crate::linear_probing::{two_pass_batch, two_pass_insert_batch};
+use crate::simd::{prefetch_read, PREFETCH_BATCH};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
 };
@@ -25,6 +27,27 @@ use hashfn::{HashFamily, HashFn64};
 /// Entries per 64-byte cache line at 16 bytes per AoS slot; the "m" of the
 /// paper's every-m-th-probe abort check.
 pub const ENTRIES_PER_CACHE_LINE: usize = 4;
+
+/// Which early-abort criterion [`HashTable::lookup`] uses on a Robin Hood
+/// table. The paper evaluates all three (§2.4) and selects the cache-line
+/// check; the rejected ones stay selectable to back that ablation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RhLookupMode {
+    /// The tuned criterion the paper selected: recompute the resident's
+    /// displacement once per cache line and stop when it is "richer".
+    #[default]
+    CacheLine,
+    /// Rejected: stop an unsuccessful probe after `dmax` iterations. The
+    /// paper found `dmax` "often still too high to obtain significant
+    /// improvements over LP" — at high load it can be an order of
+    /// magnitude above the average displacement.
+    DmaxBound,
+    /// Rejected: compare the probe iteration against the resident's
+    /// displacement on **every** step. Tightest abort, but a hash
+    /// recomputation per probed slot — "prohibitively expensive w.r.t.
+    /// runtime and inferior to plain LP in most scenarios".
+    CheckedEveryProbe,
+}
 
 /// Robin Hood hashing over an AoS slot array.
 #[derive(Clone)]
@@ -37,8 +60,9 @@ pub struct RobinHood<H: HashFn64> {
     /// Upper bound on the maximum displacement of any entry ever stored.
     /// Maintained monotonically: inserts raise it, deletes do not lower it
     /// (recomputing on delete is exactly the bookkeeping the paper found
-    /// impractical, §2.4). Backs [`RobinHood::lookup_dmax`].
+    /// impractical, §2.4). Backs [`RhLookupMode::DmaxBound`].
     dmax: usize,
+    lookup_mode: RhLookupMode,
 }
 
 impl<H: HashFamily> RobinHood<H> {
@@ -60,10 +84,23 @@ impl<H: HashFn64> RobinHood<H> {
             hash,
             len: 0,
             dmax: 0,
+            lookup_mode: RhLookupMode::default(),
         }
     }
 
-    /// The tracked upper bound on entry displacement (see [`RobinHood::lookup_dmax`]).
+    /// Choose the lookup abort criterion (default: the paper's tuned
+    /// cache-line check).
+    pub fn set_lookup_mode(&mut self, mode: RhLookupMode) {
+        self.lookup_mode = mode;
+    }
+
+    /// The lookup abort criterion in use.
+    pub fn lookup_mode(&self) -> RhLookupMode {
+        self.lookup_mode
+    }
+
+    /// The tracked upper bound on entry displacement (see
+    /// [`RhLookupMode::DmaxBound`]).
     pub fn dmax(&self) -> usize {
         self.dmax
     }
@@ -124,15 +161,19 @@ impl<H: HashFn64> RobinHood<H> {
     }
 }
 
-impl<H: HashFn64> HashTable for RobinHood<H> {
-    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
-        if is_reserved_key(key) {
-            return Err(TableError::ReservedKey);
-        }
+impl<H: HashFn64> RobinHood<H> {
+    /// [`HashTable::insert`] body with a precomputed `home` slot; `key`
+    /// must not be reserved.
+    fn insert_from(
+        &mut self,
+        home: usize,
+        key: u64,
+        value: u64,
+    ) -> Result<InsertOutcome, TableError> {
         if self.len >= self.mask {
             // Table would lose its last empty probe terminator. Updates of
             // existing keys are still allowed.
-            return match self.lookup_slot(key) {
+            return match self.lookup_slot_from(home, key) {
                 Some(pos) => {
                     let old = std::mem::replace(&mut self.slots[pos].value, value);
                     Ok(InsertOutcome::Replaced(old))
@@ -141,7 +182,7 @@ impl<H: HashFn64> HashTable for RobinHood<H> {
             };
         }
 
-        let mut pos = self.home(key);
+        let mut pos = home;
         let mut dist = 0usize;
         // Phase 1: search for the key itself (duplicate => replace) until
         // we find an empty slot or a richer resident.
@@ -190,19 +231,25 @@ impl<H: HashFn64> HashTable for RobinHood<H> {
         }
     }
 
+    /// [`HashTable::lookup`] body with a precomputed `home` slot,
+    /// dispatching on the configured [`RhLookupMode`].
     #[inline]
-    fn lookup(&self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
+    fn lookup_from(&self, home: usize, key: u64) -> Option<u64> {
+        match self.lookup_mode {
+            RhLookupMode::CacheLine => {
+                self.lookup_slot_from(home, key).map(|pos| self.slots[pos].value)
+            }
+            RhLookupMode::DmaxBound => self.lookup_dmax_from(home, key),
+            RhLookupMode::CheckedEveryProbe => self.lookup_checked_from(home, key),
         }
-        self.lookup_slot(key).map(|pos| self.slots[pos].value)
     }
 
-    fn delete(&mut self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        let pos = self.lookup_slot(key)?;
+    /// [`HashTable::delete`] body with a precomputed `home` slot. Always
+    /// locates the victim with the exact tuned probe, whatever the lookup
+    /// mode — the rejected abort criteria are lookup ablations, not
+    /// deletion semantics.
+    fn delete_from(&mut self, home: usize, key: u64) -> Option<u64> {
+        let pos = self.lookup_slot_from(home, key)?;
         let value = self.slots[pos].value;
         // Backward shift ("partial cluster rehash"): pull successors one
         // slot back until the cluster ends or an entry already sits at its
@@ -220,6 +267,67 @@ impl<H: HashFn64> HashTable for RobinHood<H> {
         }
         self.len -= 1;
         Some(value)
+    }
+}
+
+impl<H: HashFn64> HashTable for RobinHood<H> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        self.insert_from(self.home(key), key, value)
+    }
+
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.lookup_from(self.home(key), key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.delete_from(self.home(key), key)
+    }
+
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        two_pass_batch!(
+            self,
+            keys,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.slots[h] as *const Pair,
+            |t: &Self, h, k| if is_reserved_key(k) { None } else { t.lookup_from(h, k) }
+        );
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        two_pass_insert_batch!(
+            self,
+            items,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.slots[h] as *const Pair,
+            |t: &mut Self, h, k, v| t.insert_from(h, k, v)
+        );
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        two_pass_batch!(
+            self,
+            keys,
+            out,
+            |t: &Self, k| t.home(k),
+            |t: &Self, h: usize| &t.slots[h] as *const Pair,
+            |t: &mut Self, h, k| if is_reserved_key(k) { None } else { t.delete_from(h, k) }
+        );
     }
 
     fn len(&self) -> usize {
@@ -246,17 +354,10 @@ impl<H: HashFn64> HashTable for RobinHood<H> {
 }
 
 impl<H: HashFn64> RobinHood<H> {
-    /// Lookup with the paper's *rejected* `dmax` abort criterion (§2.4):
-    /// stop an unsuccessful probe after [`RobinHood::dmax`] iterations.
-    /// The paper found `dmax` "often still too high to obtain significant
-    /// improvements over LP" — for high load factors it can be an order of
-    /// magnitude above the average displacement. Kept for the ablation
-    /// that reproduces exactly that finding.
-    pub fn lookup_dmax(&self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        let mut pos = self.home(key);
+    /// Lookup body for [`RhLookupMode::DmaxBound`]: stop an unsuccessful
+    /// probe after [`RobinHood::dmax`] iterations.
+    fn lookup_dmax_from(&self, home: usize, key: u64) -> Option<u64> {
+        let mut pos = home;
         let mut dist = 0usize;
         loop {
             let slot = &self.slots[pos];
@@ -273,18 +374,10 @@ impl<H: HashFn64> RobinHood<H> {
         }
     }
 
-    /// Lookup with the paper's *rejected* per-probe abort criterion
-    /// (§2.4): compare the probe iteration against the resident's
-    /// displacement on **every** step, stopping as soon as
-    /// `d(resident) < i`. Tightest possible abort, but it recomputes a
-    /// hash per probed slot — the cost the paper judged "prohibitively
-    /// expensive w.r.t. runtime and inferior to plain LP in most
-    /// scenarios". Kept for the ablation.
-    pub fn lookup_checked(&self, key: u64) -> Option<u64> {
-        if is_reserved_key(key) {
-            return None;
-        }
-        let mut pos = self.home(key);
+    /// Lookup body for [`RhLookupMode::CheckedEveryProbe`]: compare the
+    /// probe iteration against the resident's displacement on every step.
+    fn lookup_checked_from(&self, home: usize, key: u64) -> Option<u64> {
+        let mut pos = home;
         let mut dist = 0usize;
         loop {
             let slot = &self.slots[pos];
@@ -303,8 +396,8 @@ impl<H: HashFn64> RobinHood<H> {
     /// but once per cache line compare the resident's displacement against
     /// the probe iteration and stop early when the resident is "richer".
     #[inline]
-    fn lookup_slot(&self, key: u64) -> Option<usize> {
-        let mut pos = self.home(key);
+    fn lookup_slot_from(&self, home: usize, key: u64) -> Option<usize> {
+        let mut pos = home;
         let mut dist = 0usize;
         loop {
             let slot = &self.slots[pos];
@@ -328,6 +421,26 @@ impl<H: HashFn64> RobinHood<H> {
             pos = (pos + 1) & self.mask;
             dist += 1;
         }
+    }
+}
+
+#[cfg(test)]
+impl<H: HashFn64> RobinHood<H> {
+    /// Test shorthand for [`RhLookupMode::DmaxBound`] without mutating the
+    /// table's configured mode.
+    fn lookup_dmax(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.lookup_dmax_from(self.home(key), key)
+    }
+
+    /// Test shorthand for [`RhLookupMode::CheckedEveryProbe`].
+    fn lookup_checked(&self, key: u64) -> Option<u64> {
+        if is_reserved_key(key) {
+            return None;
+        }
+        self.lookup_checked_from(self.home(key), key)
     }
 }
 
@@ -505,6 +618,29 @@ mod tests {
     fn model_test_with_weak_hash_function() {
         let mut t: RobinHood<MultShift> = RobinHood::with_hash(8, MultShift::new(1));
         check_against_model(&mut t, 4000, 0x1234);
+    }
+
+    #[test]
+    fn batch_ops_match_single_key_path() {
+        check_batch_matches_single(&mut table(9), &mut table(9), 0x12BA);
+    }
+
+    #[test]
+    fn lookup_mode_dispatch_agrees_on_hits_and_misses() {
+        let mut tuned = table(8);
+        for k in 1..=200u64 {
+            tuned.insert(k, k + 9).unwrap();
+        }
+        let mut dmax = tuned.clone();
+        dmax.set_lookup_mode(RhLookupMode::DmaxBound);
+        let mut checked = tuned.clone();
+        checked.set_lookup_mode(RhLookupMode::CheckedEveryProbe);
+        assert_eq!(dmax.lookup_mode(), RhLookupMode::DmaxBound);
+        for probe in 1..=400u64 {
+            let expect = tuned.lookup(probe);
+            assert_eq!(dmax.lookup(probe), expect, "dmax mode, key {probe}");
+            assert_eq!(checked.lookup(probe), expect, "checked mode, key {probe}");
+        }
     }
 
     #[test]

@@ -43,6 +43,33 @@ pub struct ScanResult {
     pub first_tombstone: Option<usize>,
 }
 
+/// How many keys the batched table operations hash-and-prefetch ahead of
+/// probing (see [`crate::HashTable::lookup_batch`]).
+///
+/// Sized to cover memory latency with independent in-flight misses
+/// without overflowing the line-fill buffers (~10–16 outstanding loads on
+/// contemporary x86-64) or evicting its own prefetches.
+pub const PREFETCH_BATCH: usize = 16;
+
+/// Best-effort prefetch of the cache line holding `*p` into all cache
+/// levels.
+///
+/// On x86-64 this is `_mm_prefetch(T0)` — part of baseline SSE, which the
+/// `x86_64` target guarantees statically, so unlike the AVX2 kernels it
+/// needs no runtime dispatch. Everywhere else it is a no-op: a prefetch
+/// is a pure hint and may always be dropped.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHh never faults and has no architectural effect on
+    // program state; any address, valid or not, is permitted.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// `true` when the AVX2 kernels are usable on this machine.
 #[inline]
 pub fn simd_available() -> bool {

@@ -71,6 +71,57 @@ pub fn check_for_each<T: HashTable>(t: &mut T) {
     }
 }
 
+/// Batch operations must agree element-wise with the single-key path.
+///
+/// Drives two identically seeded tables through the same randomized
+/// mixed stream — one via `*_batch` (random batch sizes, reserved keys
+/// sprinkled in), one key by key — and checks every outcome pairwise.
+pub fn check_batch_matches_single<T: HashTable>(batched: &mut T, single: &mut T, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = (batched.capacity() / 2).max(16) as u64;
+    let mut keybuf = Vec::new();
+    let mut items = Vec::new();
+    for round in 0..200 {
+        let batch_len = rng.gen_range(0..48usize);
+        let gen_key = |rng: &mut StdRng| match rng.gen_range(0..20u8) {
+            // Reserved keys must flow through batches as inert elements.
+            0 => EMPTY_KEY,
+            1 => TOMBSTONE_KEY,
+            _ => rng.gen_range(1..=universe),
+        };
+        match rng.gen_range(0..3u8) {
+            0 => {
+                items.clear();
+                items.extend((0..batch_len).map(|_| (gen_key(&mut rng), rng.gen::<u64>() >> 1)));
+                let mut out = vec![Ok(InsertOutcome::Inserted); batch_len];
+                batched.insert_batch(&items, &mut out);
+                for (i, &(k, v)) in items.iter().enumerate() {
+                    assert_eq!(out[i], single.insert(k, v), "round {round} insert #{i} ({k})");
+                }
+            }
+            1 => {
+                keybuf.clear();
+                keybuf.extend((0..batch_len).map(|_| gen_key(&mut rng)));
+                let mut out = vec![None; batch_len];
+                batched.delete_batch(&keybuf, &mut out);
+                for (i, &k) in keybuf.iter().enumerate() {
+                    assert_eq!(out[i], single.delete(k), "round {round} delete #{i} ({k})");
+                }
+            }
+            _ => {
+                keybuf.clear();
+                keybuf.extend((0..batch_len).map(|_| gen_key(&mut rng)));
+                let mut out = vec![None; batch_len];
+                batched.lookup_batch(&keybuf, &mut out);
+                for (i, &k) in keybuf.iter().enumerate() {
+                    assert_eq!(out[i], single.lookup(k), "round {round} lookup #{i} ({k})");
+                }
+            }
+        }
+        assert_eq!(batched.len(), single.len(), "round {round} len");
+    }
+}
+
 /// Randomized differential test against `std::collections::HashMap`.
 ///
 /// Drives `ops` random operations (insert-heavy, with deletes and lookups

@@ -7,17 +7,20 @@
 //! `LPMult` for a successful-heavy half-full static index, `QPMult` for a
 //! write-heavy one, `CuckooH4Mult` when memory pressure forces 90% load,
 //! and so on.
+//!
+//! [`PointIndex`] itself implements [`HashTable`], so it drops into every
+//! generic consumer — `hash_join` can build on a profile-dispatched
+//! index, the workload drivers can measure one, and the batch API
+//! (`lookup_batch` & co.) reaches the underlying table's prefetching
+//! implementation through the trait.
 
 use sevendim_core::{
-    decision::{recommend, TableChoice, WorkloadProfile},
-    ChainedTable24, Cuckoo, HashTable, InsertOutcome, LinearProbing, QuadraticProbing, RobinHood,
+    decision::WorkloadProfile, profile_choice, HashTable, InsertOutcome, TableBuilder, TableChoice,
     TableError,
 };
 
-use hashfn::MultShift;
-
 /// A point index over 64-bit keys, physically dispatched by workload
-/// profile.
+/// profile. Operate on it through the [`HashTable`] trait.
 pub struct PointIndex {
     table: Box<dyn HashTable>,
     choice: TableChoice,
@@ -27,20 +30,15 @@ impl PointIndex {
     /// Build an index for a workload described by `profile`, with capacity
     /// `2^bits` and hash functions derived from `seed`.
     ///
-    /// For the chained recommendation the §4.5 memory budget is applied
-    /// against the same `2^bits` open-addressing equivalent; if the
-    /// budgeted table cannot hold the profile's target fill, this falls
-    /// back to the best open-addressing scheme for the profile instead of
-    /// failing (`RHMult` — the paper's all-rounder).
+    /// Construction is delegated to [`TableBuilder::for_profile`], which
+    /// encodes the decision graph and the §4.5 chained-budget fallback
+    /// (an infeasible chained budget falls back to `RHMult`, the paper's
+    /// all-rounder, instead of failing).
     pub fn for_profile(profile: &WorkloadProfile, bits: u8, seed: u64) -> Self {
-        let mut choice = recommend(profile);
-        if choice == TableChoice::ChainedH24Mult {
-            let n_target = ((1usize << bits) as f64 * profile.load_factor).round() as usize;
-            if ChainedTable24::<MultShift>::with_budget(bits, n_target, seed).is_err() {
-                choice = TableChoice::RHMult;
-            }
+        Self {
+            table: TableBuilder::for_profile(profile, bits, seed).build(),
+            choice: profile_choice(profile, bits),
         }
-        Self { table: build_choice(choice, bits, seed, profile), choice }
     }
 
     /// Which scheme the decision graph picked.
@@ -48,60 +46,72 @@ impl PointIndex {
         self.choice
     }
 
-    /// Insert or update a key.
-    pub fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
-        self.table.insert(key, value)
-    }
-
-    /// Point lookup.
-    pub fn get(&self, key: u64) -> Option<u64> {
-        self.table.lookup(key)
-    }
-
-    /// Delete a key.
-    pub fn remove(&mut self, key: u64) -> Option<u64> {
-        self.table.delete(key)
-    }
-
-    /// Entries in the index.
-    pub fn len(&self) -> usize {
-        self.table.len()
-    }
-
-    /// Whether the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
-    }
-
-    /// Bytes used by the underlying table.
-    pub fn memory_bytes(&self) -> usize {
-        self.table.memory_bytes()
-    }
-
     /// Paper-style name of the underlying table.
     pub fn table_name(&self) -> String {
         self.table.display_name()
     }
+
+    /// Deprecated alias for [`HashTable::lookup`] (the PR-1 `PointIndex`
+    /// diverged from the trait's naming).
+    #[deprecated(note = "use `HashTable::lookup`")]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.table.lookup(key)
+    }
+
+    /// Deprecated alias for [`HashTable::delete`].
+    #[deprecated(note = "use `HashTable::delete`")]
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        self.table.delete(key)
+    }
 }
 
-fn build_choice(
-    choice: TableChoice,
-    bits: u8,
-    seed: u64,
-    profile: &WorkloadProfile,
-) -> Box<dyn HashTable> {
-    match choice {
-        TableChoice::LPMult => Box::new(LinearProbing::<MultShift>::with_seed(bits, seed)),
-        TableChoice::QPMult => Box::new(QuadraticProbing::<MultShift>::with_seed(bits, seed)),
-        TableChoice::RHMult => Box::new(RobinHood::<MultShift>::with_seed(bits, seed)),
-        TableChoice::CuckooH4Mult => Box::new(Cuckoo::<MultShift, 4>::with_seed(bits, seed)),
-        TableChoice::ChainedH24Mult => {
-            let n_target = ((1usize << bits) as f64 * profile.load_factor).round() as usize;
-            Box::new(
-                ChainedTable24::<MultShift>::with_budget(bits, n_target, seed)
-                    .expect("budget feasibility checked by caller"),
-            )
-        }
+impl HashTable for PointIndex {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        self.table.insert(key, value)
+    }
+
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.table.lookup(key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        self.table.delete(key)
+    }
+
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.table.lookup_batch(keys, out)
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        self.table.insert_batch(items, out)
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.table.delete_batch(keys, out)
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        self.table.for_each(f)
+    }
+
+    fn display_name(&self) -> String {
+        self.table.display_name()
     }
 }
 
@@ -148,12 +158,40 @@ mod tests {
                 idx.insert(k, k * 5).unwrap();
             }
             assert_eq!(idx.len(), 200);
-            assert_eq!(idx.get(77), Some(385));
-            assert_eq!(idx.get(10_000), None);
-            assert_eq!(idx.remove(77), Some(385));
-            assert_eq!(idx.get(77), None);
+            assert_eq!(idx.lookup(77), Some(385));
+            assert_eq!(idx.lookup(10_000), None);
+            assert_eq!(idx.delete(77), Some(385));
+            assert_eq!(idx.lookup(77), None);
             assert!(idx.memory_bytes() > 0);
         }
+    }
+
+    #[test]
+    fn batch_ops_flow_through_the_index() {
+        let mut idx = PointIndex::for_profile(&profile(0.5, 0.9, 0.1), 10, 3);
+        let items: Vec<(u64, u64)> = (1..=300u64).map(|k| (k, k + 7)).collect();
+        let mut outcomes = vec![Ok(InsertOutcome::Inserted); items.len()];
+        idx.insert_batch(&items, &mut outcomes);
+        assert!(outcomes.iter().all(|o| o == &Ok(InsertOutcome::Inserted)));
+        let keys: Vec<u64> = (250..=350u64).collect();
+        let mut values = vec![None; keys.len()];
+        idx.lookup_batch(&keys, &mut values);
+        for (&k, v) in keys.iter().zip(&values) {
+            assert_eq!(*v, (k <= 300).then_some(k + 7), "key {k}");
+        }
+        let mut removed = vec![None; keys.len()];
+        idx.delete_batch(&keys, &mut removed);
+        assert_eq!(idx.len(), 249);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_aliases_still_work() {
+        let mut idx = PointIndex::for_profile(&profile(0.3, 1.0, 0.0), 8, 1);
+        idx.insert(5, 50).unwrap();
+        assert_eq!(idx.get(5), Some(50));
+        assert_eq!(idx.remove(5), Some(50));
+        assert_eq!(idx.get(5), None);
     }
 
     #[test]

@@ -18,7 +18,13 @@ use crate::dist::Distribution;
 use metrics::Throughput;
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
-use sevendim_core::{HashTable, TableError};
+use sevendim_core::{HashTable, InsertOutcome, TableError};
+
+/// Keys per batch issued to the table by the build and probe phases.
+/// Probes arrive in bulk in the workloads the paper models (join probe
+/// sides, group-bys), so the drivers measure the batched path — the one
+/// with prefetching — by default.
+pub const WORM_BATCH: usize = 256;
 
 /// The unsuccessful-lookup percentages on every figure's x-axis.
 pub const UNSUCCESSFUL_PCTS: [u8; 5] = [0, 25, 50, 75, 100];
@@ -94,16 +100,23 @@ impl WormKeys {
     }
 }
 
-/// Timed build phase: insert every key, returning the insert throughput.
+/// Timed build phase: insert every key in [`WORM_BATCH`]-sized
+/// [`HashTable::insert_batch`] calls, returning the insert throughput.
 ///
-/// Fails fast on the first refused insert (e.g. a chained table exceeding
-/// its §4.5 memory budget) — the caller decides whether that cell is
-/// reported as absent, as the paper does for chained hashing at ≥70%.
+/// Fails on the first refused insert (e.g. a chained table exceeding its
+/// §4.5 memory budget) — the caller decides whether that cell is reported
+/// as absent, as the paper does for chained hashing at ≥70%.
 pub fn run_build<T: HashTable>(table: &mut T, inserts: &[u64]) -> Result<Throughput, TableError> {
     let mut result = Ok(());
+    let mut items = Vec::with_capacity(WORM_BATCH.min(inserts.len()));
+    let mut outcomes = vec![Ok(InsertOutcome::Inserted); WORM_BATCH.min(inserts.len())];
     let t = Throughput::measure(inserts.len() as u64, || {
-        for &k in inserts {
-            if let Err(e) = table.insert(k, k.wrapping_mul(2)) {
+        for chunk in inserts.chunks(WORM_BATCH) {
+            items.clear();
+            items.extend(chunk.iter().map(|&k| (k, k.wrapping_mul(2))));
+            let outcomes = &mut outcomes[..chunk.len()];
+            table.insert_batch(&items, outcomes);
+            if let Some(e) = outcomes.iter().find_map(|o| o.err()) {
                 result = Err(e);
                 return;
             }
@@ -112,9 +125,10 @@ pub fn run_build<T: HashTable>(table: &mut T, inserts: &[u64]) -> Result<Through
     result.map(|()| t)
 }
 
-/// Timed probe phase. Returns the lookup throughput and the observed hit
-/// count; panics if hits deviate from the expectation (a correctness bug
-/// would otherwise masquerade as a performance result).
+/// Timed probe phase, issued as [`WORM_BATCH`]-sized
+/// [`HashTable::lookup_batch`] calls. Returns the lookup throughput and
+/// the observed hit count; panics if hits deviate from the expectation (a
+/// correctness bug would otherwise masquerade as a performance result).
 pub fn run_probes<T: HashTable>(
     table: &T,
     probes: &[u64],
@@ -122,9 +136,12 @@ pub fn run_probes<T: HashTable>(
 ) -> (Throughput, u64) {
     let mut hits = 0u64;
     let mut checksum = 0u64;
+    let mut values = vec![None; WORM_BATCH.min(probes.len())];
     let throughput = Throughput::measure(probes.len() as u64, || {
-        for &k in probes {
-            if let Some(v) = table.lookup(k) {
+        for chunk in probes.chunks(WORM_BATCH) {
+            let values = &mut values[..chunk.len()];
+            table.lookup_batch(chunk, values);
+            for v in values.iter().flatten() {
                 hits += 1;
                 checksum ^= v;
             }

@@ -61,7 +61,7 @@ fn main() {
         idx.table_name(),
         idx.len(),
         idx.memory_bytes() as f64 / 1e6,
-        idx.get(42)
+        idx.lookup(42)
     );
 }
 

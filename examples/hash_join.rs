@@ -47,11 +47,18 @@ fn main() {
         "build table", "matches", "misses", "M probes/s", "total ms"
     );
 
-    run(&mut LinearProbing::<MultShift>::with_seed(bits, 1), &orders, &items);
-    run(&mut RobinHood::<MultShift>::with_seed(bits, 1), &orders, &items);
-    run(&mut QuadraticProbing::<Murmur>::with_seed(bits, 1), &orders, &items);
-    run(&mut ChainedTable24::<MultShift>::with_seed(bits - 1, 1), &orders, &items);
-    run(&mut CuckooH4::<Murmur>::with_seed(bits, 1), &orders, &items);
+    // One builder spans the whole build-table grid; `hash_join` probes it
+    // through the batched (prefetching) lookup path.
+    for (scheme, hash) in [
+        (TableScheme::LinearProbing, HashKind::Mult),
+        (TableScheme::RobinHood, HashKind::Mult),
+        (TableScheme::Quadratic, HashKind::Murmur),
+        (TableScheme::Chained24, HashKind::Mult),
+        (TableScheme::Cuckoo4, HashKind::Murmur),
+    ] {
+        let mut table = TableBuilder::new(scheme).hash(hash).bits(bits).seed(1).build();
+        run(&mut table, &orders, &items);
+    }
 
     println!(
         "\nThe paper's Figure 2 story: LPMult and ChainedH24Mult contend for \

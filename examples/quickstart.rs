@@ -10,29 +10,48 @@
 use seven_dim_hashing::prelude::*;
 
 fn main() {
-    // --- 1. Every scheme shares one trait: HashTable. -------------------
-    let mut tables: Vec<Box<dyn HashTable>> = vec![
-        Box::new(LinearProbing::<MultShift>::with_seed(16, 42)),
-        Box::new(QuadraticProbing::<MultShift>::with_seed(16, 42)),
-        Box::new(RobinHood::<MultShift>::with_seed(16, 42)),
-        Box::new(CuckooH4::<MultShift>::with_seed(16, 42)),
-        Box::new(ChainedTable8::<Murmur>::with_seed(15, 42)),
-        Box::new(ChainedTable24::<Murmur>::with_seed(15, 42)),
-    ];
+    // --- 1. One builder constructs every scheme; one trait drives it. ---
+    let mut tables: Vec<Box<dyn HashTable>> = [
+        TableScheme::LinearProbing,
+        TableScheme::Quadratic,
+        TableScheme::RobinHood,
+        TableScheme::Cuckoo4,
+        TableScheme::Chained8,
+        TableScheme::Chained24,
+    ]
+    .into_iter()
+    .map(|scheme| {
+        let hash = if matches!(scheme, TableScheme::Chained8 | TableScheme::Chained24) {
+            HashKind::Murmur
+        } else {
+            HashKind::Mult
+        };
+        TableBuilder::new(scheme).hash(hash).bits(16).seed(42).build()
+    })
+    .collect();
+
+    // Bulk load through the batch API — the path with software
+    // prefetching, and the way query operators feed tables.
+    let items: Vec<(u64, u64)> = (1..=40_000u64).map(|k| (k, k * 10)).collect();
+    let mut outcomes = vec![Ok(InsertOutcome::Inserted); items.len()];
 
     println!("{:<18} {:>10} {:>12} {:>10}", "table", "entries", "lookup(7)", "MB");
     for t in tables.iter_mut() {
-        for k in 1..=40_000u64 {
-            t.insert(k, k * 10).expect("insert");
-        }
+        t.insert_batch(&items, &mut outcomes);
+        assert!(outcomes.iter().all(|o| o.is_ok()), "bulk load failed");
         t.delete(13);
         assert_eq!(t.lookup(13), None);
         assert_eq!(t.insert(7, 777).expect("update"), InsertOutcome::Replaced(70));
+        // Batched point reads: one call, many overlapping probes.
+        let keys = [7u64, 13, 40_001];
+        let mut values = [None; 3];
+        t.lookup_batch(&keys, &mut values);
+        assert_eq!(values, [Some(777), None, None]);
         println!(
             "{:<18} {:>10} {:>12?} {:>10.1}",
             t.display_name(),
             t.len(),
-            t.lookup(7).unwrap(),
+            values[0].unwrap(),
             t.memory_bytes() as f64 / 1e6,
         );
     }

@@ -24,14 +24,30 @@
 //!
 //! ## Quick start
 //!
+//! Construction goes through one [`TableBuilder`](prelude::TableBuilder)
+//! (scheme × hash × capacity × seed × SIMD × growth), and every table
+//! speaks the batch-first [`HashTable`](prelude::HashTable) trait:
+//! `lookup_batch` / `insert_batch` / `delete_batch` are element-wise
+//! identical to the single-key calls, but the open-addressing tables
+//! overlap the cache misses of a whole batch via software prefetching.
+//!
 //! ```
 //! use seven_dim_hashing::prelude::*;
 //!
 //! // A Robin Hood table with multiply-shift hashing: 2^10 slots.
-//! let mut table: RobinHood<MultShift> = RobinHood::with_seed(10, 42);
+//! let mut table = TableBuilder::new(TableScheme::RobinHood)
+//!     .hash(HashKind::Mult)
+//!     .bits(10)
+//!     .seed(42)
+//!     .build();
 //! table.insert(17, 1700).unwrap();
 //! assert_eq!(table.lookup(17), Some(1700));
-//! assert_eq!(table.lookup(18), None);
+//!
+//! // Probes arrive in bulk in query processing — issue them in bulk:
+//! let keys = [17u64, 18, 19];
+//! let mut values = [None; 3];
+//! table.lookup_batch(&keys, &mut values);
+//! assert_eq!(values, [Some(1700), None, None]);
 //!
 //! // Ask the paper's decision graph what to use for a write-heavy index:
 //! let profile = WorkloadProfile {
@@ -42,7 +58,26 @@
 //!     mutability: Mutability::Dynamic,
 //! };
 //! assert_eq!(recommend(&profile), TableChoice::QPMult);
+//! let index = TableBuilder::for_profile(&profile, 16, 42).grow_at(0.7).build();
+//! assert_eq!(index.display_name(), "QPMult");
 //! ```
+//!
+//! ## Migration from the PR-1 constructors
+//!
+//! The typed constructors still exist (concrete table types remain the
+//! right tool when the scheme is fixed at compile time), but the ad-hoc
+//! construction surface is superseded:
+//!
+//! | PR-1 | now |
+//! |---|---|
+//! | `LinearProbing::<MultShift>::with_seed(bits, seed)` | `TableBuilder::new(TableScheme::LinearProbing).bits(bits).seed(seed).build()` |
+//! | `LinearProbingSoA::with_seed_simd(bits, seed)` | `TableBuilder::new(TableScheme::LinearProbingSoA).simd(true)…` |
+//! | `DynamicTable::new(LpFactory::new(), bits, seed, 0.7)` | `TableBuilder::new(TableScheme::LinearProbing).bits(bits).seed(seed).grow_at(0.7).build()` |
+//! | `ChainedTable24::with_budget(bits, n, seed)` | `TableBuilder::new(TableScheme::Chained24).chained_budget(n)….try_build()` |
+//! | `PointIndex::for_profile(&p, bits, seed)` | unchanged, or `TableBuilder::for_profile(&p, bits, seed).build()` |
+//! | `PointIndex::{get, remove}` | `HashTable::{lookup, delete}` (old names deprecated) |
+//! | `LinearProbing::delete_rehash(k)` | `set_delete_strategy(DeleteStrategy::Rehash)` + trait `delete` |
+//! | `RobinHood::{lookup_dmax, lookup_checked}` | `set_lookup_mode(RhLookupMode::{DmaxBound, CheckedEveryProbe})` + trait `lookup` |
 
 pub use hashfn as hash;
 pub use metrics as measure;
@@ -60,9 +95,10 @@ pub mod prelude {
     pub use query::{group_aggregate, group_average, hash_join, AggFn, PointIndex};
     pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
     pub use sevendim_core::{
-        decision::Mutability, recommend, ChainedTable24, ChainedTable8, Cuckoo, DynamicTable,
-        HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing, RobinHood,
-        TableChoice, TableError, WorkloadProfile,
+        decision::Mutability, recommend, ChainedTable24, ChainedTable8, Cuckoo, DeleteStrategy,
+        DynamicTable, HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA,
+        QuadraticProbing, RhLookupMode, RobinHood, TableBuilder, TableChoice, TableError,
+        TableScheme, WorkloadProfile,
     };
     pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};
 }

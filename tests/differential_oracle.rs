@@ -16,6 +16,13 @@
 //!   rejected by insert and inert for lookup/delete at any point in the
 //!   table's life, while [`MAX_KEY`] (the largest legal key) must
 //!   round-trip.
+//!
+//! Every grid cell additionally runs a **batch oracle**: mixed
+//! `lookup_batch`/`insert_batch`/`delete_batch` calls of random sizes
+//! (reserved keys sprinkled in) must agree element-wise with the
+//! `HashMap` model *and* with a twin table driven through the single-key
+//! path, and batches crossing the capacity boundary must report the same
+//! per-element `TableFull` errors the sequential path reports.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use seven_dim_hashing::prelude::*;
@@ -150,6 +157,85 @@ fn oracle<T: HashTable>(mut table: T, keys: &[u64], seed: u64) {
     assert_eq!(seen, model, "{name}: for_each contents");
 }
 
+/// Drive one table through mixed `*_batch` calls and a twin through the
+/// single-key path; a `HashMap` model arbitrates. Element-wise, all three
+/// must agree at every step.
+fn batch_oracle<T: HashTable>(mut batched: T, mut single: T, keys: &[u64], seed: u64) {
+    let name = batched.display_name();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen_key = |rng: &mut StdRng, keys: &[u64]| match rng.gen_range(0..24u8) {
+        // Reserved keys must flow through batches as inert elements.
+        0 => EMPTY_KEY,
+        1 => TOMBSTONE_KEY,
+        2 => MAX_KEY,
+        _ => keys[rng.gen_range(0..keys.len())],
+    };
+    for round in 0..120 {
+        let len = rng.gen_range(0..64usize);
+        match rng.gen_range(0..10u8) {
+            0..=4 => {
+                let items: Vec<(u64, u64)> =
+                    (0..len).map(|_| (gen_key(&mut rng, keys), rng.gen::<u64>() >> 1)).collect();
+                let mut out = vec![Ok(InsertOutcome::Inserted); len];
+                batched.insert_batch(&items, &mut out);
+                for (i, &(k, v)) in items.iter().enumerate() {
+                    let expect = if k >= TOMBSTONE_KEY {
+                        Err(TableError::ReservedKey)
+                    } else {
+                        Ok(match model.insert(k, v) {
+                            None => InsertOutcome::Inserted,
+                            Some(old) => InsertOutcome::Replaced(old),
+                        })
+                    };
+                    assert_eq!(out[i], expect, "{name} round {round}: insert_batch[{i}] ({k:#x})");
+                    assert_eq!(
+                        single.insert(k, v),
+                        expect,
+                        "{name} round {round}: single insert {k:#x}"
+                    );
+                }
+            }
+            5..=6 => {
+                let probe: Vec<u64> = (0..len).map(|_| gen_key(&mut rng, keys)).collect();
+                let mut out = vec![None; len];
+                batched.delete_batch(&probe, &mut out);
+                for (i, &k) in probe.iter().enumerate() {
+                    let expect = if k >= TOMBSTONE_KEY { None } else { model.remove(&k) };
+                    assert_eq!(out[i], expect, "{name} round {round}: delete_batch[{i}] ({k:#x})");
+                    assert_eq!(
+                        single.delete(k),
+                        expect,
+                        "{name} round {round}: single delete {k:#x}"
+                    );
+                }
+            }
+            _ => {
+                let probe: Vec<u64> = (0..len).map(|_| gen_key(&mut rng, keys)).collect();
+                let mut out = vec![None; len];
+                batched.lookup_batch(&probe, &mut out);
+                for (i, &k) in probe.iter().enumerate() {
+                    let expect = if k >= TOMBSTONE_KEY { None } else { model.get(&k).copied() };
+                    assert_eq!(out[i], expect, "{name} round {round}: lookup_batch[{i}] ({k:#x})");
+                    assert_eq!(
+                        single.lookup(k),
+                        expect,
+                        "{name} round {round}: single lookup {k:#x}"
+                    );
+                }
+            }
+        }
+        assert_eq!(batched.len(), model.len(), "{name} round {round}: batched len");
+        assert_eq!(single.len(), model.len(), "{name} round {round}: single len");
+    }
+    // Final sweep: one big batch over the whole universe.
+    let mut out = vec![None; keys.len()];
+    batched.lookup_batch(keys, &mut out);
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(out[i], model.get(&k).copied(), "{name} final sweep: {k}");
+    }
+}
+
 macro_rules! oracle_case {
     ($name:ident, $ty:ty, $ctor:expr) => {
         #[test]
@@ -161,6 +247,10 @@ macro_rules! oracle_case {
                 let keys = dist.generate(UNIVERSE, 0xD1FF + i as u64);
                 let table: $ty = $ctor;
                 oracle(table, &keys, 0x0AC1E + 31 * i as u64);
+                // Batch grid: same cell, `*_batch` vs single-key twin.
+                let batched: $ty = $ctor;
+                let single: $ty = $ctor;
+                batch_oracle(batched, single, &keys, 0xBA7C4 + 17 * i as u64);
             }
         }
     };
@@ -318,6 +408,67 @@ fn qp_capacity_boundary() {
 fn rh_capacity_boundary() {
     full_table_edges(RobinHood::<Murmur>::with_seed(2, 11), 4);
     full_table_edges(RobinHood::<MultShift>::with_seed(6, 12), 64);
+}
+
+/// Capacity-boundary batches: one `insert_batch` that crosses the
+/// one-empty-slot boundary must report, element-wise, exactly what the
+/// sequential path reports — successes up to `capacity - 1` live keys,
+/// `TableFull` for the overflowing fresh keys, while replacements inside
+/// the same batch still succeed. Delete-then-reinsert batches over a
+/// tombstone-saturated table must also match.
+fn full_table_batch_edges<T: HashTable>(mut table: T, cap: usize) {
+    let name = table.display_name();
+    let n = cap - 1;
+    // One batch that overfills: n fresh keys fit, two more don't, and a
+    // trailing replacement of an in-batch key must still land.
+    let mut items: Vec<(u64, u64)> = (1..=(n as u64 + 2)).map(|k| (k, k * 10)).collect();
+    items.push((1, 11));
+    let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+    table.insert_batch(&items, &mut out);
+    for (i, r) in out.iter().enumerate() {
+        let expect = match i {
+            i if i < n => Ok(InsertOutcome::Inserted),
+            i if i == items.len() - 1 => Ok(InsertOutcome::Replaced(10)),
+            _ => Err(TableError::TableFull),
+        };
+        assert_eq!(*r, expect, "{name}: overfill batch element {i}");
+    }
+    assert_eq!(table.len(), n, "{name}: len after overfill batch");
+
+    // Drain half by batch, then refill over the tombstones in one batch.
+    let victims: Vec<u64> = (1..=n as u64).step_by(2).collect();
+    let mut removed = vec![None; victims.len()];
+    table.delete_batch(&victims, &mut removed);
+    assert!(removed.iter().all(|r| r.is_some()), "{name}: batched drain missed a live key");
+    let refill: Vec<(u64, u64)> = victims.iter().map(|&k| (k, k + 500)).collect();
+    let mut out = vec![Ok(InsertOutcome::Inserted); refill.len()];
+    table.insert_batch(&refill, &mut out);
+    assert!(
+        out.iter().all(|r| *r == Ok(InsertOutcome::Inserted)),
+        "{name}: refill over tombstones at max load"
+    );
+    let keys: Vec<u64> = (1..=n as u64).collect();
+    let mut values = vec![None; keys.len()];
+    table.lookup_batch(&keys, &mut values);
+    for (&k, v) in keys.iter().zip(&values) {
+        // Odd keys were drained and refilled; even keys kept their build
+        // value (key 1's in-batch replacement was erased by the drain).
+        let expect = if k % 2 == 1 { Some(k + 500) } else { Some(k * 10) };
+        assert_eq!(*v, expect, "{name}: key {k} after batched churn");
+    }
+}
+
+#[test]
+fn batch_capacity_boundaries() {
+    full_table_batch_edges(LinearProbing::<Murmur>::with_seed(4, 1), 16);
+    full_table_batch_edges(LinearProbing::<Murmur>::with_seed_simd(4, 2), 16);
+    full_table_batch_edges(LinearProbingSoA::<MultShift>::with_seed(4, 3), 16);
+    full_table_batch_edges(LinearProbingSoA::<MultShift>::with_seed_simd(4, 4), 16);
+    full_table_batch_edges(QuadraticProbing::<Murmur>::with_seed(4, 5), 16);
+    full_table_batch_edges(RobinHood::<MultShift>::with_seed(4, 6), 16);
+    full_table_batch_edges(LinearProbing::<Murmur>::with_seed(6, 7), 64);
+    full_table_batch_edges(QuadraticProbing::<MultShift>::with_seed(6, 8), 64);
+    full_table_batch_edges(RobinHood::<Murmur>::with_seed(6, 9), 64);
 }
 
 /// Table-level scalar-fallback equivalence: an LP table probing with the

@@ -121,7 +121,7 @@ fn point_index_follows_decision_graph_end_to_end() {
         idx.insert(k, k * 2).unwrap();
     }
     for &k in keys.iter().step_by(13) {
-        assert_eq!(idx.get(k), Some(k * 2));
+        assert_eq!(idx.lookup(k), Some(k * 2));
     }
     assert_eq!(idx.len(), keys.len());
 }
