@@ -1,0 +1,113 @@
+//! Thread scaling of sharded tables — the dimension the paper leaves on
+//! one core.
+//!
+//! ```text
+//! cargo run --release -p bench --bin scale_threads -- --scale default --threads 8
+//! ```
+//!
+//! Two panels per scheme × Mult cell, each sweeping worker threads
+//! (powers of two up to `--threads`, default: machine parallelism ≤ 8):
+//!
+//! * **lookup** — successful lookups against a read-only sharded table at
+//!   the out-of-cache capacity (the paper's "large" size), the regime
+//!   where per-shard batch prefetching and lock-free-in-expectation
+//!   routing should scale near-linearly;
+//! * **read/write** — the paper's RW mix (§6) at update percentages
+//!   0/25/75 over per-shard *growing* tables ([`workloads::rw`]'s
+//!   concurrent driver, disjoint key regions per thread), where scaling
+//!   is bounded by lock hold times of the write batches and per-shard
+//!   rehashes.
+//!
+//! The shard count is fixed across the sweep (four shards per worker at
+//! the maximum thread count, capped at 256), so every thread count probes
+//! the *same* table — the sweep isolates thread scaling from table
+//! layout.
+
+use bench::{emit, lookup_scale_cell, parse_args, rw_scale_cell, HashId, LookupScale, Scheme};
+use metrics::{ReportTable, Series};
+use sevendim_core::{TableBuilder, TableScheme};
+use workloads::RwConfig;
+
+const TABLES: [(Scheme, HashId); 4] = [
+    (Scheme::LP, HashId::Mult),
+    (Scheme::RH, HashId::Mult),
+    (Scheme::Cuckoo4, HashId::Mult),
+    (Scheme::Chained24, HashId::Mult),
+];
+
+/// RW update percentages for the scaling panel: read-only, the paper's
+/// "typical OLAP-ish" low-update mix, and write-heavy.
+const UPDATE_PCTS: [u8; 3] = [0, 25, 75];
+
+fn main() {
+    let args = parse_args(std::env::args());
+    let sweep = args.thread_sweep();
+    let max_threads = args.max_threads();
+    let (_, _, large_bits) = args.scale.capacity_bits();
+    let bits = args.log2_capacity.unwrap_or(large_bits);
+    let probes = args.probe_count();
+    // Fixed shard count sized for the widest sweep point, using the
+    // builder's own sizing rule so the bench measures exactly what
+    // `.concurrency(max_threads)` users get.
+    let shard_bits =
+        TableBuilder::new(TableScheme::LinearProbing).concurrency(max_threads).shard_bits();
+    let ticks: Vec<String> = sweep.iter().map(|t| t.to_string()).collect();
+
+    println!(
+        "Thread scaling — 2^{shard_bits} shards, lookups on 2^{bits} slots at 50% load \
+         ({probes} probes), RW from {} initial keys ({} ops)\n",
+        args.scale.rw_initial_keys(),
+        args.op_count(),
+    );
+
+    let mut lookup = ReportTable::new(
+        "scale_threads — successful lookups, out-of-cache table".to_string(),
+        "threads",
+        ticks.clone(),
+        "M ops/s",
+    );
+    let cell = LookupScale { bits, shard_bits, load: 0.5, probes, seed: 0xBA5E };
+    let mut lookup_curves: Vec<(String, Vec<f64>)> = Vec::new();
+    for &(scheme, h) in &TABLES {
+        let curve: Vec<f64> =
+            sweep.iter().map(|&t| lookup_scale_cell(scheme, h, &cell, t).mops).collect();
+        lookup.push(Series::new(scheme.label(h), curve.iter().map(|&m| Some(m)).collect()));
+        lookup_curves.push((scheme.label(h), curve));
+    }
+    emit(&lookup, args.csv);
+
+    for &pct in &UPDATE_PCTS {
+        let mut rw = ReportTable::new(
+            format!("scale_threads — RW mix, {pct}% updates, growing at 70%"),
+            "threads",
+            ticks.clone(),
+            "M ops/s",
+        );
+        for &(scheme, h) in &TABLES {
+            let vals: Vec<Option<f64>> = sweep
+                .iter()
+                .map(|&t| {
+                    let cfg = RwConfig {
+                        initial_keys: args.scale.rw_initial_keys(),
+                        operations: args.op_count(),
+                        update_pct: pct,
+                        seed: 0x5CA1E,
+                    };
+                    rw_scale_cell(scheme, h, shard_bits, 0.7, cfg, t).ok().map(|p| p.mops)
+                })
+                .collect();
+            rw.push(Series::new(scheme.label(h), vals));
+        }
+        emit(&rw, args.csv);
+    }
+
+    // Speedup summary: the headline number of the experiment, read off
+    // the already-measured curve (sweep[0] == 1, last == max_threads).
+    if sweep.len() > 1 {
+        println!("lookup speedup at {max_threads} threads vs 1 (same table, same probes):");
+        for (label, curve) in &lookup_curves {
+            let (one, many) = (curve[0], curve[curve.len() - 1]);
+            println!("  {label:<16} {:>5.2}x", many / one);
+        }
+    }
+}

@@ -98,6 +98,8 @@ pub struct Args {
     pub ops: Option<usize>,
     /// Override: number of seeds.
     pub seeds: Option<usize>,
+    /// Override: maximum worker threads for the scaling binaries.
+    pub threads: Option<usize>,
     /// Also print CSV blocks after the text tables.
     pub csv: bool,
 }
@@ -118,6 +120,35 @@ impl Args {
     pub fn op_count(&self) -> usize {
         self.ops.unwrap_or_else(|| self.scale.rw_operations())
     }
+
+    /// Maximum worker threads: `--threads` if given, else the machine's
+    /// parallelism capped at 8 (2 under `--scale smoke` — CI runners are
+    /// small and the smoke run only needs to *exercise* the parallel
+    /// path).
+    pub fn max_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+                match self.scale {
+                    Scale::Smoke => avail.min(2),
+                    _ => avail.min(8),
+                }
+            })
+            .max(1)
+    }
+
+    /// Thread counts for a scaling sweep: powers of two up to
+    /// [`Args::max_threads`], plus the maximum itself if it is not a
+    /// power of two.
+    pub fn thread_sweep(&self) -> Vec<usize> {
+        let max = self.max_threads();
+        let mut sweep: Vec<usize> =
+            std::iter::successors(Some(1usize), |&t| (t * 2 <= max).then_some(t * 2)).collect();
+        if *sweep.last().expect("sweep starts at 1") != max {
+            sweep.push(max);
+        }
+        sweep
+    }
 }
 
 impl Default for Args {
@@ -128,6 +159,7 @@ impl Default for Args {
             probes: None,
             ops: None,
             seeds: None,
+            threads: None,
             csv: false,
         }
     }
@@ -176,6 +208,13 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Args {
                         .unwrap_or_else(|_| usage("--seeds must be an integer")),
                 )
             }
+            "--threads" => {
+                args.threads = Some(
+                    value_for("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads must be an integer")),
+                )
+            }
             "--csv" => args.csv = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag '{other}'")),
@@ -190,7 +229,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <fig-binary> [--scale smoke|default|paper] [--log2-capacity N] \
-         [--probes N] [--ops N] [--seeds N] [--csv]"
+         [--probes N] [--ops N] [--seeds N] [--threads N] [--csv]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 })
 }
@@ -224,6 +263,8 @@ mod tests {
             "5000",
             "--seeds",
             "4",
+            "--threads",
+            "6",
             "--csv",
         ]));
         assert_eq!(a.scale, Scale::Smoke);
@@ -231,7 +272,18 @@ mod tests {
         assert_eq!(a.probe_count(), 1000);
         assert_eq!(a.op_count(), 5000);
         assert_eq!(a.seed_list().len(), 4);
+        assert_eq!(a.max_threads(), 6);
         assert!(a.csv);
+    }
+
+    #[test]
+    fn thread_sweep_covers_powers_of_two_up_to_max() {
+        let a = parse_args(argv(&["--threads", "8"]));
+        assert_eq!(a.thread_sweep(), vec![1, 2, 4, 8]);
+        let a = parse_args(argv(&["--threads", "6"]));
+        assert_eq!(a.thread_sweep(), vec![1, 2, 4, 6]);
+        let a = parse_args(argv(&["--threads", "1"]));
+        assert_eq!(a.thread_sweep(), vec![1]);
     }
 
     #[test]

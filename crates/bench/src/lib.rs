@@ -17,7 +17,10 @@ pub mod cli;
 pub mod runner;
 
 pub use cli::{parse_args, Args, Scale};
-pub use runner::{rw_cell, worm_cell, worm_cell_with, HashId, RwCellOut, Scheme, WormCellOut};
+pub use runner::{
+    lookup_scale_cell, rw_cell, rw_scale_cell, worm_cell, worm_cell_with, HashId, LookupScale,
+    RwCellOut, ScalePoint, Scheme, WormCellOut,
+};
 
 /// Print a report panel as text, plus CSV when requested.
 pub fn emit(table: &metrics::ReportTable, csv: bool) {

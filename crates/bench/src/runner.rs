@@ -6,11 +6,14 @@
 //! seeds (§4.2: three independent runs per data point).
 
 use metrics::{SeedStats, Throughput};
-use sevendim_core::{DynamicTable, HashKind, HashTable, TableBuilder, TableError, TableScheme};
+use sevendim_core::{
+    ConcurrentTable, DynamicTable, HashKind, HashTable, InsertOutcome, TableBuilder, TableError,
+    TableScheme,
+};
 use workloads::{
-    rw::{run_chunk, RwStream},
+    rw::{run_chunk, run_concurrent, RwStream},
     worm::{run_cell, WormKeys},
-    RwConfig, WormConfig,
+    Distribution, RwConfig, WormConfig,
 };
 
 /// Hashing schemes of the study.
@@ -214,10 +217,138 @@ pub fn rw_cell(
     })
 }
 
+/// One point of a thread-scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Aggregate throughput (M ops/s) across all threads.
+    pub mops: f64,
+}
+
+/// Shape of a lookup-scaling cell: the table and probe-stream dimensions
+/// that stay fixed while `threads` sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct LookupScale {
+    /// Total capacity exponent (`2^bits` slots across all shards).
+    pub bits: u8,
+    /// Shard-count exponent, fixed across the sweep.
+    pub shard_bits: u8,
+    /// Fill fraction before probing.
+    pub load: f64,
+    /// Total lookups, split across threads.
+    pub probes: usize,
+    /// Seed for table hashes and key generation.
+    pub seed: u64,
+}
+
+/// Measure successful-lookup throughput of one sharded `(scheme, hash)`
+/// cell at `threads` worker threads.
+///
+/// The table is built once via [`TableBuilder::shards`] at
+/// `2^bits` total slots, filled to `load` with sparse keys through the
+/// batch API, then `probes` lookups (split across threads, each thread
+/// probing a strided permutation of the inserted keys in 4096-key batches
+/// through `lookup_batch_shared`) are timed from a barrier; throughput is
+/// total probes over the slowest thread's wall clock. Keeping
+/// `shard_bits` fixed while sweeping `threads` measures scaling of the
+/// *same* table.
+pub fn lookup_scale_cell(
+    scheme: Scheme,
+    h: HashId,
+    cell: &LookupScale,
+    threads: usize,
+) -> ScalePoint {
+    let &LookupScale { bits, shard_bits, load, probes, seed } = cell;
+    let mut table = TableBuilder::new(scheme.table_scheme())
+        .hash(h.hash_kind())
+        .bits(bits)
+        .seed(seed)
+        .shards(shard_bits)
+        .build_sharded();
+    let n_keys = ((1usize << bits) as f64 * load) as usize;
+    let keys = Distribution::Sparse.generate(n_keys, seed ^ 0x5CA1E);
+    let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+    let mut outcomes = vec![Ok(InsertOutcome::Inserted); items.len()];
+    table.insert_batch(&items, &mut outcomes);
+    assert!(outcomes.iter().all(|o| o.is_ok()), "scale cell build failed for {}", scheme.label(h));
+    // Per-thread probe streams, prepared outside the timed region: each
+    // thread walks the key set from its own offset with a large co-prime
+    // stride, so all probes hit but no two threads share an access
+    // pattern.
+    let threads = threads.max(1);
+    let per_thread = probes / threads;
+    // Coordinator-timed parallel region (extra barrier participant): one
+    // wall clock across all workers, immune to per-thread scheduling
+    // skew on oversubscribed machines.
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let (total_ops, elapsed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (table, keys, barrier) = (&table, &keys, &barrier);
+                scope.spawn(move || {
+                    let stride = (2_654_435_761usize % keys.len()) | 1;
+                    let mut pos = (t * keys.len()) / threads;
+                    let mut probe_keys = vec![0u64; 4096];
+                    let mut values = vec![None; 4096];
+                    barrier.wait();
+                    let mut done = 0usize;
+                    while done < per_thread {
+                        let batch = probe_keys.len().min(per_thread - done);
+                        for slot in probe_keys[..batch].iter_mut() {
+                            *slot = keys[pos];
+                            pos = (pos + stride) % keys.len();
+                        }
+                        table.lookup_batch_shared(&probe_keys[..batch], &mut values[..batch]);
+                        done += batch;
+                    }
+                    std::hint::black_box(&values);
+                    done as u64
+                })
+            })
+            .collect();
+        // Clock starts before the coordinator's barrier entry — workers
+        // cannot pass the barrier earlier, so the whole parallel region
+        // lies inside [start, join] regardless of scheduling.
+        let start = std::time::Instant::now();
+        barrier.wait();
+        let ops: u64 = handles.into_iter().map(|h| h.join().expect("probe thread panicked")).sum();
+        (ops, start.elapsed())
+    });
+    ScalePoint { threads, mops: Throughput::new(total_ops, elapsed).m_ops_per_sec() }
+}
+
+/// Measure RW-mix throughput of one sharded `(scheme, hash)` cell at
+/// `threads` worker threads: per-shard growing tables driven by
+/// [`run_concurrent`] over disjoint per-thread key regions.
+pub fn rw_scale_cell(
+    scheme: Scheme,
+    h: HashId,
+    shard_bits: u8,
+    grow_threshold: f64,
+    cfg: RwConfig,
+    threads: usize,
+) -> Result<ScalePoint, TableError> {
+    // Initial bits: hold the initial keys under the threshold (same rule
+    // as `rw_cell`), then split across shards.
+    let mut bits = 10u8.max(shard_bits + 2);
+    while (cfg.initial_keys as f64) > grow_threshold * (1u64 << bits) as f64 {
+        bits += 1;
+    }
+    let table = TableBuilder::new(scheme.table_scheme())
+        .hash(h.hash_kind())
+        .bits(bits)
+        .seed(cfg.seed ^ 0xD14_7AB1E)
+        .shards(shard_bits)
+        .grow_at(grow_threshold)
+        .build_sharded();
+    let t = run_concurrent(&table, &cfg, threads)?;
+    Ok(ScalePoint { threads, mops: t.m_ops_per_sec() })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::Distribution;
 
     fn tiny_cfg() -> WormConfig {
         WormConfig {
@@ -271,6 +402,24 @@ mod tests {
             assert!(out.mops > 0.0, "{:?}", scheme);
             assert!(out.memory_bytes > 0);
         }
+    }
+
+    #[test]
+    fn lookup_scale_cell_reports_positive_throughput() {
+        let cell = LookupScale { bits: 12, shard_bits: 2, load: 0.5, probes: 20_000, seed: 3 };
+        for threads in [1, 2] {
+            let p = lookup_scale_cell(Scheme::LP, HashId::Mult, &cell, threads);
+            assert_eq!(p.threads, threads);
+            assert!(p.mops > 0.0);
+        }
+    }
+
+    #[test]
+    fn rw_scale_cell_runs_sharded_growing_tables() {
+        let cfg = RwConfig { initial_keys: 2000, operations: 20_000, update_pct: 50, seed: 2 };
+        let p = rw_scale_cell(Scheme::RH, HashId::Mult, 2, 0.7, cfg, 2).unwrap();
+        assert_eq!(p.threads, 2);
+        assert!(p.mops > 0.0);
     }
 
     #[test]

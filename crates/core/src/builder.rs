@@ -34,6 +34,7 @@
 use crate::budget::chained24_directory_bits;
 use crate::decision::{recommend, TableChoice, WorkloadProfile};
 use crate::dynamic::{DynamicTable, TableFactory};
+use crate::sharded::ShardedTable;
 use crate::simd::ProbeKind;
 use crate::{
     ChainedTable24, ChainedTable8, Cuckoo, HashTable, LinearProbing, LinearProbingSoA,
@@ -41,6 +42,11 @@ use crate::{
 };
 use hashfn::{HashFamily, MultAddShift, MultShift, Murmur, Tabulation};
 use slab_alloc::SlabAllocator;
+
+/// What the builder builds: a boxed table that is also [`Send`], so
+/// builder-made tables (and the [`ShardedTable`]s wrapping them) can move
+/// to and be shared across worker threads.
+pub type BoxedTable = Box<dyn HashTable + Send>;
 
 /// The hashing schemes the builder can instantiate — every variant in the
 /// study (paper §2), including the SoA layout and the cuckoo arities.
@@ -135,6 +141,8 @@ pub struct TableBuilder {
     simd: bool,
     grow_threshold: Option<f64>,
     chained_budget: Option<usize>,
+    shard_bits: u8,
+    prefetch_batch: Option<usize>,
 }
 
 impl TableBuilder {
@@ -149,6 +157,8 @@ impl TableBuilder {
             simd: false,
             grow_threshold: None,
             chained_budget: None,
+            shard_bits: 0,
+            prefetch_batch: None,
         }
     }
 
@@ -210,6 +220,42 @@ impl TableBuilder {
         self
     }
 
+    /// Shard the table into `2^k` independently locked sub-tables routed
+    /// by an independent selector hash (see [`ShardedTable`]). Each shard
+    /// receives `bits - k` capacity bits, so the total nominal capacity is
+    /// unchanged; combined with [`TableBuilder::grow_at`], every shard
+    /// grows independently (no stop-the-world rehash). `k = 0` (the
+    /// default) builds an unsharded table; `k` up to 8 (256 shards) is
+    /// accepted.
+    pub fn shards(mut self, k: u8) -> Self {
+        assert!(k <= 8, "shard bits must be in 0..=8, got {k}");
+        self.shard_bits = k;
+        self
+    }
+
+    /// Convenience form of [`TableBuilder::shards`]: pick a shard count
+    /// suited to `threads` concurrent callers — four shards per thread
+    /// (so random keys rarely contend on a lock), capped at 256 shards.
+    pub fn concurrency(mut self, threads: usize) -> Self {
+        let target = threads.max(1).saturating_mul(4);
+        let mut k = 0u8;
+        while (1usize << k) < target && k < 8 {
+            k += 1;
+        }
+        self.shard_bits = k;
+        self
+    }
+
+    /// Set the hash-and-prefetch window of the batched operations on
+    /// open-addressing tables (default
+    /// [`PREFETCH_BATCH`](crate::simd::PREFETCH_BATCH) = 16, clamped to
+    /// `1..=`[`MAX_PREFETCH_BATCH`](crate::simd::MAX_PREFETCH_BATCH)).
+    /// Chained schemes take no prefetch window and ignore the knob.
+    pub fn prefetch_batch(mut self, window: usize) -> Self {
+        self.prefetch_batch = Some(window);
+        self
+    }
+
     /// Apply the §4.5 memory budget to a chained scheme, targeting
     /// `n_target` entries in the `2^bits` open-addressing-equivalent
     /// footprint. [`TableBuilder::try_build`] then fails with
@@ -230,18 +276,33 @@ impl TableBuilder {
         self.hash
     }
 
+    /// The configured capacity exponent (`2^bits` nominal slots).
+    pub fn capacity_bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The configured shard-count exponent (`2^k` shards; 0 = unsharded).
+    pub fn shard_bits(&self) -> u8 {
+        self.shard_bits
+    }
+
     /// Paper-style label of the configured cell, e.g. `"RHMult"`.
     pub fn label(&self) -> String {
         format!("{}{}", self.scheme.name(), self.hash.name())
     }
 
-    /// Build the described table, wrapping it in a growing
-    /// [`DynamicTable`] when [`TableBuilder::grow_at`] was set.
+    /// Build the described table: sharded into `2^k` locked sub-tables
+    /// when [`TableBuilder::shards`] was set, and/or wrapped in growing
+    /// [`DynamicTable`]s when [`TableBuilder::grow_at`] was set (one per
+    /// shard — growth is per-shard, never stop-the-world).
     ///
     /// The only fallible configuration is a budgeted chained table (see
     /// [`TableBuilder::chained_budget`]); everything else always
     /// succeeds.
-    pub fn try_build(&self) -> Result<Box<dyn HashTable>, TableError> {
+    pub fn try_build(&self) -> Result<BoxedTable, TableError> {
+        if self.shard_bits > 0 {
+            return Ok(Box::new(self.try_build_sharded()?));
+        }
         match self.grow_threshold {
             Some(threshold) => {
                 let factory = Self { grow_threshold: None, chained_budget: None, ..self.clone() };
@@ -253,11 +314,47 @@ impl TableBuilder {
 
     /// [`TableBuilder::try_build`], panicking on an infeasible chained
     /// budget — the convenient form for the non-budgeted grid.
-    pub fn build(&self) -> Box<dyn HashTable> {
+    pub fn build(&self) -> BoxedTable {
         self.try_build().expect("table configuration is infeasible (chained memory budget)")
     }
 
-    fn build_static(&self) -> Result<Box<dyn HashTable>, TableError> {
+    /// Build the described table as a concrete [`ShardedTable`] — the
+    /// form multi-threaded callers want, since the
+    /// [`ConcurrentTable`](crate::ConcurrentTable) operations are not
+    /// object-safe through `Box<dyn HashTable>`. Works for any
+    /// [`TableBuilder::shards`] setting (`k = 0` builds one locked
+    /// shard). Each shard gets `bits - k` capacity bits and a distinct
+    /// hash-function seed.
+    pub fn try_build_sharded(&self) -> Result<ShardedTable<BoxedTable>, TableError> {
+        assert!(
+            self.bits > self.shard_bits,
+            "capacity bits ({}) must exceed shard bits ({})",
+            self.bits,
+            self.shard_bits
+        );
+        let n = 1usize << self.shard_bits;
+        let shard_template = Self {
+            shard_bits: 0,
+            bits: self.bits - self.shard_bits,
+            // A budgeted chained table splits its §4.5 target evenly.
+            chained_budget: self.chained_budget.map(|t| t / n),
+            ..self.clone()
+        };
+        ShardedTable::try_new(self.shard_bits, self.seed, |i| {
+            shard_template
+                .clone()
+                .seed(self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
+                .try_build()
+        })
+    }
+
+    /// [`TableBuilder::try_build_sharded`], panicking on an infeasible
+    /// chained budget.
+    pub fn build_sharded(&self) -> ShardedTable<BoxedTable> {
+        self.try_build_sharded().expect("table configuration is infeasible (chained memory budget)")
+    }
+
+    fn build_static(&self) -> Result<BoxedTable, TableError> {
         match self.hash {
             HashKind::Mult => self.build_with_hash::<MultShift>(),
             HashKind::MultAdd => self.build_with_hash::<MultAddShift>(),
@@ -266,8 +363,9 @@ impl TableBuilder {
         }
     }
 
-    fn build_with_hash<H: HashFamily>(&self) -> Result<Box<dyn HashTable>, TableError> {
+    fn build_with_hash<H: HashFamily>(&self) -> Result<BoxedTable, TableError> {
         let (bits, seed) = (self.bits, self.seed);
+        let pb = self.prefetch_batch;
         Ok(match self.scheme {
             TableScheme::Chained8 => match self.chained_budget {
                 Some(n) => Box::new(ChainedTable8::<H>::with_budget(bits, n, seed)?),
@@ -282,6 +380,9 @@ impl TableBuilder {
                 if self.simd {
                     t.set_probe_kind(ProbeKind::Simd);
                 }
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
                 Box::new(t)
             }
             TableScheme::LinearProbingSoA => {
@@ -289,13 +390,46 @@ impl TableBuilder {
                 if self.simd {
                     t.set_probe_kind(ProbeKind::Simd);
                 }
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
                 Box::new(t)
             }
-            TableScheme::Quadratic => Box::new(QuadraticProbing::<H>::with_seed(bits, seed)),
-            TableScheme::RobinHood => Box::new(RobinHood::<H>::with_seed(bits, seed)),
-            TableScheme::Cuckoo2 => Box::new(Cuckoo::<H, 2>::with_seed(bits, seed)),
-            TableScheme::Cuckoo3 => Box::new(Cuckoo::<H, 3>::with_seed(bits, seed)),
-            TableScheme::Cuckoo4 => Box::new(Cuckoo::<H, 4>::with_seed(bits, seed)),
+            TableScheme::Quadratic => {
+                let mut t = QuadraticProbing::<H>::with_seed(bits, seed);
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
+                Box::new(t)
+            }
+            TableScheme::RobinHood => {
+                let mut t = RobinHood::<H>::with_seed(bits, seed);
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
+                Box::new(t)
+            }
+            TableScheme::Cuckoo2 => {
+                let mut t = Cuckoo::<H, 2>::with_seed(bits, seed);
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
+                Box::new(t)
+            }
+            TableScheme::Cuckoo3 => {
+                let mut t = Cuckoo::<H, 3>::with_seed(bits, seed);
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
+                Box::new(t)
+            }
+            TableScheme::Cuckoo4 => {
+                let mut t = Cuckoo::<H, 4>::with_seed(bits, seed);
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
+                Box::new(t)
+            }
         })
     }
 
@@ -345,14 +479,23 @@ pub fn profile_choice(profile: &WorkloadProfile, bits: u8) -> TableChoice {
 /// A `TableBuilder` is a [`TableFactory`]: [`DynamicTable`] re-invokes it
 /// with a larger `bits` (and a fresh seed) on every growth step. Growth
 /// builds are always unbudgeted — a table that is allowed to double has,
-/// by definition, no fixed §4.5 footprint to budget against.
+/// by definition, no fixed §4.5 footprint to budget against — and always
+/// unsharded: sharding wraps *around* growth (each shard is its own
+/// [`DynamicTable`]), never the other way.
 impl TableFactory for TableBuilder {
-    type Table = Box<dyn HashTable>;
+    type Table = BoxedTable;
 
-    fn build(&self, bits: u8, seed: u64) -> Box<dyn HashTable> {
-        Self { bits, seed, grow_threshold: None, chained_budget: None, ..self.clone() }
-            .build_static()
-            .expect("unbudgeted static build cannot fail")
+    fn build(&self, bits: u8, seed: u64) -> BoxedTable {
+        Self {
+            bits,
+            seed,
+            grow_threshold: None,
+            chained_budget: None,
+            shard_bits: 0,
+            ..self.clone()
+        }
+        .build_static()
+        .expect("unbudgeted static build cannot fail")
     }
 
     fn scheme_name(&self) -> &'static str {
@@ -363,7 +506,7 @@ impl TableFactory for TableBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tests_common::check_against_model;
+    use crate::tests_common::{check_against_model, check_batch_matches_single};
     use crate::InsertOutcome;
 
     #[test]
@@ -465,5 +608,75 @@ mod tests {
             let b = TableBuilder::new(scheme).hash(HashKind::Murmur).bits(8);
             assert_eq!(b.label(), b.build().display_name());
         }
+    }
+
+    #[test]
+    fn sharded_build_splits_bits_across_shards() {
+        let t = TableBuilder::new(TableScheme::LinearProbing).bits(12).shards(2).build_sharded();
+        assert_eq!(t.num_shards(), 4);
+        // 4 shards of 2^10 slots — same total nominal capacity.
+        assert_eq!(t.capacity(), 1 << 12);
+        let boxed = TableBuilder::new(TableScheme::RobinHood).bits(12).shards(2).build();
+        assert!(boxed.display_name().starts_with("Sharded4xRH"));
+        assert_eq!(boxed.capacity(), 1 << 12);
+    }
+
+    #[test]
+    fn sharded_build_keeps_model_semantics() {
+        let mut t = TableBuilder::new(TableScheme::Quadratic)
+            .hash(HashKind::Murmur)
+            .bits(10)
+            .seed(5)
+            .shards(2)
+            .build();
+        check_against_model(&mut t, 3000, 0x5AA2D);
+    }
+
+    #[test]
+    fn sharded_growing_build_grows_per_shard() {
+        let mut t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .seed(3)
+            .shards(2)
+            .grow_at(0.7)
+            .build_sharded();
+        for k in 1..=5000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.len(), 5000);
+        // Every shard doubled independently past its initial 2^6 slots.
+        t.for_each_shard(|i, shard| {
+            assert!(shard.capacity() > 64, "shard {i} never grew");
+            assert!(shard.load_factor() <= 0.7 + 1e-9, "shard {i} over threshold");
+        });
+        for k in (1..=5000u64).step_by(41) {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrency_picks_a_power_of_two_shard_count() {
+        assert_eq!(TableBuilder::new(TableScheme::LinearProbing).concurrency(1).shard_bits(), 2);
+        assert_eq!(TableBuilder::new(TableScheme::LinearProbing).concurrency(4).shard_bits(), 4);
+        assert_eq!(TableBuilder::new(TableScheme::LinearProbing).concurrency(999).shard_bits(), 8);
+    }
+
+    #[test]
+    fn prefetch_batch_knob_reaches_open_addressing_schemes() {
+        // The knob must not change observable behaviour, only the window.
+        for scheme in TableScheme::ALL {
+            let mut narrow = TableBuilder::new(scheme).bits(10).seed(2).prefetch_batch(4).build();
+            let mut wide = TableBuilder::new(scheme).bits(10).seed(2).prefetch_batch(64).build();
+            check_batch_matches_single(&mut narrow, &mut wide, 0x9F37);
+        }
+    }
+
+    #[test]
+    fn sharded_chained_budget_splits_target() {
+        // 460 keys in a 2^10 budget fit unsharded (see test above); the
+        // sharded build must also fit by splitting the target per shard.
+        let b = TableBuilder::new(TableScheme::Chained24).bits(10).chained_budget(460).shards(2);
+        let t = b.try_build().expect("split budget must stay feasible");
+        assert_eq!(t.capacity(), 1 << 10);
     }
 }

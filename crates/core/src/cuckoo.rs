@@ -16,7 +16,7 @@
 //! four ≈ 97% (Fotakis et al.), and the paper needs load factors up to
 //! 90%. The `K = 2, 3` variants back the threshold ablation.
 
-use crate::simd::{prefetch_read, PREFETCH_BATCH};
+use crate::simd::{clamp_prefetch_batch, prefetch_read, MAX_PREFETCH_BATCH, PREFETCH_BATCH};
 use crate::{check_capacity_bits, is_reserved_key, HashTable, InsertOutcome, Pair, TableError};
 use hashfn::HashFamily;
 use rand::{rngs::StdRng, SeedableRng};
@@ -42,6 +42,7 @@ pub struct Cuckoo<H: HashFamily, const K: usize> {
     max_kicks: usize,
     max_rehash_attempts: usize,
     rehash_count: usize,
+    prefetch_batch: usize,
     rng: StdRng,
     /// Scratch trace of kick-chain positions, so a failed chain can be
     /// unwound to restore the exact pre-insert placement.
@@ -77,6 +78,7 @@ impl<H: HashFamily, const K: usize> Cuckoo<H, K> {
             max_kicks: DEFAULT_MAX_KICKS,
             max_rehash_attempts: DEFAULT_MAX_REHASH_ATTEMPTS,
             rehash_count: 0,
+            prefetch_batch: PREFETCH_BATCH,
             rng,
             kick_trace: Vec::with_capacity(DEFAULT_MAX_KICKS),
         }
@@ -90,6 +92,17 @@ impl<H: HashFamily, const K: usize> Cuckoo<H, K> {
     /// Override the rehash-attempt bound.
     pub fn set_max_rehash_attempts(&mut self, attempts: usize) {
         self.max_rehash_attempts = attempts;
+    }
+
+    /// Set the hash-and-prefetch window of the batch operations (clamped
+    /// to `1..=`[`MAX_PREFETCH_BATCH`]; default [`PREFETCH_BATCH`]).
+    pub fn set_prefetch_batch(&mut self, window: usize) {
+        self.prefetch_batch = clamp_prefetch_batch(window);
+    }
+
+    /// The batch prefetch window in use.
+    pub fn prefetch_batch(&self) -> usize {
+        self.prefetch_batch
     }
 
     /// How many full-table rehashes (function resamplings) have happened.
@@ -269,12 +282,16 @@ impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
     fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
         assert_eq!(keys.len(), out.len(), "lookup_batch: keys and out lengths differ");
         // Cuckoo is where batching shines brightest: each key has K
-        // *independent* candidate lines, so pass 1 launches K·window
-        // parallel misses that pass 2 then consumes without stalling.
-        let mut cand = [[0usize; K]; PREFETCH_BATCH];
-        let mut kchunks = keys.chunks(PREFETCH_BATCH);
-        let mut ochunks = out.chunks_mut(PREFETCH_BATCH);
-        while let (Some(kc), Some(oc)) = (kchunks.next(), ochunks.next()) {
+        // *independent* candidate lines. Pass 1 hashes the window and
+        // prefetches the primary bucket (sub-table 0) *and* every
+        // alternate bucket, so pass 2's second hop — the alternate probes
+        // a primary miss must take — never stalls on a cold line. (A
+        // primary-only prefetch would serialize exactly the misses that
+        // dominate at high load, where most entries sit in sub-tables
+        // 1..K after kick-outs.)
+        let window = self.prefetch_batch;
+        let mut cand = [[0usize; K]; MAX_PREFETCH_BATCH];
+        for (kc, oc) in keys.chunks(window).zip(out.chunks_mut(window)) {
             for (c, &k) in cand.iter_mut().zip(kc) {
                 for (t, slot) in c.iter_mut().enumerate() {
                     *slot = self.slot_of(t, k);
@@ -282,10 +299,19 @@ impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
                 }
             }
             for ((o, &k), c) in oc.iter_mut().zip(kc).zip(&cand) {
-                *o = if is_reserved_key(k) {
-                    None
+                if is_reserved_key(k) {
+                    *o = None;
+                    continue;
+                }
+                // Primary bucket first — inserts try sub-table 0 before
+                // kicking, so it resolves the majority of hits...
+                let primary = &self.slots[c[0]];
+                *o = if primary.key == k {
+                    Some(primary.value)
                 } else {
-                    c.iter().find_map(|&pos| {
+                    // ...and the second hop walks the (already prefetched)
+                    // alternates.
+                    c[1..].iter().find_map(|&pos| {
                         let slot = &self.slots[pos];
                         (slot.key == k).then_some(slot.value)
                     })
@@ -304,8 +330,9 @@ impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
         // (full rehash on a cycle), so candidate slots cannot be reused
         // across elements — but warming the K lines each insert touches
         // first still overlaps the misses of the common no-kick case.
-        let mut ichunks = items.chunks(PREFETCH_BATCH);
-        let mut ochunks = out.chunks_mut(PREFETCH_BATCH);
+        let window = self.prefetch_batch;
+        let mut ichunks = items.chunks(window);
+        let mut ochunks = out.chunks_mut(window);
         while let (Some(ic), Some(oc)) = (ichunks.next(), ochunks.next()) {
             for &(k, _) in ic {
                 for t in 0..K {
@@ -322,8 +349,9 @@ impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
         // Deletes never rehash, so candidates stay valid across the
         // window; prefetch all K lines per key, then delete.
         assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
-        let mut kchunks = keys.chunks(PREFETCH_BATCH);
-        let mut ochunks = out.chunks_mut(PREFETCH_BATCH);
+        let window = self.prefetch_batch;
+        let mut kchunks = keys.chunks(window);
+        let mut ochunks = out.chunks_mut(window);
         while let (Some(kc), Some(oc)) = (kchunks.next(), ochunks.next()) {
             for &k in kc {
                 for t in 0..K {

@@ -44,6 +44,7 @@ pub mod linear_probing;
 pub mod lp_soa;
 pub mod quadratic;
 pub mod robin_hood;
+pub mod sharded;
 pub mod simd;
 pub mod stats;
 
@@ -51,7 +52,7 @@ pub mod stats;
 pub(crate) mod tests_common;
 
 pub use budget::MemoryBudget;
-pub use builder::{profile_choice, HashKind, TableBuilder, TableScheme};
+pub use builder::{profile_choice, BoxedTable, HashKind, TableBuilder, TableScheme};
 pub use chained::{ChainedTable24, ChainedTable8};
 pub use cuckoo::Cuckoo;
 pub use decision::{recommend, TableChoice, WorkloadProfile};
@@ -63,6 +64,7 @@ pub use linear_probing::{DeleteStrategy, LinearProbing};
 pub use lp_soa::LinearProbingSoA;
 pub use quadratic::QuadraticProbing;
 pub use robin_hood::{RhLookupMode, RobinHood};
+pub use sharded::{ConcurrentTable, ShardedTable};
 
 use hashfn::HashFn64;
 

@@ -13,7 +13,9 @@
 //! is simply cleared. Inserts recycle the first tombstone found on their
 //! probe path after confirming the key is absent.
 
-use crate::simd::{prefetch_read, scan_pairs, ProbeKind, ScanOutcome, PREFETCH_BATCH};
+use crate::simd::{
+    clamp_prefetch_batch, prefetch_read, scan_pairs, ProbeKind, ScanOutcome, PREFETCH_BATCH,
+};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
 };
@@ -49,6 +51,7 @@ pub struct LinearProbing<H: HashFn64> {
     tombstones: usize,
     probe_kind: ProbeKind,
     delete_strategy: DeleteStrategy,
+    pub(crate) prefetch_batch: usize,
 }
 
 impl<H: HashFamily> LinearProbing<H> {
@@ -80,12 +83,25 @@ impl<H: HashFn64> LinearProbing<H> {
             tombstones: 0,
             probe_kind: ProbeKind::Scalar,
             delete_strategy: DeleteStrategy::default(),
+            prefetch_batch: PREFETCH_BATCH,
         }
     }
 
     /// Switch between scalar and SIMD probing.
     pub fn set_probe_kind(&mut self, kind: ProbeKind) {
         self.probe_kind = kind;
+    }
+
+    /// Set the hash-and-prefetch window of the batch operations (clamped
+    /// to `1..=`[`crate::simd::MAX_PREFETCH_BATCH`]; default
+    /// [`PREFETCH_BATCH`]).
+    pub fn set_prefetch_batch(&mut self, window: usize) {
+        self.prefetch_batch = clamp_prefetch_batch(window);
+    }
+
+    /// The batch prefetch window in use.
+    pub fn prefetch_batch(&self) -> usize {
+        self.prefetch_batch
     }
 
     /// The probe kind in use.
@@ -361,9 +377,10 @@ impl<H: HashFn64> LinearProbing<H> {
 macro_rules! two_pass_batch {
     ($self:ident, $keys:ident, $out:ident, $home:expr, $line:expr, $op:expr) => {{
         assert_eq!($keys.len(), $out.len(), "batch: keys and out lengths differ");
-        let mut homes = [0usize; PREFETCH_BATCH];
-        let mut kchunks = $keys.chunks(PREFETCH_BATCH);
-        let mut ochunks = $out.chunks_mut(PREFETCH_BATCH);
+        let window = $self.prefetch_batch;
+        let mut homes = [0usize; crate::simd::MAX_PREFETCH_BATCH];
+        let mut kchunks = $keys.chunks(window);
+        let mut ochunks = $out.chunks_mut(window);
         while let (Some(kc), Some(oc)) = (kchunks.next(), ochunks.next()) {
             for (h, &k) in homes.iter_mut().zip(kc) {
                 // Reserved keys hash like any other; prefetching their
@@ -384,9 +401,10 @@ macro_rules! two_pass_batch {
 macro_rules! two_pass_insert_batch {
     ($self:ident, $items:ident, $out:ident, $home:expr, $line:expr, $op:expr) => {{
         assert_eq!($items.len(), $out.len(), "insert_batch: items and out lengths differ");
-        let mut homes = [0usize; PREFETCH_BATCH];
-        let mut ichunks = $items.chunks(PREFETCH_BATCH);
-        let mut ochunks = $out.chunks_mut(PREFETCH_BATCH);
+        let window = $self.prefetch_batch;
+        let mut homes = [0usize; crate::simd::MAX_PREFETCH_BATCH];
+        let mut ichunks = $items.chunks(window);
+        let mut ochunks = $out.chunks_mut(window);
         while let (Some(ic), Some(oc)) = (ichunks.next(), ochunks.next()) {
             for (h, &(k, _)) in homes.iter_mut().zip(ic) {
                 *h = $home($self, k);

@@ -14,7 +14,9 @@
 //! suite runs against both.
 
 use crate::linear_probing::{two_pass_batch, two_pass_insert_batch};
-use crate::simd::{prefetch_read, scan_keys, ProbeKind, ScanOutcome, PREFETCH_BATCH};
+use crate::simd::{
+    clamp_prefetch_batch, prefetch_read, scan_keys, ProbeKind, ScanOutcome, PREFETCH_BATCH,
+};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, TableError,
     EMPTY_KEY, TOMBSTONE_KEY,
@@ -32,6 +34,7 @@ pub struct LinearProbingSoA<H: HashFn64> {
     len: usize,
     tombstones: usize,
     probe_kind: ProbeKind,
+    pub(crate) prefetch_batch: usize,
 }
 
 impl<H: HashFamily> LinearProbingSoA<H> {
@@ -63,12 +66,25 @@ impl<H: HashFn64> LinearProbingSoA<H> {
             len: 0,
             tombstones: 0,
             probe_kind: ProbeKind::Scalar,
+            prefetch_batch: PREFETCH_BATCH,
         }
     }
 
     /// Switch between scalar and SIMD probing.
     pub fn set_probe_kind(&mut self, kind: ProbeKind) {
         self.probe_kind = kind;
+    }
+
+    /// Set the hash-and-prefetch window of the batch operations (clamped
+    /// to `1..=`[`crate::simd::MAX_PREFETCH_BATCH`]; default
+    /// [`PREFETCH_BATCH`]).
+    pub fn set_prefetch_batch(&mut self, window: usize) {
+        self.prefetch_batch = clamp_prefetch_batch(window);
+    }
+
+    /// The batch prefetch window in use.
+    pub fn prefetch_batch(&self) -> usize {
+        self.prefetch_batch
     }
 
     /// The probe kind in use.

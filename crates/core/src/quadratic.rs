@@ -18,7 +18,7 @@
 //! cluster stays connected. Inserts recycle tombstones as in LP.
 
 use crate::linear_probing::{two_pass_batch, two_pass_insert_batch};
-use crate::simd::{prefetch_read, PREFETCH_BATCH};
+use crate::simd::{clamp_prefetch_batch, prefetch_read, PREFETCH_BATCH};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
 };
@@ -33,6 +33,7 @@ pub struct QuadraticProbing<H: HashFn64> {
     hash: H,
     len: usize,
     tombstones: usize,
+    pub(crate) prefetch_batch: usize,
 }
 
 impl<H: HashFamily> QuadraticProbing<H> {
@@ -54,7 +55,20 @@ impl<H: HashFn64> QuadraticProbing<H> {
             hash,
             len: 0,
             tombstones: 0,
+            prefetch_batch: PREFETCH_BATCH,
         }
+    }
+
+    /// Set the hash-and-prefetch window of the batch operations (clamped
+    /// to `1..=`[`crate::simd::MAX_PREFETCH_BATCH`]; default
+    /// [`PREFETCH_BATCH`]).
+    pub fn set_prefetch_batch(&mut self, window: usize) {
+        self.prefetch_batch = clamp_prefetch_batch(window);
+    }
+
+    /// The batch prefetch window in use.
+    pub fn prefetch_batch(&self) -> usize {
+        self.prefetch_batch
     }
 
     /// The hash function in use.

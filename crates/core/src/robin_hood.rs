@@ -18,7 +18,7 @@
 //! carry no displacement information.
 
 use crate::linear_probing::{two_pass_batch, two_pass_insert_batch};
-use crate::simd::{prefetch_read, PREFETCH_BATCH};
+use crate::simd::{clamp_prefetch_batch, prefetch_read, PREFETCH_BATCH};
 use crate::{
     check_capacity_bits, home_slot, is_reserved_key, HashTable, InsertOutcome, Pair, TableError,
 };
@@ -63,6 +63,7 @@ pub struct RobinHood<H: HashFn64> {
     /// impractical, §2.4). Backs [`RhLookupMode::DmaxBound`].
     dmax: usize,
     lookup_mode: RhLookupMode,
+    pub(crate) prefetch_batch: usize,
 }
 
 impl<H: HashFamily> RobinHood<H> {
@@ -85,6 +86,7 @@ impl<H: HashFn64> RobinHood<H> {
             len: 0,
             dmax: 0,
             lookup_mode: RhLookupMode::default(),
+            prefetch_batch: PREFETCH_BATCH,
         }
     }
 
@@ -92,6 +94,18 @@ impl<H: HashFn64> RobinHood<H> {
     /// cache-line check).
     pub fn set_lookup_mode(&mut self, mode: RhLookupMode) {
         self.lookup_mode = mode;
+    }
+
+    /// Set the hash-and-prefetch window of the batch operations (clamped
+    /// to `1..=`[`crate::simd::MAX_PREFETCH_BATCH`]; default
+    /// [`PREFETCH_BATCH`]).
+    pub fn set_prefetch_batch(&mut self, window: usize) {
+        self.prefetch_batch = clamp_prefetch_batch(window);
+    }
+
+    /// The batch prefetch window in use.
+    pub fn prefetch_batch(&self) -> usize {
+        self.prefetch_batch
     }
 
     /// The lookup abort criterion in use.

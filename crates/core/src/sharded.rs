@@ -1,0 +1,535 @@
+//! Sharded concurrent tables: one logical map, `2^k` independently locked
+//! sub-tables.
+//!
+//! The paper's read/write-ratio and table-size dimensions (§5, §6) stop at
+//! a single core. [`ShardedTable`] takes any scheme × hash variant across
+//! that boundary by partitioning the key space into `N = 2^k` **shards**,
+//! each a complete table of its own behind a [`Mutex`]: operations on
+//! different shards proceed in parallel, and operations on the same shard
+//! serialize exactly as they would on one table. The literature motivates
+//! both halves of the design — per-partition buffering of updates beats
+//! per-key access (*Dynamic External Hashing: The Limit of Buffering*),
+//! and splitting one logical table into cooperating sub-tables is the
+//! multilevel-table idea (*The Usefulness of Multilevel Hash Tables with
+//! Multiple Hash Functions*).
+//!
+//! # Shard selection vs. table bits
+//!
+//! A key's shard is chosen by the **high bits of an independent selector
+//! hash** (a dedicated Murmur finalizer, salted so it can never coincide
+//! with a shard's own hash function): `shard = selector(key) >> (64 - k)`.
+//! Independence matters: every table in this crate also consumes the *top*
+//! bits of its own hash to pick the home slot, so reusing the table hash
+//! for shard selection would pin each shard's keys to a `1/N` stripe of
+//! its slots. With an independent selector, a sharded table built from a
+//! `2^bits` description gives each shard `2^(bits - k)` slots and the
+//! same expected load factor as the unsharded table.
+//!
+//! # Interaction with [`DynamicTable`](crate::DynamicTable) growth
+//!
+//! When a [`TableBuilder`](crate::TableBuilder) description carries both
+//! `.shards(k)` and `.grow_at(t)`, each shard is its *own*
+//! [`DynamicTable`](crate::DynamicTable): a shard that crosses its load
+//! threshold doubles and rehashes **only its `1/N` of the keys** while
+//! the other shards keep serving — growth is incremental instead of
+//! stop-the-world, and the pause per rehash shrinks by the shard count.
+//! The shard count itself never changes after construction (the selector
+//! bits are fixed), so shard routing stays valid across any number of
+//! per-shard growth steps.
+//!
+//! # Batch routing
+//!
+//! The `*_batch` operations radix-partition each batch by shard (one
+//! stable counting sort), run one sub-batch per shard — preserving the
+//! per-shard hash-then-prefetch path of the underlying tables — and
+//! scatter results back to the caller's element order. Scratch buffers
+//! for the partition are pooled and reused across calls, so steady-state
+//! batches allocate nothing. Because a key always routes to the same
+//! shard and the partition is stable, every element observes exactly the
+//! state it would have observed under in-order execution: batch results
+//! are element-wise identical to the single-key loop, as the
+//! [`HashTable`] contract requires.
+
+use crate::{HashTable, InsertOutcome, TableError};
+use hashfn::{fold_to_bits, HashFamily, HashFn64, Murmur};
+use std::sync::Mutex;
+
+/// Salt folded into the selector seed so the shard selector is never the
+/// same function as any shard's table hash.
+const SELECTOR_SALT: u64 = 0x5AA2_D5E1_EC70_25AB;
+
+/// Operations a table offers to concurrent callers through a shared
+/// reference. [`ShardedTable`] implements this by locking only the shards
+/// an operation touches; threads working disjoint shards never contend.
+///
+/// Semantics match the corresponding [`HashTable`] methods except for
+/// cross-thread ordering: concurrent calls from different threads are
+/// linearized per shard in lock-acquisition order.
+pub trait ConcurrentTable: Send + Sync {
+    /// [`HashTable::insert`] through a shared reference.
+    fn insert_shared(&self, key: u64, value: u64) -> Result<InsertOutcome, TableError>;
+
+    /// [`HashTable::lookup`] through a shared reference.
+    fn lookup_shared(&self, key: u64) -> Option<u64>;
+
+    /// [`HashTable::delete`] through a shared reference.
+    fn delete_shared(&self, key: u64) -> Option<u64>;
+
+    /// [`HashTable::lookup_batch`] through a shared reference.
+    fn lookup_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]);
+
+    /// [`HashTable::insert_batch`] through a shared reference.
+    fn insert_batch_shared(
+        &self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    );
+
+    /// [`HashTable::delete_batch`] through a shared reference.
+    fn delete_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]);
+
+    /// [`HashTable::len`] through a shared reference.
+    fn len_shared(&self) -> usize;
+}
+
+/// Reusable buffers for one in-flight batch partition. Pooled on the
+/// table so repeated batch calls — including concurrent ones, each
+/// holding its own scratch — stop allocating after warm-up.
+#[derive(Default)]
+struct Scratch {
+    /// Original index of the element at each partitioned position.
+    perm: Vec<u32>,
+    /// Per-shard sub-range starts (`num_shards + 1` entries).
+    starts: Vec<usize>,
+    /// Scatter cursors (reset from `starts` per batch).
+    cursor: Vec<usize>,
+    /// Keys in partitioned order.
+    keys: Vec<u64>,
+    /// Items in partitioned order (insert batches).
+    items: Vec<(u64, u64)>,
+    /// Value results in partitioned order.
+    values: Vec<Option<u64>>,
+    /// Insert outcomes in partitioned order.
+    outcomes: Vec<Result<InsertOutcome, TableError>>,
+}
+
+/// A hash table sharded into `2^k` independently locked sub-tables. See
+/// the [module docs](self) for the design.
+///
+/// `ShardedTable` implements [`HashTable`], so it flows through every
+/// generic consumer (workload drivers, `hash_join`, `group_aggregate`)
+/// unchanged, and [`ConcurrentTable`], which exposes the same operations
+/// through `&self` for multi-threaded callers.
+pub struct ShardedTable<T: HashTable> {
+    shards: Box<[Mutex<T>]>,
+    shard_bits: u8,
+    selector: Murmur,
+    scratch_pool: Mutex<Vec<Scratch>>,
+}
+
+impl<T: HashTable> ShardedTable<T> {
+    /// Build a table of `2^shard_bits` shards; `make_shard(i)` supplies
+    /// shard `i`. The selector hash is derived from `seed` (salted, so it
+    /// differs from any table hash drawn from the same seed).
+    ///
+    /// `shard_bits` up to 8 (256 shards) are accepted; `0` degenerates to
+    /// a single-shard table, useful as a mutex-protected table.
+    pub fn new(shard_bits: u8, seed: u64, mut make_shard: impl FnMut(usize) -> T) -> Self {
+        assert!(shard_bits <= 8, "shard bits must be in 0..=8, got {shard_bits}");
+        let n = 1usize << shard_bits;
+        Self {
+            shards: (0..n).map(|i| Mutex::new(make_shard(i))).collect(),
+            shard_bits,
+            selector: Murmur::from_seed(seed ^ SELECTOR_SALT),
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Fallible twin of [`ShardedTable::new`] for factories that can
+    /// refuse a shard (e.g. an infeasible chained memory budget).
+    pub fn try_new(
+        shard_bits: u8,
+        seed: u64,
+        mut make_shard: impl FnMut(usize) -> Result<T, TableError>,
+    ) -> Result<Self, TableError> {
+        assert!(shard_bits <= 8, "shard bits must be in 0..=8, got {shard_bits}");
+        let n = 1usize << shard_bits;
+        let shards: Result<Box<[Mutex<T>]>, TableError> =
+            (0..n).map(|i| make_shard(i).map(Mutex::new)).collect();
+        Ok(Self {
+            shards: shards?,
+            shard_bits,
+            selector: Murmur::from_seed(seed ^ SELECTOR_SALT),
+            scratch_pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Number of shards (`2^shard_bits`).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard-count exponent `k`.
+    pub fn shard_bits(&self) -> u8 {
+        self.shard_bits
+    }
+
+    /// Which shard `key` routes to.
+    #[inline(always)]
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            fold_to_bits(self.selector.hash(key), self.shard_bits)
+        }
+    }
+
+    /// Live entries per shard (locks each shard briefly; a snapshot, not
+    /// an atomic view).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| lock(s).len()).collect()
+    }
+
+    /// Run `f` over a shared reference to each shard in turn (each shard
+    /// locked for the duration of its call).
+    pub fn for_each_shard(&self, mut f: impl FnMut(usize, &T)) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            f(i, &lock(shard));
+        }
+    }
+
+    fn take_scratch(&self) -> Scratch {
+        lock(&self.scratch_pool).pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&self, s: Scratch) {
+        lock(&self.scratch_pool).push(s);
+    }
+
+    /// Stable counting sort of `len` elements into per-shard sub-ranges.
+    /// `shard_key(i)` must return the key of element `i`. Fills
+    /// `s.perm[pos] = original index` and `s.starts` with the sub-range
+    /// boundaries.
+    fn partition(&self, len: usize, s: &mut Scratch, shard_key: impl Fn(usize) -> u64) {
+        let n = self.shards.len();
+        s.starts.clear();
+        s.starts.resize(n + 1, 0);
+        s.perm.clear();
+        s.perm.resize(len, 0);
+        // Pass 1: count per shard (starts[shard + 1] accumulates).
+        for i in 0..len {
+            s.starts[self.shard_of(shard_key(i)) + 1] += 1;
+        }
+        for shard in 0..n {
+            s.starts[shard + 1] += s.starts[shard];
+        }
+        // Pass 2: stable scatter of indices.
+        s.cursor.clear();
+        s.cursor.extend_from_slice(&s.starts[..n]);
+        for i in 0..len {
+            let shard = self.shard_of(shard_key(i));
+            s.perm[s.cursor[shard]] = i as u32;
+            s.cursor[shard] += 1;
+        }
+    }
+
+    /// Run one locked sub-batch per non-empty shard.
+    fn for_each_subrange(&self, starts: &[usize], mut run: impl FnMut(usize, usize, usize)) {
+        for shard in 0..self.shards.len() {
+            let (lo, hi) = (starts[shard], starts[shard + 1]);
+            if lo < hi {
+                run(shard, lo, hi);
+            }
+        }
+    }
+}
+
+/// `Mutex::lock` that survives a poisoned lock: the tables hold no
+/// invariant that a panicking *reader* could have broken, and a panicked
+/// writer aborts the workload anyway — propagating the poison would only
+/// turn one thread's panic into everyone's.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<T: HashTable + Send> ConcurrentTable for ShardedTable<T> {
+    fn insert_shared(&self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        lock(&self.shards[self.shard_of(key)]).insert(key, value)
+    }
+
+    fn lookup_shared(&self, key: u64) -> Option<u64> {
+        lock(&self.shards[self.shard_of(key)]).lookup(key)
+    }
+
+    fn delete_shared(&self, key: u64) -> Option<u64> {
+        lock(&self.shards[self.shard_of(key)]).delete(key)
+    }
+
+    fn lookup_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "lookup_batch: keys and out lengths differ");
+        if self.shards.len() == 1 {
+            return lock(&self.shards[0]).lookup_batch(keys, out);
+        }
+        let mut s = self.take_scratch();
+        self.partition(keys.len(), &mut s, |i| keys[i]);
+        s.keys.clear();
+        s.keys.extend(s.perm.iter().map(|&p| keys[p as usize]));
+        s.values.clear();
+        s.values.resize(keys.len(), None);
+        self.for_each_subrange(&s.starts, |shard, lo, hi| {
+            lock(&self.shards[shard]).lookup_batch(&s.keys[lo..hi], &mut s.values[lo..hi]);
+        });
+        for (&p, &v) in s.perm.iter().zip(&s.values) {
+            out[p as usize] = v;
+        }
+        self.put_scratch(s);
+    }
+
+    fn insert_batch_shared(
+        &self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        assert_eq!(items.len(), out.len(), "insert_batch: items and out lengths differ");
+        if self.shards.len() == 1 {
+            return lock(&self.shards[0]).insert_batch(items, out);
+        }
+        let mut s = self.take_scratch();
+        self.partition(items.len(), &mut s, |i| items[i].0);
+        s.items.clear();
+        s.items.extend(s.perm.iter().map(|&p| items[p as usize]));
+        s.outcomes.clear();
+        s.outcomes.resize(items.len(), Ok(InsertOutcome::Inserted));
+        self.for_each_subrange(&s.starts, |shard, lo, hi| {
+            lock(&self.shards[shard]).insert_batch(&s.items[lo..hi], &mut s.outcomes[lo..hi]);
+        });
+        for (&p, &o) in s.perm.iter().zip(&s.outcomes) {
+            out[p as usize] = o;
+        }
+        self.put_scratch(s);
+    }
+
+    fn delete_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
+        if self.shards.len() == 1 {
+            return lock(&self.shards[0]).delete_batch(keys, out);
+        }
+        let mut s = self.take_scratch();
+        self.partition(keys.len(), &mut s, |i| keys[i]);
+        s.keys.clear();
+        s.keys.extend(s.perm.iter().map(|&p| keys[p as usize]));
+        s.values.clear();
+        s.values.resize(keys.len(), None);
+        self.for_each_subrange(&s.starts, |shard, lo, hi| {
+            lock(&self.shards[shard]).delete_batch(&s.keys[lo..hi], &mut s.values[lo..hi]);
+        });
+        for (&p, &v) in s.perm.iter().zip(&s.values) {
+            out[p as usize] = v;
+        }
+        self.put_scratch(s);
+    }
+
+    fn len_shared(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len()).sum()
+    }
+}
+
+/// A sharded table is a table: single-key calls route to one shard, batch
+/// calls radix-partition and fan out, aggregates sum over shards. The
+/// `&mut self` methods still lock — uncontended locks cost nanoseconds —
+/// so the implementation is shared with the [`ConcurrentTable`] path.
+impl<T: HashTable + Send> HashTable for ShardedTable<T> {
+    fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        self.insert_shared(key, value)
+    }
+
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.lookup_shared(key)
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        self.delete_shared(key)
+    }
+
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.lookup_batch_shared(keys, out)
+    }
+
+    fn insert_batch(
+        &mut self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        self.insert_batch_shared(items, out)
+    }
+
+    fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.delete_batch_shared(keys, out)
+    }
+
+    fn len(&self) -> usize {
+        self.len_shared()
+    }
+
+    fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).capacity()).sum()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).memory_bytes()).sum()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
+        for shard in self.shards.iter() {
+            lock(shard).for_each(f);
+        }
+    }
+
+    fn display_name(&self) -> String {
+        format!("Sharded{}x{}", self.shards.len(), lock(&self.shards[0]).display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinearProbing, RobinHood};
+    use hashfn::Murmur as MurmurHash;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sharded_lp(shard_bits: u8) -> ShardedTable<LinearProbing<MurmurHash>> {
+        ShardedTable::new(shard_bits, 42, |i| LinearProbing::with_seed(11, 100 + i as u64))
+    }
+
+    #[test]
+    fn routes_every_key_to_one_fixed_shard() {
+        let t = sharded_lp(3);
+        assert_eq!(t.num_shards(), 8);
+        for key in [0u64, 1, 7, 1 << 40, u64::MAX - 2] {
+            let s = t.shard_of(key);
+            assert!(s < 8);
+            assert_eq!(s, t.shard_of(key), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn shard_distribution_is_roughly_uniform() {
+        let mut t = sharded_lp(2);
+        for k in 1..=2000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let lens = t.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 2000);
+        for (i, &l) in lens.iter().enumerate() {
+            assert!((400..=600).contains(&l), "shard {i} holds {l} of 2000 keys");
+        }
+    }
+
+    #[test]
+    fn behaves_like_a_map() {
+        let mut t = sharded_lp(2);
+        crate::tests_common::check_roundtrip(&mut t);
+        let mut t = sharded_lp(2);
+        crate::tests_common::check_replace_semantics(&mut t);
+        let mut t = sharded_lp(2);
+        crate::tests_common::check_reserved_keys(&mut t);
+        let mut t = sharded_lp(2);
+        crate::tests_common::check_for_each(&mut t);
+    }
+
+    #[test]
+    fn model_test_against_std_hashmap() {
+        let mut t = sharded_lp(2);
+        crate::tests_common::check_against_model(&mut t, 5000, 0x5AA4D);
+    }
+
+    #[test]
+    fn batch_ops_match_single_key_path() {
+        let mut batched = sharded_lp(3);
+        let mut single = sharded_lp(3);
+        crate::tests_common::check_batch_matches_single(&mut batched, &mut single, 0x5AA4E);
+    }
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let mut t: ShardedTable<RobinHood<MurmurHash>> =
+            ShardedTable::new(2, 7, |i| RobinHood::with_seed(8, i as u64));
+        assert_eq!(t.capacity(), 4 * 256);
+        assert!(t.is_empty());
+        for k in 1..=300u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.memory_bytes(), 4 * 256 * 16);
+        assert!(t.display_name().starts_with("Sharded4xRH"));
+    }
+
+    #[test]
+    fn zero_shard_bits_is_a_single_locked_table() {
+        let mut t = sharded_lp(0);
+        assert_eq!(t.num_shards(), 1);
+        for k in 1..=100u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.lookup(50), Some(150));
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_preserve_every_entry() {
+        let t = sharded_lp(3);
+        const PER_THREAD: u64 = 2000;
+        std::thread::scope(|scope| {
+            for thread in 0..4u64 {
+                let t = &t;
+                scope.spawn(move || {
+                    let base = 1 + thread * PER_THREAD;
+                    let items: Vec<(u64, u64)> =
+                        (base..base + PER_THREAD).map(|k| (k, k * 2)).collect();
+                    let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+                    t.insert_batch_shared(&items, &mut out);
+                    assert!(out.iter().all(|o| o == &Ok(InsertOutcome::Inserted)));
+                });
+            }
+        });
+        assert_eq!(t.len_shared(), 4 * PER_THREAD as usize);
+        let keys: Vec<u64> = (1..=4 * PER_THREAD).collect();
+        let mut values = vec![None; keys.len()];
+        t.lookup_batch_shared(&keys, &mut values);
+        for (&k, v) in keys.iter().zip(&values) {
+            assert_eq!(*v, Some(k * 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_and_writers() {
+        let t = sharded_lp(2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let warm: Vec<(u64, u64)> = (1..=1000u64).map(|k| (k, k)).collect();
+        let mut out = vec![Ok(InsertOutcome::Inserted); warm.len()];
+        t.insert_batch_shared(&warm, &mut out);
+        let probe: Vec<u64> = (0..4000).map(|_| rng.gen_range(1..=2000u64)).collect();
+        std::thread::scope(|scope| {
+            for thread in 0..4usize {
+                let (t, probe) = (&t, &probe);
+                scope.spawn(move || {
+                    if thread % 2 == 0 {
+                        let mut values = vec![None; probe.len()];
+                        t.lookup_batch_shared(probe, &mut values);
+                        for (&k, v) in probe.iter().zip(&values) {
+                            if k <= 1000 {
+                                assert_eq!(*v, Some(k), "warm key {k} must stay visible");
+                            }
+                        }
+                    } else {
+                        let base = 10_000 + thread as u64 * 1000;
+                        for k in base..base + 500 {
+                            t.insert_shared(k, k).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len_shared(), 1000 + 2 * 500);
+    }
+}

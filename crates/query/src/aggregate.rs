@@ -7,7 +7,7 @@
 //! "resembles very closely" aggregation, and why the scheme/function
 //! choice transfers directly.
 
-use sevendim_core::{HashTable, InsertOutcome, TableError};
+use sevendim_core::{HashTable, InsertOutcome, TableBuilder, TableError};
 
 /// The distributive aggregates the paper lists (AVERAGE is algebraic and
 /// handled by [`group_average`]).
@@ -40,12 +40,14 @@ impl AggFn {
         }
     }
 
-    /// Merge a chunk-local partial aggregate into the running table
-    /// aggregate. All four functions are commutative semigroup folds, so
-    /// `merge(fold(a), fold(b)) == fold(a ++ b)` — the algebraic fact the
-    /// vectorized [`group_aggregate`] rests on. For COUNT the partial is
-    /// itself a count, hence addition rather than increment.
-    fn merge(&self, acc: u64, partial: u64) -> u64 {
+    /// Merge a partial aggregate into a running aggregate. All four
+    /// functions are commutative semigroup folds, so
+    /// `merge(fold(a), fold(b)) == fold(a ++ b)` — the algebraic fact
+    /// both the vectorized [`group_aggregate`] (chunk-local partials) and
+    /// the parallel [`group_aggregate_parallel`] (per-thread partials)
+    /// rest on. For COUNT the partial is itself a count, hence addition
+    /// rather than increment.
+    pub fn merge(&self, acc: u64, partial: u64) -> u64 {
         match self {
             AggFn::Sum | AggFn::Count => acc.wrapping_add(partial),
             AggFn::Min => acc.min(partial),
@@ -114,6 +116,64 @@ pub fn group_aggregate<T: HashTable>(
         table.insert_batch(&updates, &mut outcomes);
         if let Some(e) = outcomes.iter().find_map(|o| o.err()) {
             return Err(e);
+        }
+    }
+    let mut out = Vec::with_capacity(table.len());
+    table.for_each(&mut |k, v| out.push((k, v)));
+    Ok(out)
+}
+
+/// Parallel group-by: split `rows` into `threads` contiguous chunks, fold
+/// each chunk into a thread-local state table with [`group_aggregate`]
+/// (no sharing, no locks), then merge the per-thread partial aggregates
+/// into one result table with [`AggFn::merge`].
+///
+/// This is the standard two-phase parallel aggregation: it is exact for
+/// every [`AggFn`] because all four are commutative semigroup folds —
+/// `merge(fold(a), fold(b)) == fold(a ++ b)` — so how the rows are split
+/// cannot change the result. `builder` describes the state tables, and
+/// every thread builds its own at the **full** described capacity: the
+/// chunks are contiguous row ranges, not key partitions, so any chunk
+/// can contain every group — a shrunken local table would overflow on
+/// inputs the sequential path handles. Memory is therefore up to
+/// `threads ×` the sequential table (the classic space cost of
+/// partial-aggregate parallelism); thread-local tables are unsharded —
+/// locking a private table buys nothing. Output order is unspecified,
+/// like [`group_aggregate`].
+pub fn group_aggregate_parallel(
+    builder: &TableBuilder,
+    rows: &[(u64, u64)],
+    f: AggFn,
+    threads: usize,
+) -> Result<Vec<(u64, u64)>, TableError> {
+    let threads = threads.clamp(1, rows.len().max(1));
+    if threads == 1 {
+        let mut table = builder.try_build()?;
+        return group_aggregate(&mut table, rows, f);
+    }
+    let local_builder = builder.clone().shards(0);
+    let chunk_len = rows.len().div_ceil(threads);
+    let partials: Vec<Result<Vec<(u64, u64)>, TableError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk_len)
+            .map(|chunk| {
+                let local_builder = &local_builder;
+                scope.spawn(move || {
+                    let mut local = local_builder.try_build()?;
+                    group_aggregate(&mut local, chunk, f)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("aggregate thread panicked")).collect()
+    });
+    let mut table = builder.try_build()?;
+    for thread_partials in partials {
+        for (key, partial) in thread_partials? {
+            let merged = match table.lookup(key) {
+                Some(acc) => f.merge(acc, partial),
+                None => partial,
+            };
+            table.insert(key, merged)?;
         }
     }
     let mut out = Vec::with_capacity(table.len());
@@ -203,6 +263,67 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
         assert!(group_aggregate(&mut t, &[], AggFn::Sum).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_reference_for_any_thread_count() {
+        use sevendim_core::TableScheme;
+        let rows = sample_rows();
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Count] {
+            let expect = reference(&rows, f);
+            for scheme in [TableScheme::LinearProbing, TableScheme::RobinHood] {
+                let builder = TableBuilder::new(scheme).bits(10).seed(2);
+                for threads in [1, 2, 3, 4, 8] {
+                    let got: HashMap<u64, u64> =
+                        group_aggregate_parallel(&builder, &rows, f, threads)
+                            .unwrap()
+                            .into_iter()
+                            .collect();
+                    assert_eq!(got, expect, "{f:?} {scheme:?} x{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_aggregate_succeeds_wherever_sequential_does() {
+        // Regression: every contiguous chunk can contain *all* groups, so
+        // per-thread tables must not be shrunk by the thread count — this
+        // input fits the sequential table exactly and used to overflow
+        // the parallel path's 1/P-sized locals with TableFull.
+        use sevendim_core::TableScheme;
+        let rows: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i % 500 + 1, 1)).collect();
+        let builder = TableBuilder::new(TableScheme::LinearProbing).bits(10).seed(7);
+        let expect = reference(&rows, AggFn::Count);
+        let got: HashMap<u64, u64> = group_aggregate_parallel(&builder, &rows, AggFn::Count, 8)
+            .expect("parallel must handle what sequential handles")
+            .into_iter()
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_aggregate_accepts_sharded_builder_descriptions() {
+        // A sharded description drops into the parallel operator: locals
+        // are built unsharded (private tables need no locks) instead of
+        // tripping the shard-bits/capacity-bits assertion.
+        use sevendim_core::TableScheme;
+        let rows = sample_rows();
+        let builder = TableBuilder::new(TableScheme::RobinHood).bits(10).seed(3).shards(3);
+        let expect = reference(&rows, AggFn::Sum);
+        let got: HashMap<u64, u64> =
+            group_aggregate_parallel(&builder, &rows, AggFn::Sum, 8).unwrap().into_iter().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_aggregate_handles_empty_and_tiny_inputs() {
+        use sevendim_core::TableScheme;
+        let builder = TableBuilder::new(TableScheme::LinearProbing).bits(8);
+        assert!(group_aggregate_parallel(&builder, &[], AggFn::Sum, 8).unwrap().is_empty());
+        let rows = vec![(1u64, 5u64), (1, 7)];
+        let out = group_aggregate_parallel(&builder, &rows, AggFn::Sum, 8).unwrap();
+        assert_eq!(out, vec![(1, 12)]);
     }
 
     #[test]

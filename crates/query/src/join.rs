@@ -14,7 +14,8 @@
 //! be duplicate-free — the primary-key side of a PK–FK join. Build-side
 //! duplicates are rejected rather than silently dropped.
 
-use sevendim_core::{HashTable, InsertOutcome, TableError};
+use hashfn::Murmur;
+use sevendim_core::{HashTable, InsertOutcome, TableBuilder, TableError};
 
 /// Result of a hash join.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -100,11 +101,98 @@ pub fn hash_join<T: HashTable>(
     Ok(out)
 }
 
+/// Salt for the radix-partition hash, double-mixed so the partition
+/// function can never coincide with any table's own (single-mix) hash.
+const PARTITION_SALT: u64 = 0x9A27_71BE_5F4A_11C3;
+
+/// Which of `2^bits` partitions `key` belongs to.
+#[inline(always)]
+fn partition_of(key: u64, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (Murmur::fmix64(Murmur::fmix64(key) ^ PARTITION_SALT) >> (64 - bits)) as usize
+    }
+}
+
+/// Parallel PK–FK equi-join: radix-partition both relations by join key,
+/// then build **and** probe each partition on its own thread.
+///
+/// This is the classic partitioned hash join: because a key's partition is
+/// the same on both sides, partition `i` of the probe relation can only
+/// match partition `i` of the build relation, so the partitions join
+/// completely independently — no shared table, no locks, and each
+/// partition's build side is `1/P` of the keys, so its table is `1/P` the
+/// size (better cache residency than one big table; cf. §1.1's join
+/// workload, here split P ways).
+///
+/// `builder` describes the **total** build table: each of the `P =
+/// threads.next_power_of_two()` partitions is built at `bits - log2(P)`
+/// capacity bits, so the aggregate footprint matches the sequential
+/// [`hash_join`]'s table. Partition selection uses a salted, double-mixed
+/// Murmur finalizer, independent of every table hash, so per-partition
+/// load factors match the unpartitioned load factor in expectation.
+///
+/// Semantics are those of [`hash_join`] with one difference: `rows` are
+/// grouped by partition (probe order *within* each partition), because
+/// stitching the global probe order back together would serialize the
+/// output phase. `probe_misses` and the row *set* are identical.
+pub fn hash_join_parallel(
+    builder: &TableBuilder,
+    build: &[(u64, u64)],
+    probe: &[(u64, u64)],
+    threads: usize,
+) -> Result<JoinOutput, JoinError> {
+    let p_bits = threads.max(1).next_power_of_two().min(64).trailing_zeros();
+    if p_bits == 0 {
+        let mut table = builder.try_build().map_err(JoinError::Table)?;
+        return hash_join(&mut table, build, probe);
+    }
+    let parts = 1usize << p_bits;
+    let mut build_parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parts];
+    for &(k, v) in build {
+        build_parts[partition_of(k, p_bits)].push((k, v));
+    }
+    let mut probe_parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); parts];
+    for &(k, v) in probe {
+        probe_parts[partition_of(k, p_bits)].push((k, v));
+    }
+    // Each partition holds ~1/P of the build keys, so its table gets
+    // `bits - log2(P)` slots — same aggregate footprint as the sequential
+    // join's one table. Partition tables are private to one thread, so
+    // any `.shards(k)` on the description is dropped (it would only add
+    // lock overhead, and a shard count ≥ the shrunken bits would be
+    // unbuildable).
+    let bits = builder.capacity_bits().saturating_sub(p_bits as u8).max(4);
+    let part_builder = builder.clone().bits(bits).shards(0);
+    let results: Vec<Result<JoinOutput, JoinError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = build_parts
+            .iter()
+            .zip(&probe_parts)
+            .map(|(b, pr)| {
+                let part_builder = &part_builder;
+                scope.spawn(move || {
+                    let mut table = part_builder.try_build().map_err(JoinError::Table)?;
+                    hash_join(&mut table, b, pr)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join partition thread panicked")).collect()
+    });
+    let mut out = JoinOutput::default();
+    for r in results {
+        let part = r?;
+        out.rows.extend(part.rows);
+        out.probe_misses += part.probe_misses;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hashfn::{MultShift, Murmur};
-    use sevendim_core::{ChainedTable24, LinearProbing, RobinHood};
+    use hashfn::MultShift;
+    use sevendim_core::{ChainedTable24, LinearProbing, RobinHood, TableScheme};
 
     fn reference_join(build: &[(u64, u64)], probe: &[(u64, u64)]) -> JoinOutput {
         let mut rows = Vec::new();
@@ -167,6 +255,60 @@ mod tests {
         assert_eq!(out.probe_misses, 1);
         let mut t: LinearProbing<MultShift> = LinearProbing::with_seed(4, 1);
         let out = hash_join(&mut t, &[(1, 1)], &[]).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.probe_misses, 0);
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential_for_any_thread_count() {
+        let (build, probe) = sample_relations();
+        let expect = reference_join(&build, &probe);
+        let expect_sorted = {
+            let mut rows = expect.rows.clone();
+            rows.sort_unstable();
+            rows
+        };
+        for scheme in [TableScheme::LinearProbing, TableScheme::Cuckoo4, TableScheme::Chained24] {
+            let builder = TableBuilder::new(scheme).bits(10).seed(3);
+            for threads in [1, 2, 3, 4, 8] {
+                let out = hash_join_parallel(&builder, &build, &probe, threads).unwrap();
+                assert_eq!(out.probe_misses, expect.probe_misses, "{scheme:?} x{threads}");
+                let mut rows = out.rows;
+                rows.sort_unstable();
+                assert_eq!(rows, expect_sorted, "{scheme:?} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_join_accepts_sharded_builder_descriptions() {
+        // Regression: a `.shards(k)` description used to panic in the
+        // worker threads once the per-partition bits shrank to ≤ k.
+        let (build, probe) = sample_relations();
+        let expect = reference_join(&build, &probe);
+        let builder = TableBuilder::new(TableScheme::LinearProbing).bits(10).seed(3).shards(7);
+        let out = hash_join_parallel(&builder, &build, &probe, 8).unwrap();
+        assert_eq!(out.probe_misses, expect.probe_misses);
+        assert_eq!(out.rows.len(), expect.rows.len());
+    }
+
+    #[test]
+    fn parallel_join_rejects_duplicate_build_keys() {
+        let build = vec![(5u64, 1u64), (9, 3), (5, 2)];
+        let builder = TableBuilder::new(TableScheme::LinearProbing).bits(8);
+        assert_eq!(
+            hash_join_parallel(&builder, &build, &[], 4),
+            Err(JoinError::DuplicateBuildKey(5))
+        );
+    }
+
+    #[test]
+    fn parallel_join_empty_sides() {
+        let builder = TableBuilder::new(TableScheme::RobinHood).bits(8);
+        let out = hash_join_parallel(&builder, &[], &[(1, 1)], 4).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.probe_misses, 1);
+        let out = hash_join_parallel(&builder, &[(1, 1)], &[], 4).unwrap();
         assert!(out.rows.is_empty());
         assert_eq!(out.probe_misses, 0);
     }

@@ -9,9 +9,10 @@
 //! decision graph.
 //!
 //! * [`join`] — PK–FK equi-join (build + probe), the paper's "join
-//!   processing" use case.
+//!   processing" use case, sequential and radix-partitioned parallel.
 //! * [`aggregate`] — hash grouping with SUM/MIN/MAX/COUNT/AVERAGE, the
-//!   paper's "aggregates" use case.
+//!   paper's "aggregates" use case, sequential and thread-partial
+//!   parallel.
 //! * [`index`] — a point-query index dispatched through
 //!   [`sevendim_core::decision::recommend`].
 
@@ -19,6 +20,6 @@ pub mod aggregate;
 pub mod index;
 pub mod join;
 
-pub use aggregate::{group_aggregate, group_average, AggFn};
+pub use aggregate::{group_aggregate, group_aggregate_parallel, group_average, AggFn};
 pub use index::PointIndex;
-pub use join::{hash_join, JoinOutput};
+pub use join::{hash_join, hash_join_parallel, JoinOutput};

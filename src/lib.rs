@@ -17,8 +17,8 @@
 //! | Module (re-export) | Crate | Contents |
 //! |---|---|---|
 //! | [`hash`] | `hashfn` | Multiply-shift, multiply-add-shift, tabulation, Murmur3 finalizer; quality statistics |
-//! | [`tables`] | `sevendim-core` | ChainedH8/H24, LP (AoS + SoA, scalar + AVX2), QP, RH, CuckooH2/3/4; growing wrapper; displacement/cluster stats; Figure 8 decision graph |
-//! | [`workload`] | `workloads` | dense/sparse/grid distributions; WORM and RW drivers |
+//! | [`tables`] | `sevendim-core` | ChainedH8/H24, LP (AoS + SoA, scalar + AVX2), QP, RH, CuckooH2/3/4; growing wrapper; sharded concurrent wrapper; displacement/cluster stats; Figure 8 decision graph |
+//! | [`workload`] | `workloads` | dense/sparse/grid distributions; WORM and RW drivers (single- and multi-threaded) |
 //! | [`measure`] | `metrics` | throughput, multi-seed statistics, figure-shaped report tables |
 //! | [`ops`] | `query` | hash join, group-by aggregation, profile-dispatched point index |
 //!
@@ -60,6 +60,18 @@
 //! assert_eq!(recommend(&profile), TableChoice::QPMult);
 //! let index = TableBuilder::for_profile(&profile, 16, 42).grow_at(0.7).build();
 //! assert_eq!(index.display_name(), "QPMult");
+//!
+//! // Scale the same description across threads: 2^2 independently locked
+//! // shards, each its own growing table (no stop-the-world rehash), with
+//! // batch routing by radix partition. `&self` batch ops via ConcurrentTable.
+//! let sharded = TableBuilder::new(TableScheme::RobinHood)
+//!     .bits(12)
+//!     .shards(2)
+//!     .grow_at(0.7)
+//!     .build_sharded();
+//! sharded.insert_shared(17, 1700).unwrap();
+//! assert_eq!(sharded.lookup_shared(17), Some(1700));
+//! assert_eq!(sharded.display_name(), "Sharded4xRHMult");
 //! ```
 //!
 //! ## Migration from the PR-1 constructors
@@ -92,13 +104,16 @@ pub mod prelude {
         HashFamily, HashFn64, MultAddShift, MultAddShift64, MultShift, Murmur, Tabulation,
     };
     pub use metrics::{ReportTable, SeedStats, Series, Throughput};
-    pub use query::{group_aggregate, group_average, hash_join, AggFn, PointIndex};
+    pub use query::{
+        group_aggregate, group_aggregate_parallel, group_average, hash_join, hash_join_parallel,
+        AggFn, PointIndex,
+    };
     pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
     pub use sevendim_core::{
-        decision::Mutability, recommend, ChainedTable24, ChainedTable8, Cuckoo, DeleteStrategy,
-        DynamicTable, HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA,
-        QuadraticProbing, RhLookupMode, RobinHood, TableBuilder, TableChoice, TableError,
-        TableScheme, WorkloadProfile,
+        decision::Mutability, recommend, BoxedTable, ChainedTable24, ChainedTable8,
+        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, HashKind, HashTable, InsertOutcome,
+        LinearProbing, LinearProbingSoA, QuadraticProbing, RhLookupMode, RobinHood, ShardedTable,
+        TableBuilder, TableChoice, TableError, TableScheme, WorkloadProfile,
     };
     pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};
 }

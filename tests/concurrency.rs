@@ -1,0 +1,263 @@
+//! Concurrency suite: sharded tables against their unsharded twins, and
+//! the shared (`&self`) paths under real threads.
+//!
+//! Three layers of evidence:
+//!
+//! * **differential oracle** — for *every* scheme × hash cell, a sharded
+//!   table (4 shards) and an unsharded table built from the same
+//!   [`TableBuilder`] description are driven through one 10 000-op mixed
+//!   insert/replace/delete/lookup script and must agree element-wise on
+//!   every observable (outcomes, values, lengths) at every step — a
+//!   sharded table *is* the table it shards;
+//! * **batch routing** — the same equivalence through the radix-
+//!   partitioned `*_batch` path, random batch sizes with reserved keys
+//!   sprinkled in;
+//! * **multi-thread smoke** — T threads over disjoint key ranges and over
+//!   the RW stream driver against one shared table, verifying nothing is
+//!   lost, duplicated, or torn.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use seven_dim_hashing::prelude::*;
+use seven_dim_hashing::tables::{EMPTY_KEY, TOMBSTONE_KEY};
+use seven_dim_hashing::workload::rw::run_concurrent;
+
+/// Capacity exponent of the *unsharded* table; the sharded twin splits
+/// the same total across 4 shards. The 640-key universe tops out at ~31%
+/// average load — comfortable for every scheme (CuckooH2 included) even
+/// under worst-case shard skew.
+const BITS: u8 = 11;
+const SHARD_BITS: u8 = 2;
+const UNIVERSE: u64 = 640;
+const OPS: usize = 10_000;
+
+/// Drive a sharded table and its unsharded twin through the same mixed
+/// single-key script; every observable must match at every step.
+fn sharded_oracle(scheme: TableScheme, hash: HashKind) {
+    let desc = TableBuilder::new(scheme).hash(hash).bits(BITS).seed(0x0AC1E);
+    let mut sharded = desc.clone().shards(SHARD_BITS).build();
+    let mut plain = desc.build();
+    let label = plain.display_name();
+    let mut rng = StdRng::seed_from_u64(0x5AA2D ^ scheme as u64 ^ (hash as u64) << 8);
+    for step in 0..OPS {
+        let key = rng.gen_range(1..=UNIVERSE);
+        match rng.gen_range(0..10u8) {
+            0..=4 => {
+                let value = rng.gen::<u64>() >> 1;
+                assert_eq!(
+                    sharded.insert(key, value),
+                    plain.insert(key, value),
+                    "{label} step {step}: insert {key}"
+                );
+            }
+            5..=6 => {
+                assert_eq!(
+                    sharded.delete(key),
+                    plain.delete(key),
+                    "{label} step {step}: delete {key}"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    sharded.lookup(key),
+                    plain.lookup(key),
+                    "{label} step {step}: lookup {key}"
+                );
+            }
+        }
+        assert_eq!(sharded.len(), plain.len(), "{label} step {step}: len");
+    }
+    // Reserved keys bounce off both identically.
+    for reserved in [EMPTY_KEY, TOMBSTONE_KEY] {
+        assert_eq!(sharded.insert(reserved, 1), Err(TableError::ReservedKey), "{label}");
+        assert_eq!(sharded.lookup(reserved), None, "{label}");
+        assert_eq!(sharded.delete(reserved), None, "{label}");
+    }
+    // Final sweep: identical contents.
+    for key in 1..=UNIVERSE {
+        assert_eq!(sharded.lookup(key), plain.lookup(key), "{label} final: {key}");
+    }
+}
+
+/// The same equivalence through the radix-partitioned batch path: the
+/// sharded table executes `*_batch` calls of random sizes, the unsharded
+/// twin executes the same elements key by key.
+fn sharded_batch_oracle(scheme: TableScheme, hash: HashKind) {
+    let desc = TableBuilder::new(scheme).hash(hash).bits(BITS).seed(0xBA7C4);
+    let mut sharded = desc.clone().shards(SHARD_BITS).build();
+    let mut plain = desc.build();
+    let label = plain.display_name();
+    let mut rng = StdRng::seed_from_u64(0xC0 ^ scheme as u64 ^ (hash as u64) << 8);
+    let gen_key = |rng: &mut StdRng| match rng.gen_range(0..24u8) {
+        0 => EMPTY_KEY,
+        1 => TOMBSTONE_KEY,
+        _ => rng.gen_range(1..=UNIVERSE),
+    };
+    for round in 0..120 {
+        let len = rng.gen_range(0..64usize);
+        match rng.gen_range(0..10u8) {
+            0..=4 => {
+                let items: Vec<(u64, u64)> =
+                    (0..len).map(|_| (gen_key(&mut rng), rng.gen::<u64>() >> 1)).collect();
+                let mut out = vec![Ok(InsertOutcome::Inserted); len];
+                sharded.insert_batch(&items, &mut out);
+                for (i, &(k, v)) in items.iter().enumerate() {
+                    assert_eq!(
+                        out[i],
+                        plain.insert(k, v),
+                        "{label} round {round}: insert_batch[{i}] ({k:#x})"
+                    );
+                }
+            }
+            5..=6 => {
+                let keys: Vec<u64> = (0..len).map(|_| gen_key(&mut rng)).collect();
+                let mut out = vec![None; len];
+                sharded.delete_batch(&keys, &mut out);
+                for (i, &k) in keys.iter().enumerate() {
+                    assert_eq!(
+                        out[i],
+                        plain.delete(k),
+                        "{label} round {round}: delete_batch[{i}] ({k:#x})"
+                    );
+                }
+            }
+            _ => {
+                let keys: Vec<u64> = (0..len).map(|_| gen_key(&mut rng)).collect();
+                let mut out = vec![None; len];
+                sharded.lookup_batch(&keys, &mut out);
+                for (i, &k) in keys.iter().enumerate() {
+                    assert_eq!(
+                        out[i],
+                        plain.lookup(k),
+                        "{label} round {round}: lookup_batch[{i}] ({k:#x})"
+                    );
+                }
+            }
+        }
+        assert_eq!(sharded.len(), plain.len(), "{label} round {round}: len");
+    }
+}
+
+/// One test per scheme, each covering all four hash families (the full
+/// scheme × hash grid, like `differential_oracle`).
+macro_rules! sharded_oracle_case {
+    ($name:ident, $scheme:expr) => {
+        #[test]
+        fn $name() {
+            for hash in HashKind::ALL {
+                sharded_oracle($scheme, hash);
+                sharded_batch_oracle($scheme, hash);
+            }
+        }
+    };
+}
+
+sharded_oracle_case!(sharded_matches_unsharded_chained8, TableScheme::Chained8);
+sharded_oracle_case!(sharded_matches_unsharded_chained24, TableScheme::Chained24);
+sharded_oracle_case!(sharded_matches_unsharded_lp, TableScheme::LinearProbing);
+sharded_oracle_case!(sharded_matches_unsharded_lp_soa, TableScheme::LinearProbingSoA);
+sharded_oracle_case!(sharded_matches_unsharded_qp, TableScheme::Quadratic);
+sharded_oracle_case!(sharded_matches_unsharded_rh, TableScheme::RobinHood);
+sharded_oracle_case!(sharded_matches_unsharded_cuckoo2, TableScheme::Cuckoo2);
+sharded_oracle_case!(sharded_matches_unsharded_cuckoo3, TableScheme::Cuckoo3);
+sharded_oracle_case!(sharded_matches_unsharded_cuckoo4, TableScheme::Cuckoo4);
+
+/// T threads, each owning a disjoint key range, hammer one shared table
+/// through the `*_shared` batch API; afterwards every key from every
+/// range must be present exactly once with its thread's value.
+#[test]
+fn threads_with_disjoint_ranges_lose_nothing() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    let table =
+        TableBuilder::new(TableScheme::RobinHood).bits(16).seed(0x7EAD).shards(3).build_sharded();
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let table = &table;
+            scope.spawn(move || {
+                let base = 1 + thread * PER_THREAD;
+                let items: Vec<(u64, u64)> =
+                    (base..base + PER_THREAD).map(|k| (k, k * 10 + thread)).collect();
+                let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+                table.insert_batch_shared(&items, &mut out);
+                assert!(out.iter().all(|o| o.is_ok()), "thread {thread}: insert failed");
+                // Read back own range while other threads keep writing.
+                let keys: Vec<u64> = (base..base + PER_THREAD).collect();
+                let mut values = vec![None; keys.len()];
+                table.lookup_batch_shared(&keys, &mut values);
+                for (&k, v) in keys.iter().zip(&values) {
+                    assert_eq!(*v, Some(k * 10 + thread), "thread {thread}: key {k}");
+                }
+                // Delete and reinsert a stripe: churn across shard locks.
+                let victims: Vec<u64> = keys.iter().copied().step_by(7).collect();
+                let mut removed = vec![None; victims.len()];
+                table.delete_batch_shared(&victims, &mut removed);
+                assert!(removed.iter().all(|r| r.is_some()), "thread {thread}: delete missed");
+                let refill: Vec<(u64, u64)> =
+                    victims.iter().map(|&k| (k, k * 10 + thread)).collect();
+                let mut out = vec![Ok(InsertOutcome::Inserted); refill.len()];
+                table.insert_batch_shared(&refill, &mut out);
+                assert!(out.iter().all(|o| o == &Ok(InsertOutcome::Inserted)));
+            });
+        }
+    });
+    assert_eq!(table.len_shared(), (THREADS * PER_THREAD) as usize);
+    let mut seen = std::collections::HashMap::new();
+    table.for_each(&mut |k, v| {
+        assert!(seen.insert(k, v).is_none(), "key {k} visited twice");
+    });
+    assert_eq!(seen.len(), (THREADS * PER_THREAD) as usize);
+    for (&k, &v) in &seen {
+        let thread = (k - 1) / PER_THREAD;
+        assert_eq!(v, k * 10 + thread, "key {k} has a torn or foreign value");
+    }
+}
+
+/// The multi-threaded RW driver over a per-shard-growing table: the full
+/// configured stream executes (every per-thread expectation checked by
+/// `run_chunk_shared`'s debug asserts), across a thread sweep.
+#[test]
+fn concurrent_rw_driver_sweeps_threads() {
+    for threads in [1, 2, 4] {
+        let table = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(13)
+            .seed(0x5CA1E)
+            .concurrency(threads)
+            .grow_at(0.7)
+            .build_sharded();
+        let cfg = RwConfig { initial_keys: 3000, operations: 40_000, update_pct: 50, seed: 11 };
+        let t = run_concurrent(&table, &cfg, threads).unwrap();
+        assert_eq!(t.ops, 40_000, "{threads} threads: stream truncated");
+        assert!(table.len_shared() >= cfg.initial_keys, "{threads} threads: keys lost");
+        // Growth stayed per-shard: no shard exceeds its threshold.
+        table.for_each_shard(|i, shard| {
+            assert!(shard.load_factor() <= 0.7 + 1e-9, "shard {i} over threshold");
+        });
+    }
+}
+
+/// The parallel query operators agree with their sequential forms when
+/// run over a meaningful relation through real threads.
+#[test]
+fn parallel_operators_match_sequential() {
+    let build: Vec<(u64, u64)> = (1..=4_000u64).map(|k| (k, k * 7)).collect();
+    let probe: Vec<(u64, u64)> = (0..12_000u64).map(|i| (i % 5_000 + 1, i)).collect();
+    let builder = TableBuilder::new(TableScheme::LinearProbing).bits(13).seed(0x10);
+    let mut table = builder.build();
+    let sequential = hash_join(&mut table, &build, &probe).unwrap();
+    let parallel = hash_join_parallel(&builder, &build, &probe, 4).unwrap();
+    assert_eq!(parallel.probe_misses, sequential.probe_misses);
+    let (mut a, mut b) = (sequential.rows, parallel.rows);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+
+    let rows: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i % 257, i * 3 % 1001)).collect();
+    for f in [AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Count] {
+        let mut table = builder.build();
+        let mut sequential = group_aggregate(&mut table, &rows, f).unwrap();
+        let mut parallel = group_aggregate_parallel(&builder, &rows, f, 4).unwrap();
+        sequential.sort_unstable();
+        parallel.sort_unstable();
+        assert_eq!(sequential, parallel, "{f:?}");
+    }
+}
