@@ -88,6 +88,7 @@ fn probe_batch(c: &mut Criterion) {
             (TableScheme::LinearProbingSoA, true),
             (TableScheme::RobinHood, false),
             (TableScheme::Cuckoo4, false),
+            (TableScheme::Fingerprint, true),
         ] {
             let mut table = TableBuilder::new(scheme)
                 .hash(HashKind::Mult)

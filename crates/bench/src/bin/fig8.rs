@@ -14,12 +14,13 @@ use bench::{parse_args, rw_cell, worm_cell, HashId, Scheme};
 use sevendim_core::decision::{recommend, Mutability, TableChoice, WorkloadProfile};
 use workloads::{Distribution, RwConfig, WormConfig};
 
-const CANDIDATES: [(Scheme, TableChoice); 5] = [
+const CANDIDATES: [(Scheme, TableChoice); 6] = [
     (Scheme::Chained24, TableChoice::ChainedH24Mult),
     (Scheme::Cuckoo4, TableChoice::CuckooH4Mult),
     (Scheme::LP, TableChoice::LPMult),
     (Scheme::QP, TableChoice::QPMult),
     (Scheme::RH, TableChoice::RHMult),
+    (Scheme::Fingerprint, TableChoice::FpMult),
 ];
 
 fn main() {

@@ -31,6 +31,8 @@ pub enum Scheme {
     RH,
     /// Cuckoo hashing on four sub-tables.
     Cuckoo4,
+    /// Bucketized fingerprint probing (16-slot groups, tag array).
+    Fingerprint,
 }
 
 /// Hash functions presented in the paper's figures (§4.4 narrows the four
@@ -53,6 +55,7 @@ impl Scheme {
             Scheme::QP => TableScheme::Quadratic,
             Scheme::RH => TableScheme::RobinHood,
             Scheme::Cuckoo4 => TableScheme::Cuckoo4,
+            Scheme::Fingerprint => TableScheme::Fingerprint,
         }
     }
 
@@ -155,9 +158,15 @@ fn cfg_pcts(keys: &WormKeys) -> Vec<(u8, Option<f64>)> {
 /// One [`TableBuilder`] covers the whole grid — chained schemes get the
 /// §4.5 memory budget applied (an infeasible budget makes the cell
 /// absent, matching the paper's removed chained curves at high load).
+/// The fingerprint scheme is built with its SSE2 tag scan: group
+/// probing *is* the scheme (the scalar fallback only exists for non-x86
+/// targets), whereas the LP layouts stay scalar here because SIMD key
+/// scanning is its own dimension (Figure 7).
 pub fn worm_cell(scheme: Scheme, h: HashId, cfg: &WormConfig, seeds: &[u64]) -> WormCellOut {
-    let mut builder =
-        TableBuilder::new(scheme.table_scheme()).hash(h.hash_kind()).bits(cfg.capacity_bits);
+    let mut builder = TableBuilder::new(scheme.table_scheme())
+        .hash(h.hash_kind())
+        .bits(cfg.capacity_bits)
+        .simd(scheme == Scheme::Fingerprint);
     if matches!(scheme, Scheme::Chained8 | Scheme::Chained24) {
         builder = builder.chained_budget(cfg.n_keys());
     }
@@ -195,7 +204,9 @@ pub fn rw_cell(
     while (cfg.initial_keys as f64) > grow_threshold * (1u64 << bits) as f64 {
         bits += 1;
     }
-    let factory = TableBuilder::new(scheme.table_scheme()).hash(h.hash_kind());
+    let factory = TableBuilder::new(scheme.table_scheme())
+        .hash(h.hash_kind())
+        .simd(scheme == Scheme::Fingerprint);
     let mut stream = RwStream::new(cfg);
     let mut table = DynamicTable::new(factory, bits, cfg.seed ^ 0xD14_7AB1E, grow_threshold);
     for k in stream.initial_keys() {
@@ -386,6 +397,7 @@ mod tests {
             Scheme::QP,
             Scheme::RH,
             Scheme::Cuckoo4,
+            Scheme::Fingerprint,
         ] {
             for h in [HashId::Mult, HashId::Murmur] {
                 let out = worm_cell(scheme, h, &tiny_cfg(), &[3]);
@@ -397,7 +409,14 @@ mod tests {
     #[test]
     fn rw_cell_runs_all_schemes() {
         let cfg = RwConfig { initial_keys: 2000, operations: 20_000, update_pct: 50, seed: 1 };
-        for scheme in [Scheme::LP, Scheme::QP, Scheme::RH, Scheme::Cuckoo4, Scheme::Chained24] {
+        for scheme in [
+            Scheme::LP,
+            Scheme::QP,
+            Scheme::RH,
+            Scheme::Cuckoo4,
+            Scheme::Chained24,
+            Scheme::Fingerprint,
+        ] {
             let out = rw_cell(scheme, HashId::Mult, 0.7, cfg).unwrap();
             assert!(out.mops > 0.0, "{:?}", scheme);
             assert!(out.memory_bytes > 0);
@@ -426,5 +445,6 @@ mod tests {
     fn labels_match_paper_naming() {
         assert_eq!(Scheme::Chained24.label(HashId::Murmur), "ChainedH24Murmur");
         assert_eq!(Scheme::Cuckoo4.label(HashId::Mult), "CuckooH4Mult");
+        assert_eq!(Scheme::Fingerprint.label(HashId::Mult), "FPMult");
     }
 }

@@ -37,8 +37,8 @@ use crate::dynamic::{DynamicTable, TableFactory};
 use crate::sharded::ShardedTable;
 use crate::simd::ProbeKind;
 use crate::{
-    ChainedTable24, ChainedTable8, Cuckoo, HashTable, LinearProbing, LinearProbingSoA,
-    MemoryBudget, QuadraticProbing, RobinHood, TableError,
+    ChainedTable24, ChainedTable8, Cuckoo, FingerprintTable, HashTable, LinearProbing,
+    LinearProbingSoA, MemoryBudget, QuadraticProbing, RobinHood, TableError,
 };
 use hashfn::{HashFamily, MultAddShift, MultShift, Murmur, Tabulation};
 use slab_alloc::SlabAllocator;
@@ -70,11 +70,17 @@ pub enum TableScheme {
     Cuckoo3,
     /// Cuckoo hashing on four sub-tables.
     Cuckoo4,
+    /// Bucketized fingerprint probing: 16-slot groups over a 1-byte tag
+    /// array, SoA payload (beyond the paper's grid — see
+    /// [`crate::FingerprintTable`]).
+    Fingerprint,
 }
 
 impl TableScheme {
-    /// Every scheme, for grid sweeps.
-    pub const ALL: [TableScheme; 9] = [
+    /// Every scheme, for grid sweeps. Derive scheme lists from this
+    /// array instead of enumerating variants by hand, so new schemes
+    /// join every sweep automatically.
+    pub const ALL: [TableScheme; 10] = [
         TableScheme::Chained8,
         TableScheme::Chained24,
         TableScheme::LinearProbing,
@@ -84,7 +90,17 @@ impl TableScheme {
         TableScheme::Cuckoo2,
         TableScheme::Cuckoo3,
         TableScheme::Cuckoo4,
+        TableScheme::Fingerprint,
     ];
+
+    /// Schemes whose probe kernels have a SIMD variant — the cells where
+    /// [`TableBuilder::simd`] changes the built table.
+    pub fn has_simd_variant(&self) -> bool {
+        matches!(
+            self,
+            TableScheme::LinearProbing | TableScheme::LinearProbingSoA | TableScheme::Fingerprint
+        )
+    }
 
     /// Paper-style scheme label (hash-function suffix not included).
     pub fn name(&self) -> &'static str {
@@ -98,6 +114,7 @@ impl TableScheme {
             TableScheme::Cuckoo2 => "CuckooH2",
             TableScheme::Cuckoo3 => "CuckooH3",
             TableScheme::Cuckoo4 => "CuckooH4",
+            TableScheme::Fingerprint => "FP",
         }
     }
 }
@@ -173,6 +190,9 @@ impl TableBuilder {
             TableChoice::QPMult => base.scheme(TableScheme::Quadratic),
             TableChoice::RHMult => base.scheme(TableScheme::RobinHood),
             TableChoice::CuckooH4Mult => base.scheme(TableScheme::Cuckoo4),
+            // The graph recommends FP *for* its tag filter — build with
+            // the SIMD tag scan (scalar fallback off x86-64).
+            TableChoice::FpMult => base.scheme(TableScheme::Fingerprint).simd(true),
             TableChoice::ChainedH24Mult => {
                 base.scheme(TableScheme::Chained24).chained_budget(n_target)
             }
@@ -205,8 +225,10 @@ impl TableBuilder {
         self
     }
 
-    /// Probe with the AVX2 kernels where available (LP layouts only;
-    /// other schemes ignore the toggle). Default off.
+    /// Probe with the SIMD kernels where available: AVX2 key scans for
+    /// the LP layouts, SSE2 tag scans for the fingerprint scheme (see
+    /// [`TableScheme::has_simd_variant`]; other schemes ignore the
+    /// toggle). Default off.
     pub fn simd(mut self, on: bool) -> Self {
         self.simd = on;
         self
@@ -226,7 +248,8 @@ impl TableBuilder {
     /// unchanged; combined with [`TableBuilder::grow_at`], every shard
     /// grows independently (no stop-the-world rehash). `k = 0` (the
     /// default) builds an unsharded table; `k` up to 8 (256 shards) is
-    /// accepted.
+    /// accepted. A fingerprint table additionally needs one 16-slot
+    /// group per shard (`bits - k >= 4`, checked at build time).
     pub fn shards(mut self, k: u8) -> Self {
         assert!(k <= 8, "shard bits must be in 0..=8, got {k}");
         self.shard_bits = k;
@@ -296,10 +319,14 @@ impl TableBuilder {
     /// [`DynamicTable`]s when [`TableBuilder::grow_at`] was set (one per
     /// shard — growth is per-shard, never stop-the-world).
     ///
-    /// The only fallible configuration is a budgeted chained table (see
-    /// [`TableBuilder::chained_budget`]); everything else always
-    /// succeeds.
+    /// The only *fallible* configuration is a budgeted chained table (see
+    /// [`TableBuilder::chained_budget`]); every other valid description
+    /// succeeds. Invalid descriptions **panic** — capacity bits outside
+    /// `1..=32`, `bits <= shard_bits`, or a fingerprint table with fewer
+    /// than one 16-slot group per shard (`bits - shard_bits < 4`) — as
+    /// misconfigurations, not runtime failures.
     pub fn try_build(&self) -> Result<BoxedTable, TableError> {
+        self.check_fingerprint_groups();
         if self.shard_bits > 0 {
             return Ok(Box::new(self.try_build_sharded()?));
         }
@@ -332,6 +359,7 @@ impl TableBuilder {
             self.bits,
             self.shard_bits
         );
+        self.check_fingerprint_groups();
         let n = 1usize << self.shard_bits;
         let shard_template = Self {
             shard_bits: 0,
@@ -352,6 +380,22 @@ impl TableBuilder {
     /// chained budget.
     pub fn build_sharded(&self) -> ShardedTable<BoxedTable> {
         self.try_build_sharded().expect("table configuration is infeasible (chained memory budget)")
+    }
+
+    /// Panic early (with the builder's numbers, not a shard's) when a
+    /// fingerprint description leaves a shard less than one 16-slot
+    /// group. Shared by [`TableBuilder::try_build`] and
+    /// [`TableBuilder::try_build_sharded`].
+    fn check_fingerprint_groups(&self) {
+        if self.scheme == TableScheme::Fingerprint {
+            assert!(
+                self.bits >= self.shard_bits + 4,
+                "fingerprint tables need one 16-slot group per shard: capacity bits ({}) must \
+                 be at least shard bits ({}) + 4",
+                self.bits,
+                self.shard_bits
+            );
+        }
     }
 
     fn build_static(&self) -> Result<BoxedTable, TableError> {
@@ -430,6 +474,16 @@ impl TableBuilder {
                 }
                 Box::new(t)
             }
+            TableScheme::Fingerprint => {
+                let mut t = FingerprintTable::<H>::with_seed(bits, seed);
+                if self.simd {
+                    t.set_probe_kind(ProbeKind::Simd);
+                }
+                if let Some(w) = pb {
+                    t.set_prefetch_batch(w);
+                }
+                Box::new(t)
+            }
         })
     }
 
@@ -460,17 +514,28 @@ impl TableBuilder {
 }
 
 /// The table [`TableBuilder::for_profile`] will actually build: the
-/// decision graph's recommendation (Figure 8), downgraded to `RHMult` —
-/// the paper's all-rounder — when the recommendation is chained hashing
-/// but the §4.5 memory budget for a `2^bits` open-addressing-equivalent
-/// footprint cannot hold the profile's target fill.
+/// decision graph's recommendation (Figure 8), downgraded when the
+/// recommendation cannot be honoured. A chained recommendation whose
+/// §4.5 memory budget for a `2^bits` open-addressing-equivalent
+/// footprint cannot hold the profile's target fill falls back to
+/// `FPMult` when the profile sits in the fingerprint table's own band
+/// (static, not write-heavy — the miss-filtering regime the graph
+/// places FP in) and otherwise to `RHMult`, the paper's all-rounder. A
+/// fingerprint recommendation for a table smaller than one 16-slot
+/// group also degrades to `RHMult`.
 pub fn profile_choice(profile: &WorkloadProfile, bits: u8) -> TableChoice {
+    let fp_feasible = (1usize << bits) >= crate::GROUP_SLOTS;
     let choice = recommend(profile);
+    if choice == TableChoice::FpMult {
+        return if fp_feasible { TableChoice::FpMult } else { TableChoice::RHMult };
+    }
     if choice == TableChoice::ChainedH24Mult {
         let n_target = ((1usize << bits) as f64 * profile.load_factor).round() as usize;
         let budget = MemoryBudget::open_addressing_equivalent(bits);
         if chained24_directory_bits(budget, n_target, bits).is_none() {
-            return TableChoice::RHMult;
+            let fp_band = profile.mutability == crate::decision::Mutability::Static
+                && profile.write_ratio <= 0.5;
+            return if fp_feasible && fp_band { TableChoice::FpMult } else { TableChoice::RHMult };
         }
     }
     choice
@@ -531,14 +596,22 @@ mod tests {
     }
 
     #[test]
-    fn simd_toggle_reaches_lp_layouts() {
+    fn simd_toggle_reaches_simd_capable_schemes() {
         let t = TableBuilder::new(TableScheme::LinearProbing).bits(8).simd(true).build();
         assert_eq!(t.display_name(), "LPMultSIMD");
         let t = TableBuilder::new(TableScheme::LinearProbingSoA).bits(8).simd(true).build();
         assert_eq!(t.display_name(), "LPSoAMultSIMD");
-        // Non-LP schemes ignore the toggle.
+        let t = TableBuilder::new(TableScheme::Fingerprint).bits(8).simd(true).build();
+        assert_eq!(t.display_name(), "FPMultSIMD");
+        // Schemes without a SIMD kernel ignore the toggle.
         let t = TableBuilder::new(TableScheme::RobinHood).bits(8).simd(true).build();
         assert_eq!(t.display_name(), "RHMult");
+        // The toggle changes exactly the cells has_simd_variant names.
+        for scheme in TableScheme::ALL {
+            let plain = TableBuilder::new(scheme).bits(8).build().display_name();
+            let simd = TableBuilder::new(scheme).bits(8).simd(true).build().display_name();
+            assert_eq!(plain != simd, scheme.has_simd_variant(), "{scheme:?}");
+        }
     }
 
     #[test]
@@ -589,6 +662,39 @@ mod tests {
             .build()
             .display_name()
             .starts_with("ChainedH24"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one 16-slot group per shard")]
+    fn fingerprint_rejects_sub_group_shards() {
+        let _ = TableBuilder::new(TableScheme::Fingerprint).bits(10).shards(7).try_build();
+    }
+
+    #[test]
+    #[should_panic(expected = "one 16-slot group per shard")]
+    fn fingerprint_rejects_sub_group_capacity() {
+        let _ = TableBuilder::new(TableScheme::Fingerprint).bits(3).try_build();
+    }
+
+    #[test]
+    fn for_profile_degrades_fingerprint_below_one_group() {
+        let miss_heavy_mid = WorkloadProfile {
+            load_factor: 0.7,
+            successful_ratio: 0.0,
+            write_ratio: 0.0,
+            dense_keys: false,
+            mutability: crate::decision::Mutability::Static,
+        };
+        assert_eq!(profile_choice(&miss_heavy_mid, 10), TableChoice::FpMult);
+        let t = TableBuilder::for_profile(&miss_heavy_mid, 10, 1).build();
+        assert_eq!(t.display_name(), "FPMultSIMD");
+        // Below one 16-slot group the recommendation must not panic the
+        // build — it degrades to the all-rounder.
+        for bits in 1..=3u8 {
+            assert_eq!(profile_choice(&miss_heavy_mid, bits), TableChoice::RHMult, "bits {bits}");
+            let t = TableBuilder::for_profile(&miss_heavy_mid, bits, 1).build();
+            assert_eq!(t.display_name(), "RHMult");
+        }
     }
 
     #[test]
@@ -669,6 +775,41 @@ mod tests {
             let mut wide = TableBuilder::new(scheme).bits(10).seed(2).prefetch_batch(64).build();
             check_batch_matches_single(&mut narrow, &mut wide, 0x9F37);
         }
+    }
+
+    #[test]
+    fn fingerprint_composes_with_growth_and_shards() {
+        use crate::sharded::ConcurrentTable;
+        // .grow_at: each doubling rebuilds the tag array + SoA payload.
+        let mut t = TableBuilder::new(TableScheme::Fingerprint)
+            .hash(HashKind::Murmur)
+            .bits(5)
+            .seed(4)
+            .grow_at(0.7)
+            .build();
+        for k in 1..=4000u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert!(t.capacity() >= 8192, "capacity {} should have doubled repeatedly", t.capacity());
+        for k in (1..=4000u64).step_by(29) {
+            assert_eq!(t.lookup(k), Some(k * 2));
+        }
+        // .shards + .grow_at: per-shard growing fingerprint tables.
+        let t = TableBuilder::new(TableScheme::Fingerprint)
+            .bits(12)
+            .seed(9)
+            .shards(2)
+            .grow_at(0.7)
+            .build_sharded();
+        let items: Vec<(u64, u64)> = (1..=6000u64).map(|k| (k, k)).collect();
+        let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+        t.insert_batch_shared(&items, &mut out);
+        assert!(out.iter().all(|o| o.is_ok()));
+        assert_eq!(t.len_shared(), 6000);
+        t.for_each_shard(|i, shard| {
+            assert!(shard.load_factor() <= 0.7 + 1e-9, "shard {i} over threshold");
+            assert!(shard.display_name().starts_with("FP"), "shard {i} wrong scheme");
+        });
     }
 
     #[test]

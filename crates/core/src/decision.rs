@@ -19,6 +19,13 @@
 //! * §6: "in a write-heavy workload, quadratic probing looks as the best
 //!   option in general"; chained and cuckoo "should be avoided for
 //!   write-heavy workloads".
+//!
+//! One edge extends the paper's graph: bucketized fingerprint probing
+//! ([`crate::FingerprintTable`], a scheme the study predates) takes the
+//! static miss-heavy band between chained hashing's memory ceiling and
+//! cuckoo's very-high-load regime — a miss there is rejected by one
+//! 16-slot tag comparison without touching the key array, which is
+//! exactly the cluster-scanning cost RH's early abort only mitigates.
 
 /// Is the table static once built (OLAP/WORM) or continuously updated
 /// (OLTP/RW)?
@@ -80,6 +87,10 @@ pub enum TableChoice {
     /// Cuckoo hashing on four tables with Mult: very high load factors,
     /// read-mostly.
     CuckooH4Mult,
+    /// Bucketized fingerprint probing with Mult: static miss-heavy
+    /// lookups past chained hashing's memory budget (beyond the paper's
+    /// grid).
+    FpMult,
 }
 
 impl TableChoice {
@@ -91,6 +102,7 @@ impl TableChoice {
             TableChoice::QPMult => "QPMult",
             TableChoice::RHMult => "RHMult",
             TableChoice::CuckooH4Mult => "CuckooH4Mult",
+            TableChoice::FpMult => "FPMult",
         }
     }
 }
@@ -140,11 +152,13 @@ pub fn recommend(p: &WorkloadProfile) -> TableChoice {
         // Unsuccessful-heavy. ChainedH24 is the overall winner while its
         // memory budget holds (≤ ~50% equivalent load, §4.5); past that
         // the constant-probe schemes take over: CuckooH4 from ~80% load,
-        // RH (early abort) in between.
+        // and in between the fingerprint table's tag filter — a miss is
+        // rejected by one group comparison without touching key lines,
+        // which beats even RH's cache-line early abort.
         if p.load_factor <= 0.5 {
             return TableChoice::ChainedH24Mult;
         }
-        return if p.load_factor >= 0.8 { TableChoice::CuckooH4Mult } else { TableChoice::RHMult };
+        return if p.load_factor >= 0.8 { TableChoice::CuckooH4Mult } else { TableChoice::FpMult };
     }
 
     // Successful-heavy static reads: RH is the all-rounder; at very high
@@ -218,13 +232,24 @@ mod tests {
 
     #[test]
     fn mid_load_static_reads_pick_rh() {
-        // Fig. 6: RH dominates the 50–70% lookup cells.
+        // Fig. 6: RH dominates the 50–70% successful-lookup cells.
         let p = profile(0.7, 0.75, 0.1, false, Mutability::Static);
         assert_eq!(recommend(&p), TableChoice::RHMult);
-        // Unsuccessful-heavy at 70%: RH's early abort beats LP/QP; chained
-        // no longer fits the memory budget.
+    }
+
+    #[test]
+    fn mid_load_miss_heavy_static_reads_pick_fingerprint() {
+        // Unsuccessful-heavy past chained hashing's budget: the tag
+        // filter rejects misses without touching key lines.
         let p = profile(0.7, 0.0, 0.0, false, Mutability::Static);
-        assert_eq!(recommend(&p), TableChoice::RHMult);
+        assert_eq!(recommend(&p), TableChoice::FpMult);
+        let p = profile(0.6, 0.25, 0.0, true, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::FpMult);
+        // Below 50% load chained still wins; at 80%+ cuckoo takes over.
+        let p = profile(0.45, 0.0, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::ChainedH24Mult);
+        let p = profile(0.85, 0.0, 0.0, false, Mutability::Static);
+        assert_eq!(recommend(&p), TableChoice::CuckooH4Mult);
     }
 
     #[test]
@@ -261,7 +286,7 @@ mod tests {
             }
         }
         // Every recommendation class is reachable.
-        assert_eq!(seen.len(), 5, "unreachable recommendations: {seen:?}");
+        assert_eq!(seen.len(), 6, "unreachable recommendations: {seen:?}");
     }
 
     #[test]

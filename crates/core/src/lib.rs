@@ -13,6 +13,7 @@
 //! | [`QuadraticProbing`] | QP | triangular probing `h + i(i+1)/2`, full slot coverage |
 //! | [`RobinHood`] | RH | LP + displacement-ordered clusters, cache-line early abort, backward-shift deletes |
 //! | [`Cuckoo`] | CuckooH2/3/4 | k independently hashed sub-tables, kick-out chains, rehash on failure |
+//! | [`FingerprintTable`] | FP (beyond the paper) | bucketized 16-slot groups over a 1-byte tag array, SSE2 group probing |
 //!
 //! Every scheme is generic over the hash function (see the [`hashfn`]
 //! crate), giving the paper's scheme × function grid (e.g. `LPMult` is
@@ -40,6 +41,7 @@ pub mod chained;
 pub mod cuckoo;
 pub mod decision;
 pub mod dynamic;
+pub mod fingerprint;
 pub mod linear_probing;
 pub mod lp_soa;
 pub mod quadratic;
@@ -60,6 +62,7 @@ pub use dynamic::{
     Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, LpFactory, LpSoAFactory,
     QpFactory, RhFactory, TableFactory,
 };
+pub use fingerprint::{FingerprintTable, GROUP_SLOTS};
 pub use linear_probing::{DeleteStrategy, LinearProbing};
 pub use lp_soa::LinearProbingSoA;
 pub use quadratic::QuadraticProbing;

@@ -20,6 +20,14 @@
 
 use crate::{Pair, EMPTY_KEY, TOMBSTONE_KEY};
 
+/// Control byte of a free slot in a fingerprint tag array (high bit set,
+/// so it can never equal a 7-bit fingerprint — see
+/// [`crate::FingerprintTable`]).
+pub const EMPTY_TAG: u8 = 0x80;
+
+/// Control byte of a deleted slot in a fingerprint tag array.
+pub const TOMBSTONE_TAG: u8 = 0xFE;
+
 /// Where a circular scan stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScanOutcome {
@@ -324,6 +332,85 @@ mod avx2 {
 }
 
 // ---------------------------------------------------------------------
+// Tag-array kernels (bucketized fingerprint probing, Swiss-table style)
+// ---------------------------------------------------------------------
+
+/// One group's worth of tag comparisons, as lane bitmasks (bit `i` set ⇔
+/// `tags[i]` matched). A single [`scan_tags`] call answers everything a
+/// bucketized probe step needs: candidate slots for the fingerprint,
+/// whether the group terminates the probe (any empty), and reusable
+/// tombstone slots for inserts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagScan {
+    /// Lanes whose tag equals the probed fingerprint.
+    pub matches: u32,
+    /// Lanes holding [`EMPTY_TAG`].
+    pub empties: u32,
+    /// Lanes holding [`TOMBSTONE_TAG`].
+    pub tombstones: u32,
+}
+
+/// Scalar reference kernel: compare every tag of one group against
+/// `tag` and the two control bytes. Groups up to 32 tags are supported
+/// (the masks are `u32`).
+pub fn scan_tags_scalar(tags: &[u8], tag: u8) -> TagScan {
+    debug_assert!(tags.len() <= 32, "tag groups are at most 32 slots");
+    debug_assert!(tag < EMPTY_TAG, "fingerprints are 7-bit (high bit clear)");
+    let mut scan = TagScan::default();
+    for (i, &t) in tags.iter().enumerate() {
+        if t == tag {
+            scan.matches |= 1 << i;
+        } else if t == EMPTY_TAG {
+            scan.empties |= 1 << i;
+        } else if t == TOMBSTONE_TAG {
+            scan.tombstones |= 1 << i;
+        }
+    }
+    scan
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// 16 tag comparisons in three instructions each: broadcast, byte
+    /// compare, `movemask`. SSE2 is part of the x86-64 baseline, so —
+    /// unlike the AVX2 key kernels — no runtime feature detection is
+    /// needed.
+    ///
+    /// # Safety
+    /// `tags` must have at least 16 readable bytes (guaranteed by the
+    /// caller's slice length check).
+    #[inline]
+    pub unsafe fn scan_tags16(tags: &[u8], tag: u8) -> TagScan {
+        debug_assert!(tags.len() >= 16);
+        let lanes = _mm_loadu_si128(tags.as_ptr() as *const __m128i);
+        let m = |needle: u8| {
+            _mm_movemask_epi8(_mm_cmpeq_epi8(lanes, _mm_set1_epi8(needle as i8))) as u32
+        };
+        TagScan { matches: m(tag), empties: m(EMPTY_TAG), tombstones: m(TOMBSTONE_TAG) }
+    }
+}
+
+/// Scan one fingerprint group with the requested probe kind.
+///
+/// The SIMD path covers the canonical 16-slot group on x86-64 (one SSE2
+/// `movemask` per control byte); other group sizes and other targets fall
+/// back to the scalar kernel with identical observable behaviour.
+#[inline]
+pub fn scan_tags(tags: &[u8], tag: u8, kind: ProbeKind) -> TagScan {
+    #[cfg(target_arch = "x86_64")]
+    if kind == ProbeKind::Simd && tags.len() == 16 {
+        // SAFETY: the slice is exactly 16 bytes; SSE2 is statically
+        // guaranteed on x86_64.
+        return unsafe { sse2::scan_tags16(tags, tag) };
+    }
+    let _ = kind;
+    scan_tags_scalar(tags, tag)
+}
+
+// ---------------------------------------------------------------------
 // Dispatchers
 // ---------------------------------------------------------------------
 
@@ -452,6 +539,50 @@ mod tests {
                 let pairs = to_pairs(&keys);
                 assert_eq!(scan_pairs(&pairs, start, 7, ProbeKind::Simd), expect);
             }
+        }
+    }
+
+    #[test]
+    fn tag_scan_classifies_every_lane() {
+        let mut tags = [0x11u8; 16];
+        tags[0] = 0x42;
+        tags[3] = EMPTY_TAG;
+        tags[7] = TOMBSTONE_TAG;
+        tags[9] = 0x42;
+        tags[15] = EMPTY_TAG;
+        for kind in [ProbeKind::Scalar, ProbeKind::Simd] {
+            let s = scan_tags(&tags, 0x42, kind);
+            assert_eq!(s.matches, (1 << 0) | (1 << 9), "{kind:?}");
+            assert_eq!(s.empties, (1 << 3) | (1 << 15), "{kind:?}");
+            assert_eq!(s.tombstones, 1 << 7, "{kind:?}");
+        }
+    }
+    #[test]
+    fn tag_scan_simd_matches_scalar_on_randomized_groups() {
+        let mut rng = StdRng::seed_from_u64(0x7A6);
+        for trial in 0..2000 {
+            let tags: Vec<u8> = (0..16)
+                .map(|_| match rng.gen_range(0..8u8) {
+                    0 => EMPTY_TAG,
+                    1 => TOMBSTONE_TAG,
+                    _ => rng.gen_range(0..8u8), // tiny range => many matches
+                })
+                .collect();
+            let tag = rng.gen_range(0..8u8);
+            let expect = scan_tags_scalar(&tags, tag);
+            assert_eq!(scan_tags(&tags, tag, ProbeKind::Simd), expect, "trial {trial} {tags:?}");
+        }
+    }
+
+    #[test]
+    fn tag_scan_non_16_groups_use_the_scalar_path() {
+        for len in [4usize, 8, 32] {
+            let mut tags = vec![0x05u8; len];
+            tags[len - 1] = EMPTY_TAG;
+            tags[len / 2] = TOMBSTONE_TAG;
+            let expect = scan_tags_scalar(&tags, 0x05);
+            assert_eq!(scan_tags(&tags, 0x05, ProbeKind::Simd), expect, "len {len}");
+            assert_eq!(scan_tags(&tags, 0x05, ProbeKind::Scalar), expect, "len {len}");
         }
     }
 

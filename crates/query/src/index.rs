@@ -50,19 +50,6 @@ impl PointIndex {
     pub fn table_name(&self) -> String {
         self.table.display_name()
     }
-
-    /// Deprecated alias for [`HashTable::lookup`] (the PR-1 `PointIndex`
-    /// diverged from the trait's naming).
-    #[deprecated(note = "use `HashTable::lookup`")]
-    pub fn get(&self, key: u64) -> Option<u64> {
-        self.table.lookup(key)
-    }
-
-    /// Deprecated alias for [`HashTable::delete`].
-    #[deprecated(note = "use `HashTable::delete`")]
-    pub fn remove(&mut self, key: u64) -> Option<u64> {
-        self.table.delete(key)
-    }
 }
 
 impl HashTable for PointIndex {
@@ -185,13 +172,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_aliases_still_work() {
-        let mut idx = PointIndex::for_profile(&profile(0.3, 1.0, 0.0), 8, 1);
-        idx.insert(5, 50).unwrap();
-        assert_eq!(idx.get(5), Some(50));
-        assert_eq!(idx.remove(5), Some(50));
-        assert_eq!(idx.get(5), None);
+    fn fingerprint_dispatch_for_miss_heavy_mid_load() {
+        let idx = PointIndex::for_profile(&profile(0.7, 0.1, 0.0), 10, 1);
+        assert_eq!(idx.choice(), TableChoice::FpMult);
+        assert!(idx.table_name().starts_with("FPMult"), "{}", idx.table_name());
     }
 
     #[test]

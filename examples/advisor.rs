@@ -92,8 +92,9 @@ fn print_rationale(p: &WorkloadProfile, choice: TableChoice) {
             );
         } else if p.successful_ratio < 0.5 {
             println!(
-                "  - miss-heavy: early termination matters (RH's cache-line abort, \
-                 or chained under budget at ≤50% load)"
+                "  - miss-heavy: chained under budget at ≤50% load; past that, the \
+                 fingerprint table rejects misses from its tag array without \
+                 touching key lines"
             );
         } else {
             println!("  - RH is the paper's all-rounder in the 50–80% band (Fig. 6)");

@@ -17,7 +17,7 @@
 //! | Module (re-export) | Crate | Contents |
 //! |---|---|---|
 //! | [`hash`] | `hashfn` | Multiply-shift, multiply-add-shift, tabulation, Murmur3 finalizer; quality statistics |
-//! | [`tables`] | `sevendim-core` | ChainedH8/H24, LP (AoS + SoA, scalar + AVX2), QP, RH, CuckooH2/3/4; growing wrapper; sharded concurrent wrapper; displacement/cluster stats; Figure 8 decision graph |
+//! | [`tables`] | `sevendim-core` | ChainedH8/H24, LP (AoS + SoA, scalar + AVX2), QP, RH, CuckooH2/3/4, bucketized fingerprint (FP, SSE2 tag scans); growing wrapper; sharded concurrent wrapper; displacement/cluster stats; Figure 8 decision graph |
 //! | [`workload`] | `workloads` | dense/sparse/grid distributions; WORM and RW drivers (single- and multi-threaded) |
 //! | [`measure`] | `metrics` | throughput, multi-seed statistics, figure-shaped report tables |
 //! | [`ops`] | `query` | hash join, group-by aggregation, profile-dispatched point index |
@@ -87,7 +87,7 @@
 //! | `DynamicTable::new(LpFactory::new(), bits, seed, 0.7)` | `TableBuilder::new(TableScheme::LinearProbing).bits(bits).seed(seed).grow_at(0.7).build()` |
 //! | `ChainedTable24::with_budget(bits, n, seed)` | `TableBuilder::new(TableScheme::Chained24).chained_budget(n)….try_build()` |
 //! | `PointIndex::for_profile(&p, bits, seed)` | unchanged, or `TableBuilder::for_profile(&p, bits, seed).build()` |
-//! | `PointIndex::{get, remove}` | `HashTable::{lookup, delete}` (old names deprecated) |
+//! | `PointIndex::{get, remove}` | `HashTable::{lookup, delete}` (the deprecated aliases were removed in PR 4) |
 //! | `LinearProbing::delete_rehash(k)` | `set_delete_strategy(DeleteStrategy::Rehash)` + trait `delete` |
 //! | `RobinHood::{lookup_dmax, lookup_checked}` | `set_lookup_mode(RhLookupMode::{DmaxBound, CheckedEveryProbe})` + trait `lookup` |
 
@@ -111,9 +111,10 @@ pub mod prelude {
     pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
     pub use sevendim_core::{
         decision::Mutability, recommend, BoxedTable, ChainedTable24, ChainedTable8,
-        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, HashKind, HashTable, InsertOutcome,
-        LinearProbing, LinearProbingSoA, QuadraticProbing, RhLookupMode, RobinHood, ShardedTable,
-        TableBuilder, TableChoice, TableError, TableScheme, WorkloadProfile,
+        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, HashKind,
+        HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing, RhLookupMode,
+        RobinHood, ShardedTable, TableBuilder, TableChoice, TableError, TableScheme,
+        WorkloadProfile,
     };
     pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};
 }

@@ -24,6 +24,8 @@
 //! path, and batches crossing the capacity boundary must report the same
 //! per-element `TableFull` errors the sequential path reports.
 
+mod tests_common;
+
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use seven_dim_hashing::prelude::*;
 use seven_dim_hashing::tables::{EMPTY_KEY, MAX_KEY, TOMBSTONE_KEY};
@@ -331,6 +333,54 @@ oracle_case!(cuckoo4_multadd, CuckooH4<MultAddShift>, CuckooH4::with_seed(BITS, 
 oracle_case!(cuckoo4_tab, CuckooH4<Tabulation>, CuckooH4::with_seed(BITS, 43));
 oracle_case!(cuckoo4_murmur, CuckooH4<Murmur>, CuckooH4::with_seed(BITS, 44));
 
+// Bucketized fingerprint probing, scalar + SIMD tag scans.
+oracle_case!(fp_mult, FingerprintTable<MultShift>, FingerprintTable::with_seed(BITS, 45));
+oracle_case!(fp_multadd, FingerprintTable<MultAddShift>, FingerprintTable::with_seed(BITS, 46));
+oracle_case!(fp_tab, FingerprintTable<Tabulation>, FingerprintTable::with_seed(BITS, 47));
+oracle_case!(fp_murmur, FingerprintTable<Murmur>, FingerprintTable::with_seed(BITS, 48));
+oracle_case!(fp_simd_mult, FingerprintTable<MultShift>, FingerprintTable::with_seed_simd(BITS, 49));
+oracle_case!(
+    fp_simd_multadd,
+    FingerprintTable<MultAddShift>,
+    FingerprintTable::with_seed_simd(BITS, 50)
+);
+oracle_case!(fp_simd_tab, FingerprintTable<Tabulation>, FingerprintTable::with_seed_simd(BITS, 51));
+oracle_case!(fp_simd_murmur, FingerprintTable<Murmur>, FingerprintTable::with_seed_simd(BITS, 52));
+
+/// The builder-driven twin of the concrete grid above, with its scheme
+/// list derived from the shared [`tests_common::all_cells_for_hash`]
+/// helper (ultimately `TableScheme::ALL`): a newly added scheme enters
+/// the differential oracle *automatically*, instead of silently missing
+/// it until someone hand-writes cells. One distribution per cell keeps
+/// the sweep proportionate — the concrete grid still covers all three.
+fn builder_grid(hash: HashKind) {
+    for (i, cell) in tests_common::all_cells_for_hash(hash, BITS, 0xA11).into_iter().enumerate() {
+        let keys = Distribution::Sparse.generate(UNIVERSE, 0xD1FF ^ i as u64);
+        oracle(cell.build(), &keys, 0x0AC1E + 997 * i as u64);
+        batch_oracle(cell.build(), cell.build(), &keys, 0xBA7C4 + 991 * i as u64);
+    }
+}
+
+#[test]
+fn builder_grid_mult() {
+    builder_grid(HashKind::Mult);
+}
+
+#[test]
+fn builder_grid_multadd() {
+    builder_grid(HashKind::MultAdd);
+}
+
+#[test]
+fn builder_grid_tab() {
+    builder_grid(HashKind::Tab);
+}
+
+#[test]
+fn builder_grid_murmur() {
+    builder_grid(HashKind::Murmur);
+}
+
 /// Capacity-boundary churn. Open-addressing tables keep one empty slot
 /// as a probe terminator, so a `2^bits` table holds at most
 /// `2^bits - 1` distinct keys; beyond that, a *fresh* key must be
@@ -410,6 +460,19 @@ fn rh_capacity_boundary() {
     full_table_edges(RobinHood::<MultShift>::with_seed(6, 12), 64);
 }
 
+#[test]
+fn fp_capacity_boundary() {
+    // 2^4 slots = exactly one 16-slot group — the degenerate probe loop.
+    full_table_edges(FingerprintTable::<Murmur>::with_seed(4, 13), 16);
+    full_table_edges(FingerprintTable::<MultShift>::with_seed(6, 14), 64);
+}
+
+#[test]
+fn fp_simd_capacity_boundary() {
+    full_table_edges(FingerprintTable::<Murmur>::with_seed_simd(4, 15), 16);
+    full_table_edges(FingerprintTable::<MultShift>::with_seed_simd(6, 16), 64);
+}
+
 /// Capacity-boundary batches: one `insert_batch` that crosses the
 /// one-empty-slot boundary must report, element-wise, exactly what the
 /// sequential path reports — successes up to `capacity - 1` live keys,
@@ -469,6 +532,9 @@ fn batch_capacity_boundaries() {
     full_table_batch_edges(LinearProbing::<Murmur>::with_seed(6, 7), 64);
     full_table_batch_edges(QuadraticProbing::<MultShift>::with_seed(6, 8), 64);
     full_table_batch_edges(RobinHood::<Murmur>::with_seed(6, 9), 64);
+    full_table_batch_edges(FingerprintTable::<Murmur>::with_seed(4, 10), 16);
+    full_table_batch_edges(FingerprintTable::<Murmur>::with_seed_simd(4, 11), 16);
+    full_table_batch_edges(FingerprintTable::<MultShift>::with_seed(6, 12), 64);
 }
 
 /// Table-level scalar-fallback equivalence: an LP table probing with the

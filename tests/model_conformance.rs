@@ -100,6 +100,13 @@ conformance_suite!(cuckoo3_murmur, CuckooH3<Murmur>, Cuckoo::with_seed(BITS, 15)
 conformance_suite!(cuckoo4_mult, CuckooH4<MultShift>, Cuckoo::with_seed(BITS, 16));
 conformance_suite!(cuckoo4_tab, CuckooH4<Tabulation>, Cuckoo::with_seed(BITS, 17));
 
+conformance_suite!(fp_mult, FingerprintTable<MultShift>, FingerprintTable::with_seed(BITS, 22));
+conformance_suite!(
+    fp_simd_murmur,
+    FingerprintTable<Murmur>,
+    FingerprintTable::with_seed_simd(BITS, 23)
+);
+
 conformance_suite!(chained8_mult, ChainedTable8<MultShift>, ChainedTable8::with_seed(BITS, 18));
 conformance_suite!(chained8_murmur, ChainedTable8<Murmur>, ChainedTable8::with_seed(BITS, 19));
 conformance_suite!(chained24_mult, ChainedTable24<MultShift>, ChainedTable24::with_seed(BITS, 20));

@@ -7,13 +7,22 @@
 //! * map conformance of each scheme against `HashMap` under arbitrary
 //!   operation sequences (including reserved-key probes);
 //! * the Robin Hood cluster ordering invariant under churn;
-//! * scalar/SIMD scan-kernel equivalence on arbitrary slot arrays;
+//! * scalar/SIMD scan-kernel equivalence on arbitrary slot and tag
+//!   arrays;
+//! * fingerprint-table churn at max load (tombstone reclamation);
+//! * [`ShardedTable`] batch routing: arbitrary interleavings of
+//!   `insert_batch`/`delete_batch`/`lookup_batch` — duplicate keys
+//!   within one batch included — stay element-wise identical to an
+//!   unsharded twin across shard counts 1/2/8;
 //! * algebraic identities of the hash-function families;
 //! * order and digit-range properties of the grid key generator.
 
 use proptest::prelude::*;
 use seven_dim_hashing::prelude::*;
-use seven_dim_hashing::tables::simd::{scan_keys, scan_keys_scalar, scan_pairs, ProbeKind};
+use seven_dim_hashing::tables::simd::{
+    scan_keys, scan_keys_scalar, scan_pairs, scan_tags, scan_tags_scalar, ProbeKind, EMPTY_TAG,
+    TOMBSTONE_TAG,
+};
 use seven_dim_hashing::tables::{Pair, EMPTY_KEY, TOMBSTONE_KEY};
 use std::collections::HashMap;
 
@@ -28,6 +37,18 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     let key = 1u64..60;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v >> 1)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Lookup),
+    ]
+}
+
+/// [`op_strategy`] over a 15-key universe: exactly the distinct-key
+/// maximum of a `2^4`-slot open-addressing table, so insert-heavy
+/// sequences run it at max load without ever overfilling.
+fn op_strategy_max_load() -> impl Strategy<Value = Op> {
+    let key = 1u64..=15;
     prop_oneof![
         (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v >> 1)),
         key.clone().prop_map(Op::Delete),
@@ -85,6 +106,8 @@ conformance_prop!(cuckoo4_conforms, CuckooH4::<Murmur>::with_seed(8, 7));
 conformance_prop!(cuckoo2_conforms, CuckooH2::<Murmur>::with_seed(8, 8));
 conformance_prop!(chained8_conforms, ChainedTable8::<Murmur>::with_seed(6, 9));
 conformance_prop!(chained24_conforms, ChainedTable24::<MultShift>::with_seed(6, 10));
+conformance_prop!(fp_conforms, FingerprintTable::<Murmur>::with_seed(8, 11));
+conformance_prop!(fp_simd_conforms, FingerprintTable::<MultShift>::with_seed_simd(8, 12));
 
 // A deliberately awful hash function: maps everything to a handful of
 // buckets. Conformance must hold regardless of hash quality.
@@ -112,6 +135,22 @@ proptest! {
     }
 
     #[test]
+    fn fp_conforms_under_awful_hashing(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        // AwfulHash gives every key the same 7-bit fingerprint (low bits
+        // are all zero), so every occupied slot of a probed group is a
+        // tag match: conformance must survive the degenerate filter.
+        run_conformance(FingerprintTable::<AwfulHash>::with_hash(8, AwfulHash), &ops)?;
+    }
+
+    #[test]
+    fn fp_max_load_churn_conforms(ops in proptest::collection::vec(op_strategy_max_load(), 1..250)) {
+        // A single 16-slot group holding at most its 15-key maximum:
+        // every delete/reinsert cycle rides the tombstone-vs-clear rule
+        // and, at saturation, the reclaiming rehash.
+        run_conformance(FingerprintTable::<Murmur>::with_seed(4, 13), &ops)?;
+    }
+
+    #[test]
     fn rh_invariant_under_churn(ops in proptest::collection::vec(op_strategy(), 1..250)) {
         let mut t = RobinHood::<Murmur>::with_seed(8, 11);
         for op in &ops {
@@ -135,6 +174,96 @@ proptest! {
             }
         }
         prop_assert!(t.check_invariant().is_ok());
+    }
+}
+
+/// One batch-level operation against a table, sized 0..12 over a 16-key
+/// universe so duplicate keys *within a single batch* are common — the
+/// case where sharded radix routing must preserve in-batch ordering
+/// (a stable partition, or results diverge from sequential execution).
+#[derive(Clone, Debug)]
+enum BatchOp {
+    Insert(Vec<(u64, u64)>),
+    Delete(Vec<u64>),
+    Lookup(Vec<u64>),
+}
+
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    let key = 1u64..=16;
+    prop_oneof![
+        proptest::collection::vec((key.clone(), any::<u64>()), 0..12).prop_map(|items| {
+            BatchOp::Insert(items.into_iter().map(|(k, v)| (k, v >> 1)).collect())
+        }),
+        proptest::collection::vec(key.clone(), 0..12).prop_map(BatchOp::Delete),
+        proptest::collection::vec(key, 0..12).prop_map(BatchOp::Lookup),
+    ]
+}
+
+/// Drive a sharded table and its unsharded twin through the same batch
+/// script; every element-wise observable must match at every step.
+fn check_sharded_routing(
+    scheme: TableScheme,
+    shard_bits: u8,
+    ops: &[BatchOp],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let desc = TableBuilder::new(scheme).hash(HashKind::Murmur).bits(9).seed(0x5A);
+    let mut sharded = desc.clone().shards(shard_bits).build_sharded();
+    let mut plain = desc.build();
+    for op in ops {
+        match op {
+            BatchOp::Insert(items) => {
+                let mut a = vec![Ok(InsertOutcome::Inserted); items.len()];
+                let mut b = a.clone();
+                sharded.insert_batch(items, &mut a);
+                plain.insert_batch(items, &mut b);
+                prop_assert_eq!(a, b, "insert_batch diverged ({:?})", items);
+            }
+            BatchOp::Delete(keys) => {
+                let mut a = vec![None; keys.len()];
+                let mut b = a.clone();
+                sharded.delete_batch(keys, &mut a);
+                plain.delete_batch(keys, &mut b);
+                prop_assert_eq!(a, b, "delete_batch diverged ({:?})", keys);
+            }
+            BatchOp::Lookup(keys) => {
+                let mut a = vec![None; keys.len()];
+                let mut b = a.clone();
+                sharded.lookup_batch(keys, &mut a);
+                plain.lookup_batch(keys, &mut b);
+                prop_assert_eq!(a, b, "lookup_batch diverged ({:?})", keys);
+            }
+        }
+        prop_assert_eq!(sharded.len(), plain.len());
+    }
+    // Final sweep across the whole universe in one batch.
+    let keys: Vec<u64> = (1..=16).collect();
+    let mut a = vec![None; keys.len()];
+    let mut b = a.clone();
+    sharded.lookup_batch(&keys, &mut a);
+    plain.lookup_batch(&keys, &mut b);
+    prop_assert_eq!(a, b);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #[test]
+    fn sharded_lp_routing_matches_unsharded(
+        ops in proptest::collection::vec(batch_op_strategy(), 1..32),
+    ) {
+        // Shard counts 1 (k=0: one locked shard), 2, and 8.
+        for shard_bits in [0u8, 1, 3] {
+            check_sharded_routing(TableScheme::LinearProbing, shard_bits, &ops)?;
+        }
+    }
+
+    #[test]
+    fn sharded_fp_routing_matches_unsharded(
+        ops in proptest::collection::vec(batch_op_strategy(), 1..32),
+    ) {
+        for shard_bits in [0u8, 1, 3] {
+            check_sharded_routing(TableScheme::Fingerprint, shard_bits, &ops)?;
+        }
     }
 }
 
@@ -168,6 +297,27 @@ proptest! {
             keys.iter().map(|&k| Pair { key: k, value: k ^ 0xF0F0 }).collect();
         prop_assert_eq!(scan_pairs(&pairs, start, target, ProbeKind::Simd), expect);
         prop_assert_eq!(scan_pairs(&pairs, start, target, ProbeKind::Scalar), expect);
+    }
+
+    #[test]
+    fn simd_tag_scan_equals_scalar_tag_scan(
+        tags in proptest::collection::vec(
+            prop_oneof![
+                4 => 0u8..8,
+                2 => Just(EMPTY_TAG),
+                1 => Just(TOMBSTONE_TAG),
+            ],
+            16..=16,
+        ),
+        tag in 0u8..8,
+    ) {
+        let expect = scan_tags_scalar(&tags, tag);
+        prop_assert_eq!(scan_tags(&tags, tag, ProbeKind::Simd), expect);
+        prop_assert_eq!(scan_tags(&tags, tag, ProbeKind::Scalar), expect);
+        // Every lane is classified exactly once or not at all.
+        prop_assert_eq!(expect.matches & expect.empties, 0);
+        prop_assert_eq!(expect.matches & expect.tombstones, 0);
+        prop_assert_eq!(expect.empties & expect.tombstones, 0);
     }
 
     #[test]

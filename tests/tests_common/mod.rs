@@ -1,0 +1,41 @@
+//! Helpers shared by the integration suites (`tests/*.rs` each compile
+//! as their own crate and pull this in with `mod tests_common;`).
+//!
+//! The important export is [`all_schemes`]: the **single** source the
+//! suites derive their scheme grids from. Before PR 4 every suite
+//! enumerated schemes by hand, so a newly added `TableScheme` variant
+//! could silently miss the differential oracle; now the builder-driven
+//! sweeps iterate [`all_cells`] directly and the concrete-type grids
+//! carry a completeness test against [`all_schemes`].
+
+#![allow(dead_code)] // each test crate uses its own subset
+
+use seven_dim_hashing::prelude::*;
+
+/// Every hashing scheme of the workspace, derived from
+/// [`TableScheme::ALL`] so it can never lag behind the builder.
+pub fn all_schemes() -> Vec<TableScheme> {
+    TableScheme::ALL.to_vec()
+}
+
+/// Every probe-kernel cell of one scheme × hash position: the scalar
+/// build plus, where the scheme has a SIMD kernel (LP layouts, FP), the
+/// SIMD build.
+pub fn scheme_cells(scheme: TableScheme, hash: HashKind, bits: u8, seed: u64) -> Vec<TableBuilder> {
+    let base = TableBuilder::new(scheme).hash(hash).bits(bits).seed(seed);
+    if scheme.has_simd_variant() {
+        vec![base.clone(), base.simd(true)]
+    } else {
+        vec![base]
+    }
+}
+
+/// The full scheme × probe-kind grid for one hash family.
+pub fn all_cells_for_hash(hash: HashKind, bits: u8, seed: u64) -> Vec<TableBuilder> {
+    all_schemes().into_iter().flat_map(|s| scheme_cells(s, hash, bits, seed)).collect()
+}
+
+/// The full scheme × hash × probe-kind grid.
+pub fn all_cells(bits: u8, seed: u64) -> Vec<TableBuilder> {
+    HashKind::ALL.into_iter().flat_map(|h| all_cells_for_hash(h, bits, seed)).collect()
+}
