@@ -33,7 +33,7 @@
 
 use crate::budget::chained24_directory_bits;
 use crate::decision::{recommend, TableChoice, WorkloadProfile};
-use crate::dynamic::{DynamicTable, TableFactory};
+use crate::dynamic::{DynamicTable, GrowthPolicy, TableFactory};
 use crate::sharded::ShardedTable;
 use crate::simd::ProbeKind;
 use crate::{
@@ -157,6 +157,7 @@ pub struct TableBuilder {
     seed: u64,
     simd: bool,
     grow_threshold: Option<f64>,
+    growth_policy: GrowthPolicy,
     chained_budget: Option<usize>,
     shard_bits: u8,
     prefetch_batch: Option<usize>,
@@ -173,6 +174,7 @@ impl TableBuilder {
             seed: 0,
             simd: false,
             grow_threshold: None,
+            growth_policy: GrowthPolicy::AllAtOnce,
             chained_budget: None,
             shard_bits: 0,
             prefetch_batch: None,
@@ -236,9 +238,25 @@ impl TableBuilder {
 
     /// Wrap the table in a [`DynamicTable`] that doubles when the load
     /// factor would cross `threshold` (the paper's RW thresholds are
-    /// 0.5, 0.7, 0.9).
+    /// 0.5, 0.7, 0.9). Growth is stop-the-world by default; combine with
+    /// [`TableBuilder::incremental`] for bounded-pause migration.
     pub fn grow_at(mut self, threshold: f64) -> Self {
         self.grow_threshold = Some(threshold);
+        self
+    }
+
+    /// Make [`TableBuilder::grow_at`] growth incremental: instead of one
+    /// stop-the-world rehash, each doubling opens a second generation and
+    /// every subsequent mutating operation migrates up to `step` ≥ 1 old
+    /// entries (`step × batch_len` per batch call) until the old
+    /// generation drains — see
+    /// [`GrowthPolicy::Incremental`](crate::GrowthPolicy). Composes with
+    /// [`TableBuilder::shards`]: each shard migrates independently, so
+    /// there is no global pause at any point. Without `grow_at` the
+    /// policy is inert.
+    pub fn incremental(mut self, step: usize) -> Self {
+        assert!(step >= 1, "incremental growth step must be >= 1, got {step}");
+        self.growth_policy = GrowthPolicy::Incremental { step };
         self
     }
 
@@ -309,6 +327,12 @@ impl TableBuilder {
         self.shard_bits
     }
 
+    /// The configured growth policy (relevant only with
+    /// [`TableBuilder::grow_at`] set).
+    pub fn growth_policy(&self) -> GrowthPolicy {
+        self.growth_policy
+    }
+
     /// Paper-style label of the configured cell, e.g. `"RHMult"`.
     pub fn label(&self) -> String {
         format!("{}{}", self.scheme.name(), self.hash.name())
@@ -333,7 +357,13 @@ impl TableBuilder {
         match self.grow_threshold {
             Some(threshold) => {
                 let factory = Self { grow_threshold: None, chained_budget: None, ..self.clone() };
-                Ok(Box::new(DynamicTable::new(factory, self.bits, self.seed, threshold)))
+                Ok(Box::new(DynamicTable::with_policy(
+                    factory,
+                    self.bits,
+                    self.seed,
+                    threshold,
+                    self.growth_policy,
+                )))
             }
             None => self.build_static(),
         }
@@ -694,6 +724,57 @@ mod tests {
             assert_eq!(profile_choice(&miss_heavy_mid, bits), TableChoice::RHMult, "bits {bits}");
             let t = TableBuilder::for_profile(&miss_heavy_mid, bits, 1).build();
             assert_eq!(t.display_name(), "RHMult");
+        }
+    }
+
+    #[test]
+    fn incremental_growth_matches_all_at_once_through_builder() {
+        let base = TableBuilder::new(TableScheme::LinearProbing).bits(4).seed(9).grow_at(0.7);
+        assert_eq!(base.growth_policy(), GrowthPolicy::AllAtOnce);
+        let inc_desc = base.clone().incremental(2);
+        assert_eq!(inc_desc.growth_policy(), GrowthPolicy::Incremental { step: 2 });
+        let mut inc = inc_desc.build();
+        let mut aao = base.build();
+        for k in 1..=2000u64 {
+            assert_eq!(inc.insert(k, k), aao.insert(k, k), "insert {k}");
+            if k % 3 == 0 {
+                assert_eq!(inc.delete(k / 3), aao.delete(k / 3), "delete {}", k / 3);
+            }
+        }
+        assert_eq!(inc.len(), aao.len());
+        assert_eq!(inc.capacity(), aao.capacity());
+        for k in (1..=2000u64).step_by(7) {
+            assert_eq!(inc.lookup(k), aao.lookup(k), "lookup {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be >= 1")]
+    fn incremental_rejects_zero_step() {
+        let _ = TableBuilder::new(TableScheme::LinearProbing).incremental(0);
+    }
+
+    #[test]
+    fn sharded_incremental_growth_grows_per_shard() {
+        let t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .seed(3)
+            .shards(2)
+            .grow_at(0.7)
+            .incremental(4)
+            .build_sharded();
+        let items: Vec<(u64, u64)> = (1..=5000u64).map(|k| (k, k)).collect();
+        let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+        use crate::sharded::ConcurrentTable;
+        t.insert_batch_shared(&items, &mut out);
+        assert!(out.iter().all(|o| o.is_ok()));
+        assert_eq!(t.len_shared(), 5000);
+        t.for_each_shard(|i, shard| {
+            assert!(shard.capacity() > 64, "shard {i} never grew");
+            assert!(shard.load_factor() <= 0.7 + 1e-9, "shard {i} over threshold");
+        });
+        for k in (1..=5000u64).step_by(41) {
+            assert_eq!(t.lookup_shared(k), Some(k));
         }
     }
 

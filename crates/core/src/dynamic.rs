@@ -11,10 +11,38 @@
 //! allocated space right after a doubling; growing at 90% is space-frugal
 //! but lives with heavy collisions before each rehash — the trade-off
 //! Figure 5 quantifies.
+//!
+//! # Growth policies
+//!
+//! *How* the rehash happens is a [`GrowthPolicy`]:
+//!
+//! * [`GrowthPolicy::AllAtOnce`] is the paper's stop-the-world rebuild:
+//!   one operation pays for rehashing every live entry. Mean throughput
+//!   barely notices; the latency tail is owned by it (see the
+//!   `growth_tail` bench).
+//! * [`GrowthPolicy::Incremental`] keeps **two generations** alive during
+//!   a growth step: the doubling allocates the next generation and takes
+//!   over all inserts, while up to `step` old-generation entries migrate
+//!   per subsequent mutating operation (`step × batch_len` per batch
+//!   call). Lookups and deletes consult both generations, so the table
+//!   stays element-wise identical to an `AllAtOnce` twin at every
+//!   intermediate state. With `step ≥ 1` the old generation always drains
+//!   before the new one can reach its own threshold, so at most two
+//!   generations ever exist. This is the bounded-pause design of the
+//!   multilevel-table literature (*The Usefulness of Multilevel Hash
+//!   Tables*): probe a small fixed number of tables instead of stalling
+//!   the operation stream (*Dynamic External Hashing* shows that stall
+//!   dominating the dynamic cost model).
+//!
+//! The threshold trigger itself is pure integer math: the `f64` threshold
+//! is converted once to Q32 fixed point, and `len + 1 > threshold × cap`
+//! is evaluated as a `u128` product — exact at every capacity up to
+//! `2^MAX_BITS`, where `f64` comparisons can misplace the trigger by an
+//! entry.
 
 use crate::{
-    ChainedTable24, ChainedTable8, Cuckoo, HashTable, InsertOutcome, LinearProbing,
-    LinearProbingSoA, MemoryBudget, QuadraticProbing, RobinHood, TableError,
+    is_reserved_key, ChainedTable24, ChainedTable8, Cuckoo, HashTable, InsertOutcome,
+    LinearProbing, LinearProbingSoA, MemoryBudget, QuadraticProbing, RobinHood, TableError,
 };
 use hashfn::HashFamily;
 use slab_alloc::SlabAllocator;
@@ -162,7 +190,12 @@ macro_rules! chained_factory_impls {
             type Table = $table<H>;
 
             fn build(&self, bits: u8, seed: u64) -> Self::Table {
-                let dir_bits = bits.saturating_sub(1).max(4);
+                // Directory of *half* the nominal capacity (the doc'd
+                // §4.5-comparable convention; `min 2^1` only guards the
+                // degenerate bits = 1 build). `.max(4)` here once made a
+                // bits = 4 build a full-capacity directory, contradicting
+                // the convention — see `chained_directory_is_half_nominal`.
+                let dir_bits = bits.saturating_sub(1).max(1);
                 $table::new(
                     dir_bits,
                     hashfn::HashFamily::from_seed(seed),
@@ -182,15 +215,62 @@ macro_rules! chained_factory_impls {
 chained_factory_impls!(Chained8Factory, ChainedTable8, "ChainedH8");
 chained_factory_impls!(Chained24Factory, ChainedTable24, "ChainedH24");
 
+/// How a [`DynamicTable`] rehashes when it crosses its growth threshold.
+/// See the [module docs](self) for the trade-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrowthPolicy {
+    /// Stop-the-world: the triggering operation rebuilds the whole table
+    /// into a doubled one before proceeding (the paper's §6 model).
+    AllAtOnce,
+    /// Two-generation migration: the doubling allocates the next
+    /// generation, then every mutating operation drains up to `step`
+    /// old-generation entries (`step × batch_len` per batch call) until
+    /// the old generation is empty. `step` must be ≥ 1 — that rate
+    /// already guarantees the drain finishes before the next doubling
+    /// can trigger.
+    Incremental {
+        /// Old-generation entries migrated per operation.
+        step: usize,
+    },
+}
+
+/// Fixed-point bits of the growth-threshold representation (Q32).
+const THRESHOLD_FP_BITS: u32 = 32;
+
+/// Exact integer form of the trigger `len_after > threshold × cap`,
+/// with the threshold in Q32 fixed point. `u128` products keep it exact
+/// for every `cap ≤ 2^MAX_BITS`, where the former `f64` comparison
+/// could round the trigger point by an entry.
+#[inline]
+fn crosses_threshold(threshold_fp: u64, len_after: usize, cap: usize) -> bool {
+    (len_after as u128) << THRESHOLD_FP_BITS > threshold_fp as u128 * cap as u128
+}
+
+/// The draining generation of an in-flight incremental migration.
+struct OldGeneration<T> {
+    table: T,
+    /// Keys captured when the migration began, drained from the back.
+    /// Keys the workload deletes mid-migration simply miss on pop.
+    pending: Vec<u64>,
+}
+
 /// A table that doubles its capacity when the load factor would cross a
-/// threshold, rehashing all entries into a fresh table (new hash function
-/// seeds each generation).
+/// threshold, rehashing entries into a fresh table (new hash function
+/// seeds each generation) — in one pause or incrementally, per its
+/// [`GrowthPolicy`].
 pub struct DynamicTable<F: TableFactory> {
     factory: F,
+    /// The current (target) generation: all inserts land here.
     inner: F::Table,
+    /// The draining generation of an in-flight incremental migration.
+    old: Option<OldGeneration<F::Table>>,
     bits: u8,
     seed: u64,
     grow_threshold: f64,
+    /// Q32 fixed-point form of `grow_threshold` (the trigger comparison
+    /// is pure integer math).
+    threshold_fp: u64,
+    policy: GrowthPolicy,
     rehash_count: usize,
 }
 
@@ -201,22 +281,50 @@ const MAX_BITS: u8 = 40;
 impl<F: TableFactory> DynamicTable<F> {
     /// Create with initial capacity `2^bits`, growing when an insert would
     /// push `len` beyond `grow_threshold × capacity` (the paper's rehash
-    /// thresholds are 0.5, 0.7, 0.9).
+    /// thresholds are 0.5, 0.7, 0.9). Growth is stop-the-world
+    /// ([`GrowthPolicy::AllAtOnce`]); use [`DynamicTable::with_policy`]
+    /// for incremental migration.
     pub fn new(factory: F, bits: u8, seed: u64, grow_threshold: f64) -> Self {
+        Self::with_policy(factory, bits, seed, grow_threshold, GrowthPolicy::AllAtOnce)
+    }
+
+    /// [`DynamicTable::new`] with an explicit [`GrowthPolicy`].
+    pub fn with_policy(
+        factory: F,
+        bits: u8,
+        seed: u64,
+        grow_threshold: f64,
+        policy: GrowthPolicy,
+    ) -> Self {
         assert!(
             grow_threshold > 0.0 && grow_threshold <= 0.99,
             "grow threshold must be in (0, 0.99], got {grow_threshold}"
         );
+        if let GrowthPolicy::Incremental { step } = policy {
+            assert!(step >= 1, "incremental growth step must be >= 1");
+        }
         let inner = factory.build(bits, seed);
-        Self { factory, inner, bits, seed, grow_threshold, rehash_count: 0 }
+        let threshold_fp = (grow_threshold * (1u64 << THRESHOLD_FP_BITS) as f64).round() as u64;
+        Self {
+            factory,
+            inner,
+            old: None,
+            bits,
+            seed,
+            grow_threshold,
+            threshold_fp,
+            policy,
+            rehash_count: 0,
+        }
     }
 
-    /// The wrapped table.
+    /// The wrapped table (the current generation; during an incremental
+    /// migration the draining generation is not reachable through this).
     pub fn inner(&self) -> &F::Table {
         &self.inner
     }
 
-    /// Number of full-table rehashes (growth steps) so far.
+    /// Number of growth steps (started rehashes) so far.
     pub fn rehash_count(&self) -> usize {
         self.rehash_count
     }
@@ -226,99 +334,301 @@ impl<F: TableFactory> DynamicTable<F> {
         self.grow_threshold
     }
 
-    /// Double the capacity, retrying with fresh seeds if the rebuild
-    /// itself fails (possible for Cuckoo tables at unlucky seeds).
-    fn grow(&mut self) {
+    /// The growth policy.
+    pub fn growth_policy(&self) -> GrowthPolicy {
+        self.policy
+    }
+
+    /// Whether an incremental migration is currently in flight.
+    pub fn is_migrating(&self) -> bool {
+        self.old.is_some()
+    }
+
+    /// Entries still waiting in the draining generation (0 when no
+    /// migration is in flight).
+    pub fn migration_backlog(&self) -> usize {
+        self.old.as_ref().map_or(0, |g| g.table.len())
+    }
+
+    /// Live entries across both generations.
+    fn total_len(&self) -> usize {
+        self.inner.len() + self.old.as_ref().map_or(0, |g| g.table.len())
+    }
+
+    /// Seed for a generation rebuilt at `bits` on retry `attempt`.
+    fn generation_seed(&self, bits: u8, attempt: u64) -> u64 {
+        self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + attempt))
+    }
+
+    /// Policy dispatch for a threshold-triggered doubling.
+    fn grow(&mut self) -> Result<(), TableError> {
+        match self.policy {
+            GrowthPolicy::AllAtOnce => self.rebuild(self.bits + 1, 0),
+            GrowthPolicy::Incremental { .. } => self.start_migration(),
+        }
+    }
+
+    /// Begin a two-generation migration: allocate the doubled generation,
+    /// snapshot the old generation's keys, and hand all inserts to the
+    /// new table. If a previous migration is still draining (possible
+    /// only when deletes starved the drain budget), it is finished first
+    /// so at most two generations ever exist.
+    fn start_migration(&mut self) -> Result<(), TableError> {
+        self.finish_migration()?;
+        let bits = self.bits + 1;
+        assert!(bits <= MAX_BITS, "dynamic table exceeded 2^{MAX_BITS} slots");
+        let fresh = self.factory.build(bits, self.generation_seed(bits, 0));
+        let old_table = std::mem::replace(&mut self.inner, fresh);
+        let mut pending = Vec::with_capacity(old_table.len());
+        old_table.for_each(&mut |k, _| pending.push(k));
+        self.old = Some(OldGeneration { table: old_table, pending });
+        self.bits = bits;
+        self.rehash_count += 1;
+        Ok(())
+    }
+
+    /// Migrate up to `budget` old-generation keys into the current
+    /// generation. Keys already deleted (or replaced — which moves them
+    /// to the new generation) by the workload miss on pop and still
+    /// consume budget; popping them is O(1) against the O(probe) of a
+    /// real move, so the bound holds either way.
+    fn migrate_step(&mut self, budget: usize) -> Result<(), TableError> {
+        if self.old.is_none() {
+            return Ok(());
+        }
+        let mut moved = 0usize;
+        while moved < budget {
+            let Some(gen) = self.old.as_mut() else { return Ok(()) };
+            let Some(key) = gen.pending.pop() else {
+                debug_assert!(gen.table.is_empty(), "pending drained but old generation not empty");
+                self.old = None;
+                return Ok(());
+            };
+            moved += 1;
+            if let Some(value) = gen.table.delete(key) {
+                if let Err(e) = self.inner.insert(key, value) {
+                    // Restore, then recover: capacity pressure in the new
+                    // generation (cuckoo cycles) merges both generations
+                    // through the stop-the-world fallback; anything else
+                    // (a factory's memory budget) propagates.
+                    let _ = gen.table.insert(key, value);
+                    gen.pending.push(key);
+                    match e {
+                        TableError::TableFull | TableError::CuckooFailure => {
+                            return self.rebuild(self.bits, 1);
+                        }
+                        e => return Err(e),
+                    }
+                }
+            }
+            if self.old.as_ref().is_some_and(|g| g.table.is_empty()) {
+                self.old = None;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the old generation completely (no-op when not migrating).
+    fn finish_migration(&mut self) -> Result<(), TableError> {
+        while self.old.is_some() {
+            self.migrate_step(usize::MAX)?;
+        }
+        Ok(())
+    }
+
+    /// Stop-the-world rebuild of *everything* (both generations) into a
+    /// fresh table of at least `2^start_bits` slots, retrying with fresh
+    /// seeds — and eventually more bits — when the rebuild itself fails
+    /// (possible for Cuckoo tables at unlucky seeds). This is both the
+    /// [`GrowthPolicy::AllAtOnce`] growth path and the incremental
+    /// policy's escape hatch. A factory memory budget that cannot hold
+    /// the entries propagates as an error, leaving the table untouched —
+    /// growing *more* on a budget failure would loop forever while
+    /// allocating more memory.
+    fn rebuild(&mut self, start_bits: u8, start_attempt: u64) -> Result<(), TableError> {
         let entries = {
-            let mut v = Vec::with_capacity(self.inner.len());
-            self.inner.for_each(&mut |k, val| v.push((k, val)));
+            let mut v = Vec::with_capacity(self.total_len());
+            self.for_each(&mut |k, val| v.push((k, val)));
             v
         };
-        let mut bits = self.bits + 1;
-        let mut attempt = 0u64;
+        let mut bits = start_bits;
+        let mut attempt = start_attempt;
         'outer: loop {
             assert!(bits <= MAX_BITS, "dynamic table exceeded 2^{MAX_BITS} slots");
-            let seed = self
-                .seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + attempt));
-            let mut bigger = self.factory.build(bits, seed);
+            let mut bigger = self.factory.build(bits, self.generation_seed(bits, attempt));
             for &(k, v) in &entries {
-                if bigger.insert(k, v).is_err() {
-                    attempt += 1;
-                    if attempt.is_multiple_of(3) {
-                        bits += 1;
+                match bigger.insert(k, v) {
+                    Ok(_) => {}
+                    Err(e @ TableError::MemoryBudgetExceeded) => return Err(e),
+                    Err(_) => {
+                        attempt += 1;
+                        if attempt.is_multiple_of(3) {
+                            bits += 1;
+                        }
+                        continue 'outer;
                     }
-                    continue 'outer;
                 }
             }
             self.inner = bigger;
+            self.old = None;
             self.bits = bits;
             self.rehash_count += 1;
-            return;
+            return Ok(());
+        }
+    }
+
+    /// The incremental drain budget for one operation (0 under
+    /// [`GrowthPolicy::AllAtOnce`], which never has an old generation).
+    fn step_budget(&self) -> usize {
+        match self.policy {
+            GrowthPolicy::AllAtOnce => 0,
+            GrowthPolicy::Incremental { step } => step,
         }
     }
 }
 
 impl<F: TableFactory> HashTable for DynamicTable<F> {
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        // Reserved keys are inert: no migration step, no growth — the
+        // observable behaviour of an erroring insert must not include a
+        // capacity change.
+        if is_reserved_key(key) {
+            return Err(TableError::ReservedKey);
+        }
+        if self.old.is_some() {
+            self.migrate_step(self.step_budget())?;
+        }
         // Grow *before* the threshold is crossed. Lookups of existing keys
         // (replacements) never trigger growth, matching the paper's
         // element-count-based rehash policy.
-        if (self.inner.len() + 1) as f64 > self.grow_threshold * self.inner.capacity() as f64
-            && self.inner.lookup(key).is_none()
+        if crosses_threshold(self.threshold_fp, self.total_len() + 1, self.inner.capacity())
+            && self.lookup(key).is_none()
         {
-            self.grow();
+            self.grow()?;
         }
-        loop {
+        // Insert into the current generation *first*: if it fails, the
+        // table is untouched (claiming the key from the draining
+        // generation before a fallible insert would lose the entry on the
+        // error path). Only on success is any old-generation copy of the
+        // key claimed, restoring generation disjointness and supplying
+        // the replaced value.
+        let outcome = loop {
             match self.inner.insert(key, value) {
-                Ok(outcome) => return Ok(outcome),
-                Err(TableError::TableFull)
-                | Err(TableError::CuckooFailure)
-                | Err(TableError::MemoryBudgetExceeded) => {
+                Ok(outcome) => break outcome,
+                Err(TableError::TableFull) | Err(TableError::CuckooFailure) => {
                     // Capacity pressure the threshold missed (e.g. cuckoo
-                    // cycles below threshold): grow and retry.
-                    self.grow();
+                    // cycles below threshold): rebuild and retry. The
+                    // rebuild merges any draining generation, so a retried
+                    // insert reports replacements naturally.
+                    self.rebuild(self.bits + 1, 0)?;
                 }
-                Err(e @ TableError::ReservedKey) => return Err(e),
+                // A reserved key was rejected above; a memory budget that
+                // refuses the insert must reach the caller — growing on
+                // it would allocate more while already over budget.
+                Err(e) => return Err(e),
+            }
+        };
+        let prev_old = self.old.as_mut().and_then(|g| g.table.delete(key));
+        Ok(match prev_old {
+            Some(prev) => {
+                debug_assert_eq!(
+                    outcome,
+                    InsertOutcome::Inserted,
+                    "key was in both generations at once"
+                );
+                InsertOutcome::Replaced(prev)
+            }
+            None => outcome,
+        })
+    }
+
+    fn lookup(&self, key: u64) -> Option<u64> {
+        match self.inner.lookup(key) {
+            Some(v) => Some(v),
+            None => self.old.as_ref().and_then(|g| g.table.lookup(key)),
+        }
+    }
+
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        if self.old.is_some() && self.migrate_step(self.step_budget()).is_err() {
+            // A failed drain step (factory budget) leaves both
+            // generations consistent; the delete itself still proceeds.
+        }
+        match self.inner.delete(key) {
+            Some(v) => Some(v),
+            None => self.old.as_mut().and_then(|g| g.table.delete(key)),
+        }
+    }
+
+    // Reads and deletes never grow the table, so whole batches delegate
+    // straight to the inner table's (prefetching) overrides whenever no
+    // migration is in flight; mid-migration they run the two-pass on the
+    // new generation and re-probe only the misses against the old one.
+    // `insert_batch` deliberately keeps the element-by-element default:
+    // each insert must re-check the growth threshold (and pay its own
+    // drain step), and a mid-batch doubling invalidates any precomputed
+    // home slots.
+    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.inner.lookup_batch(keys, out);
+        if let Some(gen) = self.old.as_ref() {
+            let miss_keys: Vec<u64> =
+                keys.iter().zip(out.iter()).filter(|(_, o)| o.is_none()).map(|(&k, _)| k).collect();
+            if miss_keys.is_empty() {
+                return;
+            }
+            let mut old_vals = vec![None; miss_keys.len()];
+            gen.table.lookup_batch(&miss_keys, &mut old_vals);
+            let mut it = old_vals.into_iter();
+            for o in out.iter_mut().filter(|o| o.is_none()) {
+                *o = it.next().expect("one old-generation probe per miss");
             }
         }
     }
 
-    fn lookup(&self, key: u64) -> Option<u64> {
-        self.inner.lookup(key)
-    }
-
-    fn delete(&mut self, key: u64) -> Option<u64> {
-        self.inner.delete(key)
-    }
-
-    // Reads and deletes never grow the table, so whole batches delegate
-    // straight to the inner table's (prefetching) overrides. `insert_batch`
-    // deliberately keeps the element-by-element default: each insert must
-    // re-check the growth threshold, and a mid-batch doubling invalidates
-    // any precomputed home slots.
-    fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
-        self.inner.lookup_batch(keys, out)
-    }
-
     fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
-        self.inner.delete_batch(keys, out)
+        assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
+        if self.old.is_some() {
+            let budget = self.step_budget().saturating_mul(keys.len().max(1));
+            let _ = self.migrate_step(budget);
+        }
+        self.inner.delete_batch(keys, out);
+        if let Some(gen) = self.old.as_mut() {
+            let miss_keys: Vec<u64> =
+                keys.iter().zip(out.iter()).filter(|(_, o)| o.is_none()).map(|(&k, _)| k).collect();
+            if miss_keys.is_empty() {
+                return;
+            }
+            let mut old_vals = vec![None; miss_keys.len()];
+            gen.table.delete_batch(&miss_keys, &mut old_vals);
+            let mut it = old_vals.into_iter();
+            for o in out.iter_mut().filter(|o| o.is_none()) {
+                *o = it.next().expect("one old-generation delete per miss");
+            }
+        }
     }
 
     fn len(&self) -> usize {
-        self.inner.len()
+        self.total_len()
     }
 
     fn capacity(&self) -> usize {
+        // The target generation's capacity: where every entry will live
+        // once the drain completes, and what the next trigger compares
+        // against — identical to an AllAtOnce twin at every state.
         self.inner.capacity()
     }
 
     fn memory_bytes(&self) -> usize {
         self.inner.memory_bytes()
+            + self.old.as_ref().map_or(0, |g| g.table.memory_bytes() + g.pending.capacity() * 8)
     }
 
     fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
-        self.inner.for_each(f)
+        self.inner.for_each(f);
+        if let Some(gen) = self.old.as_ref() {
+            gen.table.for_each(f);
+        }
     }
 
     fn display_name(&self) -> String {
@@ -404,14 +714,318 @@ mod tests {
     }
 
     #[test]
+    fn chained_directory_is_half_nominal() {
+        // The documented convention: a `2^bits` nominal capacity gets a
+        // `2^(bits-1)` directory. An empty table's footprint is exactly
+        // the directory, which makes the invariant observable. `bits = 4`
+        // is the regression case: `.max(4)` used to produce a directory
+        // *equal* to the nominal capacity there.
+        for bits in 2..=8u8 {
+            let t8 = Chained8Factory::<Murmur>::new().build(bits, 1);
+            assert_eq!(t8.capacity(), 1 << bits, "H8 nominal at bits {bits}");
+            assert_eq!(t8.memory_bytes(), (1usize << (bits - 1)) * 8, "H8 dir at bits {bits}");
+            let t24 = Chained24Factory::<Murmur>::new().build(bits, 1);
+            assert_eq!(t24.capacity(), 1 << bits, "H24 nominal at bits {bits}");
+            assert_eq!(t24.memory_bytes(), (1usize << (bits - 1)) * 24, "H24 dir at bits {bits}");
+        }
+    }
+
+    #[test]
     fn model_semantics_preserved_across_growth() {
         let mut t = DynamicTable::new(QpFactory::<Murmur>::new(), 4, 5, 0.7);
         check_against_model(&mut t, 4000, 0xD1);
     }
 
     #[test]
+    fn model_semantics_preserved_across_incremental_growth() {
+        for step in [1usize, 4, 64] {
+            let mut t = DynamicTable::with_policy(
+                QpFactory::<Murmur>::new(),
+                4,
+                5,
+                0.7,
+                GrowthPolicy::Incremental { step },
+            );
+            check_against_model(&mut t, 4000, 0xD1);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "grow threshold")]
     fn rejects_invalid_threshold() {
         let _ = DynamicTable::new(LpFactory::<Murmur>::new(), 4, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be >= 1")]
+    fn rejects_zero_migration_step() {
+        let _ = DynamicTable::with_policy(
+            LpFactory::<Murmur>::new(),
+            4,
+            1,
+            0.5,
+            GrowthPolicy::Incremental { step: 0 },
+        );
+    }
+
+    #[test]
+    fn incremental_and_all_at_once_twins_agree_element_wise() {
+        // Drive both policies through an identical mixed stream; every
+        // observable must match at every step, including the states where
+        // the incremental table holds two generations.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut inc = DynamicTable::with_policy(
+            LpFactory::<Murmur>::new(),
+            4,
+            9,
+            0.7,
+            GrowthPolicy::Incremental { step: 1 },
+        );
+        let mut aao = DynamicTable::new(LpFactory::<Murmur>::new(), 4, 9, 0.7);
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut saw_migration = false;
+        for stepno in 0..6000 {
+            let key = rng.gen_range(1..=900u64);
+            match rng.gen_range(0..10u8) {
+                0..=5 => {
+                    let v = rng.gen::<u64>() >> 1;
+                    assert_eq!(inc.insert(key, v), aao.insert(key, v), "step {stepno}");
+                }
+                6..=7 => assert_eq!(inc.delete(key), aao.delete(key), "step {stepno}"),
+                _ => assert_eq!(inc.lookup(key), aao.lookup(key), "step {stepno}"),
+            }
+            assert_eq!(inc.len(), aao.len(), "step {stepno}: len");
+            assert_eq!(inc.capacity(), aao.capacity(), "step {stepno}: capacity");
+            assert_eq!(inc.rehash_count(), aao.rehash_count(), "step {stepno}: rehashes");
+            saw_migration |= inc.is_migrating();
+        }
+        assert!(saw_migration, "step 1 over 900 keys must leave a migration observable");
+        assert!(aao.rehash_count() >= 2, "stream must cross at least two generations");
+    }
+
+    #[test]
+    fn migration_drains_at_step_rate_and_completes() {
+        let mut t = DynamicTable::with_policy(
+            LpFactory::<Murmur>::new(),
+            4,
+            2,
+            0.5,
+            GrowthPolicy::Incremental { step: 2 },
+        );
+        for k in 1..=8u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(!t.is_migrating());
+        t.insert(9, 9).unwrap();
+        assert!(t.is_migrating(), "crossing the threshold must start a migration");
+        assert_eq!(t.capacity(), 32);
+        assert_eq!(t.len(), 9);
+        let backlog = t.migration_backlog();
+        assert!(backlog > 0 && backlog <= 8, "backlog {backlog}");
+        // Deletes of not-yet-migrated keys must hit the old generation.
+        assert_eq!(t.delete(1), Some(1));
+        // Lookups see both generations.
+        for k in 2..=9u64 {
+            assert_eq!(t.lookup(k), Some(k), "key {k} invisible mid-migration");
+        }
+        // Each further mutating op drains ≤ step entries; the backlog
+        // must strictly shrink and reach zero.
+        let mut ops = 0;
+        while t.is_migrating() {
+            t.insert(100 + ops, 100 + ops).unwrap();
+            ops += 1;
+            assert!(ops < 64, "migration never completed");
+        }
+        for k in 2..=9u64 {
+            assert_eq!(t.lookup(k), Some(k), "key {k} lost after drain");
+        }
+    }
+
+    #[test]
+    fn replacing_an_unmigrated_key_reports_old_value() {
+        let mut t = DynamicTable::with_policy(
+            LpFactory::<Murmur>::new(),
+            4,
+            3,
+            0.5,
+            GrowthPolicy::Incremental { step: 1 },
+        );
+        for k in 1..=9u64 {
+            t.insert(k, k * 10).unwrap();
+        }
+        assert!(t.is_migrating());
+        // Some keys are still in the old generation; replacing any key
+        // must report its previous value exactly once.
+        for k in 1..=9u64 {
+            assert_eq!(t.insert(k, k * 100), Ok(InsertOutcome::Replaced(k * 10)), "key {k}");
+        }
+        for k in 1..=9u64 {
+            assert_eq!(t.lookup(k), Some(k * 100));
+        }
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn incremental_cuckoo_survives_generation_failures() {
+        // Cuckoo cycles inside the *new* generation force the rebuild
+        // escape hatch mid-migration; no entry may be lost.
+        let mut t = DynamicTable::with_policy(
+            CuckooFactory::<Murmur, 2>::new(),
+            4,
+            3,
+            0.45,
+            GrowthPolicy::Incremental { step: 1 },
+        );
+        for k in 1..=5_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.len(), 5000);
+        for k in (1..=5_000u64).step_by(17) {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn incremental_batches_see_both_generations() {
+        let mut t = DynamicTable::with_policy(
+            RhFactory::<Murmur>::new(),
+            4,
+            5,
+            0.5,
+            GrowthPolicy::Incremental { step: 1 },
+        );
+        for k in 1..=9u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert!(t.is_migrating());
+        let keys: Vec<u64> = (1..=12u64).collect();
+        let mut vals = vec![None; keys.len()];
+        t.lookup_batch(&keys, &mut vals);
+        for (&k, v) in keys.iter().zip(&vals) {
+            let expect = if k <= 9 { Some(k * 3) } else { None };
+            assert_eq!(*v, expect, "lookup_batch key {k}");
+        }
+        let mut removed = vec![None; keys.len()];
+        t.delete_batch(&keys, &mut removed);
+        for (&k, v) in keys.iter().zip(&removed) {
+            let expect = if k <= 9 { Some(k * 3) } else { None };
+            assert_eq!(*v, expect, "delete_batch key {k}");
+        }
+        assert_eq!(t.len(), 0);
+    }
+
+    /// A chained factory with a fixed byte budget — the configuration
+    /// whose budget errors must propagate instead of triggering growth.
+    #[derive(Clone)]
+    struct BudgetedChained8 {
+        budget_bytes: usize,
+    }
+
+    impl TableFactory for BudgetedChained8 {
+        type Table = ChainedTable8<Murmur>;
+
+        fn build(&self, bits: u8, seed: u64) -> Self::Table {
+            ChainedTable8::new(
+                bits.saturating_sub(1).max(1),
+                HashFamily::from_seed(seed),
+                SlabAllocator::new(),
+                MemoryBudget::bytes(self.budget_bytes),
+                Some(1usize << bits),
+            )
+        }
+
+        fn scheme_name(&self) -> &'static str {
+            "ChainedH8"
+        }
+    }
+
+    #[test]
+    fn memory_budget_errors_propagate_instead_of_growing() {
+        // Room for the directory plus ~40 chain entries. The growth
+        // threshold (90% of 2^8 = 230) sits far beyond what the budget
+        // admits, so the budget error fires first. It used to be treated
+        // as capacity pressure — growing (and allocating *more*) forever.
+        let factory = BudgetedChained8 { budget_bytes: (1 << 7) * 8 + 40 * 24 };
+        for policy in [GrowthPolicy::AllAtOnce, GrowthPolicy::Incremental { step: 4 }] {
+            let mut t = DynamicTable::with_policy(factory.clone(), 8, 1, 0.9, policy);
+            let mut inserted = 0u64;
+            let err = loop {
+                match t.insert(inserted + 1, inserted + 1) {
+                    Ok(_) => inserted += 1,
+                    Err(e) => break e,
+                }
+                assert!(inserted < 1000, "{policy:?}: budget never enforced");
+            };
+            assert_eq!(err, TableError::MemoryBudgetExceeded, "{policy:?}");
+            assert!(inserted >= 30, "{policy:?}: only {inserted} inserts fit");
+            // The failed insert must leave the table fully usable.
+            assert_eq!(t.len() as u64, inserted, "{policy:?}");
+            for k in 1..=inserted {
+                assert_eq!(t.lookup(k), Some(k), "{policy:?}: key {k} lost after budget error");
+            }
+        }
+    }
+
+    #[test]
+    fn failed_insert_never_loses_draining_entries() {
+        // Mid-migration, a failing insert whose key still sits in the
+        // draining generation must leave that entry in place: claiming it
+        // before the (fallible) new-generation insert would lose it on
+        // the budget-error path. The budget is tuned so the error fires
+        // while a migration is in flight (dir 2^7 fits, dir 2^8 leaves
+        // room for only ~60 of the ~95 live entries).
+        let factory = BudgetedChained8 { budget_bytes: (1 << 7) * 8 + 60 * 24 };
+        let mut t =
+            DynamicTable::with_policy(factory, 6, 1, 0.5, GrowthPolicy::Incremental { step: 1 });
+        let mut key = 0u64;
+        let err = loop {
+            key += 1;
+            if let Err(e) = t.insert(key, key) {
+                break e;
+            }
+            assert!(key < 10_000, "budget never enforced");
+        };
+        assert_eq!(err, TableError::MemoryBudgetExceeded);
+        assert!(t.is_migrating(), "scenario must hit the budget mid-migration");
+        let live = key - 1;
+        let len_before = t.len();
+        // Replacing keys still in the old generation makes the new
+        // generation allocate a fresh node — over budget, so it errors.
+        // The entry must survive the failed attempt.
+        for k in 1..=live {
+            match t.insert(k, k + 7000) {
+                Ok(crate::InsertOutcome::Replaced(_)) => {}
+                Ok(o) => panic!("key {k}: unexpected outcome {o:?}"),
+                Err(TableError::MemoryBudgetExceeded) => {}
+                Err(e) => panic!("key {k}: unexpected error {e:?}"),
+            }
+            assert!(t.lookup(k).is_some(), "key {k} lost by a failed replacement");
+        }
+        assert_eq!(t.len(), len_before, "failed replacements changed len");
+    }
+
+    #[test]
+    fn threshold_trigger_is_exact_integer_math() {
+        // For any threshold and capacity the trigger must flip exactly at
+        // `floor(threshold_fp · cap / 2^32) + 1` — including the huge
+        // capacities where the old `f64` comparison rounds.
+        for thr in [0.5f64, 0.7, 0.9, 0.99] {
+            let fp = (thr * (1u64 << 32) as f64).round() as u64;
+            for bits in [4u8, 20, 39, 40] {
+                let cap = 1usize << bits;
+                let boundary = ((fp as u128 * cap as u128) >> 32) as usize;
+                assert!(
+                    !crosses_threshold(fp, boundary, cap),
+                    "thr {thr} bits {bits}: fired one entry early"
+                );
+                assert!(
+                    crosses_threshold(fp, boundary + 1, cap),
+                    "thr {thr} bits {bits}: missed the trigger"
+                );
+            }
+        }
+        // The paper's 50% case stays bit-exact: 2^31 in Q32.
+        assert!(!crosses_threshold(1 << 31, 8, 16));
+        assert!(crosses_threshold(1 << 31, 9, 16));
     }
 }

@@ -59,8 +59,8 @@ pub use chained::{ChainedTable24, ChainedTable8};
 pub use cuckoo::Cuckoo;
 pub use decision::{recommend, TableChoice, WorkloadProfile};
 pub use dynamic::{
-    Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, LpFactory, LpSoAFactory,
-    QpFactory, RhFactory, TableFactory,
+    Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, GrowthPolicy, LpFactory,
+    LpSoAFactory, QpFactory, RhFactory, TableFactory,
 };
 pub use fingerprint::{FingerprintTable, GROUP_SLOTS};
 pub use linear_probing::{DeleteStrategy, LinearProbing};

@@ -31,11 +31,16 @@
 //! `.shards(k)` and `.grow_at(t)`, each shard is its *own*
 //! [`DynamicTable`](crate::DynamicTable): a shard that crosses its load
 //! threshold doubles and rehashes **only its `1/N` of the keys** while
-//! the other shards keep serving — growth is incremental instead of
-//! stop-the-world, and the pause per rehash shrinks by the shard count.
-//! The shard count itself never changes after construction (the selector
-//! bits are fixed), so shard routing stays valid across any number of
-//! per-shard growth steps.
+//! the other shards keep serving — the pause per rehash shrinks by the
+//! shard count. Adding
+//! [`TableBuilder::incremental`](crate::TableBuilder::incremental)
+//! removes even that per-shard pause: each shard then migrates its
+//! doubling a bounded number of entries per operation
+//! ([`GrowthPolicy::Incremental`](crate::GrowthPolicy)), so no operation
+//! anywhere in the table ever waits for a rehash. The shard count itself
+//! never changes after construction (the selector bits are fixed), so
+//! shard routing stays valid across any number of per-shard growth
+//! steps.
 //!
 //! # Batch routing
 //!

@@ -1,0 +1,296 @@
+//! Log-bucketed latency histograms for tail analysis.
+//!
+//! Mean throughput (the paper's unit) hides exactly the effect §6's
+//! growing tables suffer from: a stop-the-world rehash stalls *one*
+//! operation for the time of a full rebuild, which moves the mean by
+//! almost nothing and the tail by orders of magnitude. This module
+//! provides the missing instrument: [`LatencyHistogram`], a fixed-size
+//! log-linear histogram (HDR-style) over nanosecond samples, cheap
+//! enough to sit inside a measured loop (`record` is a handful of
+//! integer ops, no allocation after construction) and precise enough
+//! for percentile reporting (≤ 12.5% relative bucket error).
+//!
+//! The bucket layout uses 8 sub-buckets per power-of-two octave:
+//! values below 8 ns get exact buckets, larger values land in the
+//! bucket `[2^e + s·2^(e-3), 2^e + (s+1)·2^(e-3))` of their octave.
+//! Percentiles report the **upper bound** of the selected bucket
+//! (clamped to the true observed maximum), so a reported p99 never
+//! understates the tail.
+
+use std::time::Duration;
+
+/// Sub-bucket resolution: `2^SUB_BITS` buckets per octave.
+const SUB_BITS: u32 = 3;
+
+/// Sub-buckets per octave (8).
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets: octaves 3..=63 at `SUB` buckets each, plus the `SUB`
+/// exact buckets below `2^SUB_BITS`.
+const N_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB + SUB;
+
+/// A log-linear histogram of nanosecond latencies. See the
+/// [module docs](self) for the bucket layout.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a nanosecond value.
+#[inline(always)]
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUB as u64 {
+        nanos as usize
+    } else {
+        let exp = 63 - nanos.leading_zeros();
+        let sub = ((nanos >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+        (((exp - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+    }
+}
+
+/// Inclusive upper bound of bucket `i` — what percentiles report.
+/// Computed in `u128`: the top bucket's bound is `2^64 - 1`, whose
+/// intermediate sum overflows `u64`.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let exp = (i >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (i & (SUB - 1)) as u128;
+        let width = 1u128 << (exp - SUB_BITS);
+        ((1u128 << exp) + (sub + 1) * width - 1).min(u64::MAX as u128) as u64
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; N_BUCKETS], total: 0, max: 0, sum: 0 }
+    }
+
+    /// Record one latency sample in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_of(nanos)] += 1;
+        self.total += 1;
+        self.sum += nanos as u128;
+        if nanos > self.max {
+            self.max = nanos;
+        }
+    }
+
+    /// Record one latency sample from a [`Duration`] (saturating at
+    /// `u64::MAX` ns ≈ 584 years).
+    #[inline]
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `count() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (exact, not bucketed). 0 when empty.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (exact sum / count). 0 when empty.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound on the
+    /// latency of the `ceil(q · count)`-th fastest sample, within the
+    /// 12.5% bucket resolution and clamped to [`Self::max_nanos`].
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency (see [`Self::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency (see [`Self::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every value maps to a bucket whose range contains it, and
+        // bucket indices never decrease as values grow.
+        let mut values: Vec<u64> = Vec::new();
+        for shift in 0..64u32 {
+            for delta in [0u64, 1, 3] {
+                values.push((1u64 << shift).saturating_add(delta << shift.saturating_sub(4)));
+            }
+        }
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket regressed at {v}: {b} < {prev}");
+            assert!(bucket_upper(b) >= v, "upper({b}) = {} < {v}", bucket_upper(b));
+            assert!(b < N_BUCKETS);
+            prev = b;
+        }
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // First octave bucket: [8, 9).
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_upper(8), 8);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [10u64, 100, 1_000, 123_456, 10_000_000, u64::MAX / 3] {
+            let upper = bucket_upper(bucket_of(v));
+            assert!(upper >= v);
+            assert!(
+                (upper - v) as f64 <= v as f64 * 0.125 + 1.0,
+                "bucket for {v} overshoots to {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast samples at 100 ns, one stall at 1 ms.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max_nanos(), 1_000_000);
+        let p50 = h.p50();
+        assert!((100..=112).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((100..=112).contains(&p99), "p99 = {p99} (stall is the 100th sample)");
+        assert_eq!(h.percentile(1.0), 1_000_000);
+        assert!((h.mean_nanos() - 10_099.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn percentile_never_understates_rank_value() {
+        let mut h = LatencyHistogram::new();
+        let samples: Vec<u64> = (1..=1000u64).map(|i| i * 37).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * 1000.0f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let est = h.percentile(q);
+            assert!(est >= exact, "q={q}: {est} < exact {exact}");
+            assert!(est as f64 <= exact as f64 * 1.13, "q={q}: {est} overshoots {exact}");
+        }
+    }
+
+    #[test]
+    fn extreme_samples_do_not_overflow() {
+        // The top bucket's upper bound is u64::MAX; computing it must not
+        // overflow (debug builds would panic).
+        assert_eq!(bucket_upper(bucket_of(u64::MAX)), u64::MAX);
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+        assert_eq!(h.p50(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_degenerates_to_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max_nanos(), 0);
+        assert_eq!(h.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for _ in 0..50 {
+            a.record(100);
+        }
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 51);
+        assert_eq!(a.max_nanos(), 1_000_000);
+        assert_eq!(a.percentile(1.0), 1_000_000);
+        let mut twin = LatencyHistogram::new();
+        for _ in 0..50 {
+            twin.record(100);
+        }
+        twin.record(1_000_000);
+        assert_eq!(a.p50(), twin.p50());
+        assert_eq!(a.p99(), twin.p99());
+    }
+
+    #[test]
+    fn record_duration_converts_to_nanos() {
+        let mut h = LatencyHistogram::new();
+        h.record_duration(Duration::from_micros(5));
+        assert_eq!(h.count(), 1);
+        assert!(h.max_nanos() == 5_000);
+    }
+}

@@ -7,9 +7,16 @@
 //! those pieces: wall-clock timing, throughput conversion, multi-seed
 //! aggregation, and plain-text/CSV report tables the benchmark binaries
 //! print in the shape of the paper's figures.
+//!
+//! Beyond the paper's mean-throughput lens, [`LatencyHistogram`] records
+//! per-operation latency distributions (p50/p99/max) — the instrument
+//! that makes growth stalls of dynamic tables visible at all (a 100 ms
+//! rehash barely moves a mean over 10⁶ ops, but owns the tail).
 
+pub mod latency;
 pub mod report;
 
+pub use latency::LatencyHistogram;
 pub use report::{ReportTable, Series};
 
 use serde::{Deserialize, Serialize};

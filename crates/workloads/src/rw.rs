@@ -78,14 +78,53 @@ pub struct RwStream {
 /// a bijection, so the two key populations can never collide.
 const MISS_REGION: u64 = 1 << 62;
 
+/// Escape region for counters whose mixed key is illegal: finalizer
+/// inputs in `[3·2^62, 2^64)`, strictly above every `counter + 1` a
+/// stream can produce (`≤ 2^63`), so escape keys can never collide with
+/// any regular key — the finalizer is a bijection over disjoint input
+/// ranges.
+const ESCAPE_REGION: u64 = 0b11 << 62;
+
+/// Whether a mixed key is usable as a table key (nonzero, not a reserved
+/// control value).
+#[inline]
+fn key_is_legal(k: u64) -> bool {
+    k != 0 && k < u64::MAX - 1
+}
+
+/// Map a counter to a fresh key: the Murmur finalizer over `counter + 1`
+/// (a bijection, so keys never repeat), with a **provably disjoint**
+/// escape for the three counters whose mixed key is illegal (the unique
+/// preimages of `0`, `u64::MAX - 1`, and `u64::MAX`).
+///
+/// Each illegal output identifies its one bad counter, so retrying on a
+/// per-output lane of [`ESCAPE_REGION`] (stride 3 keeps the lanes
+/// disjoint) stays injective over all counters; the escape inputs sit
+/// above every regular `counter + 1`, so the retried keys cannot collide
+/// with any other counter's key — including other threads' disjoint
+/// [`RwStream::for_thread`] regions. The previous escape re-mixed
+/// `k ^ CONST`, whose preimage could be another counter (breaking the
+/// keys-never-repeat guarantee) or itself illegal.
 fn fresh_key(counter: u64) -> u64 {
-    // The finalizer maps 0 → 0 and could in principle emit the reserved
-    // control values; offset and re-mix in those vanishingly rare cases.
+    // Disjointness needs `counter + 1 < ESCAPE_REGION`: the finalizer
+    // input must sit strictly below every escape input.
+    debug_assert!(counter + 1 < ESCAPE_REGION, "counter {counter:#x} reaches the escape region");
     let k = Murmur::fmix64(counter.wrapping_add(1));
-    if k == 0 || k >= u64::MAX - 1 {
-        Murmur::fmix64(k ^ 0xA5A5_A5A5_A5A5_A5A5)
-    } else {
-        k
+    if key_is_legal(k) {
+        return k;
+    }
+    let lane = match k {
+        0 => 0u64,
+        k if k == u64::MAX - 1 => 1,
+        _ => 2,
+    };
+    let mut j = lane;
+    loop {
+        let k = Murmur::fmix64(ESCAPE_REGION + j);
+        if key_is_legal(k) {
+            return k;
+        }
+        j += 3;
     }
 }
 
@@ -328,6 +367,66 @@ pub fn run_chunk_shared<T: ConcurrentTable + ?Sized>(
     run_chunk_with(&mut SharedExec(table), ops)
 }
 
+/// [`run_chunk`] with per-operation latency instrumentation: the chunk
+/// executes through the single-key API — per-op latency needs per-op
+/// boundaries, so batching is off by construction — and every **insert**
+/// reports its wall-clock latency (nanoseconds) to `observe_insert`,
+/// together with a post-operation view of the table. Inserts are the
+/// class that pays for growth (a rehash stalls exactly one insert under
+/// stop-the-world growth, a bounded drain under incremental growth), so
+/// the simplest observer is a histogram —
+/// `|_, nanos| hist.record(nanos)` — while the `growth_tail` bench uses
+/// the table view to classify growth-phase inserts. Model expectations
+/// are verified like [`run_chunk`]'s (debug builds); the returned
+/// [`Throughput`] covers all operations of the chunk.
+pub fn run_chunk_instrumented<T: HashTable>(
+    table: &mut T,
+    ops: &[RwOp],
+    mut observe_insert: impl FnMut(&T, u64),
+) -> Result<Throughput, TableError> {
+    let mut failure = Ok(());
+    let mut checksum = 0u64;
+    let throughput = Throughput::measure(ops.len() as u64, || {
+        for op in ops {
+            match *op {
+                RwOp::Insert(k) => {
+                    let start = std::time::Instant::now();
+                    let r = table.insert(k, k);
+                    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    observe_insert(table, nanos);
+                    if let Err(e) = r {
+                        failure = Err(e);
+                        return;
+                    }
+                }
+                RwOp::Delete(k) => {
+                    let v = table.delete(k);
+                    debug_assert!(v.is_some(), "delete of live key {k} missed");
+                    if let Some(v) = v {
+                        checksum ^= v;
+                    }
+                }
+                RwOp::LookupHit(k) => {
+                    let v = table.lookup(k);
+                    debug_assert!(v.is_some(), "lookup of live key {k} missed");
+                    if let Some(v) = v {
+                        checksum ^= v;
+                    }
+                }
+                RwOp::LookupMiss(k) => {
+                    let v = table.lookup(k);
+                    debug_assert!(v.is_none(), "phantom hit for {k}");
+                    if let Some(v) = v {
+                        checksum ^= v;
+                    }
+                }
+            }
+        }
+    });
+    std::hint::black_box(checksum);
+    failure.map(|()| throughput)
+}
+
 fn execute_run(
     exec: &mut dyn RwExec,
     kind: OpKind,
@@ -484,6 +583,65 @@ mod tests {
             assert!(k != 0 && k < u64::MAX - 1);
             assert!(seen.insert(k), "duplicate fresh key at counter {c}");
         }
+    }
+
+    #[test]
+    fn reserved_value_escape_is_injective_and_legal() {
+        // The finalizer is a bijection, so exactly three counters map to
+        // illegal keys: the preimages of 0, u64::MAX - 1, and u64::MAX.
+        // Their escapes must be legal, mutually distinct, and distinct
+        // from every regular key (we check a sample plus the escaped
+        // counters' neighbours, and prove the rest by input-range
+        // disjointness: escape inputs are ≥ 3·2^62, regular inputs are
+        // counter + 1 ≤ 2^63).
+        let bad_counters: Vec<u64> = [0u64, u64::MAX - 1, u64::MAX]
+            .into_iter()
+            .map(|bad| Murmur::fmix64_inverse(bad).wrapping_sub(1))
+            .collect();
+        let mut seen = HashSet::new();
+        for c in 0..100_000u64 {
+            assert!(seen.insert(fresh_key(c)));
+        }
+        for &c in &bad_counters {
+            // These counters sit far outside any real stream region, but
+            // the escape must hold wherever they appear.
+            if c >= ESCAPE_REGION {
+                continue; // outside the counter space streams may use
+            }
+            let k = fresh_key(c);
+            assert!(key_is_legal(k), "escape for counter {c:#x} produced illegal key {k:#x}");
+            assert!(seen.insert(k), "escape for counter {c:#x} collided with a regular key");
+            // Neighbouring counters keep their regular (bijective) keys.
+            assert!(key_is_legal(fresh_key(c.wrapping_add(1))));
+            assert!(key_is_legal(fresh_key(c.wrapping_sub(1))));
+        }
+        // The escape region really is disjoint from every regular
+        // finalizer input a stream can produce.
+        const { assert!(ESCAPE_REGION > (1u64 << 62) + (255u64 << 54) + (1 << 54)) };
+    }
+
+    #[test]
+    fn instrumented_chunk_records_insert_latencies() {
+        let mut s = RwStream::new(cfg(50));
+        let mut table = DynamicTable::new(LpFactory::<MultShift>::new(), 11, 3, 0.7);
+        for k in s.initial_keys() {
+            table.insert(k, k).unwrap();
+        }
+        let mut hist = metrics::LatencyHistogram::new();
+        let mut total_ops = 0u64;
+        let mut inserts = 0u64;
+        while let Some(chunk) = s.next_chunk(4096) {
+            inserts += chunk.iter().filter(|op| matches!(op, RwOp::Insert(_))).count() as u64;
+            let t =
+                run_chunk_instrumented(&mut table, &chunk, |_, nanos| hist.record(nanos)).unwrap();
+            total_ops += t.ops;
+        }
+        assert_eq!(total_ops, 20_000);
+        assert_eq!(hist.count(), inserts, "one latency sample per insert");
+        assert!(inserts > 0);
+        assert!(hist.max_nanos() > 0);
+        assert!(hist.p99() >= hist.p50());
+        assert_eq!(table.len(), s.live_len());
     }
 
     #[test]

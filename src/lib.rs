@@ -58,7 +58,10 @@
 //!     mutability: Mutability::Dynamic,
 //! };
 //! assert_eq!(recommend(&profile), TableChoice::QPMult);
-//! let index = TableBuilder::for_profile(&profile, 16, 42).grow_at(0.7).build();
+//! let index = TableBuilder::for_profile(&profile, 16, 42)
+//!     .grow_at(0.7)       // double at 70% load …
+//!     .incremental(8)     // … migrating ≤ 8 entries per op, no rehash pause
+//!     .build();
 //! assert_eq!(index.display_name(), "QPMult");
 //!
 //! // Scale the same description across threads: 2^2 independently locked
@@ -103,7 +106,7 @@ pub mod prelude {
     pub use hashfn::{
         HashFamily, HashFn64, MultAddShift, MultAddShift64, MultShift, Murmur, Tabulation,
     };
-    pub use metrics::{ReportTable, SeedStats, Series, Throughput};
+    pub use metrics::{LatencyHistogram, ReportTable, SeedStats, Series, Throughput};
     pub use query::{
         group_aggregate, group_aggregate_parallel, group_average, hash_join, hash_join_parallel,
         AggFn, PointIndex,
@@ -111,9 +114,9 @@ pub mod prelude {
     pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
     pub use sevendim_core::{
         decision::Mutability, recommend, BoxedTable, ChainedTable24, ChainedTable8,
-        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, HashKind,
-        HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing, RhLookupMode,
-        RobinHood, ShardedTable, TableBuilder, TableChoice, TableError, TableScheme,
+        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, GrowthPolicy,
+        HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing,
+        RhLookupMode, RobinHood, ShardedTable, TableBuilder, TableChoice, TableError, TableScheme,
         WorkloadProfile,
     };
     pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};

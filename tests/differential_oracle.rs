@@ -381,6 +381,140 @@ fn builder_grid_murmur() {
     builder_grid(HashKind::Murmur);
 }
 
+/// Growth-path oracle: drive a *growing* table, its stop-the-world twin,
+/// and a `HashMap` model through identical interleaved
+/// `insert_batch`/`delete_batch`/`lookup_batch` calls sized to cross at
+/// least two growth generations; every element-wise observable must
+/// match at every batch — including batches that straddle a generation
+/// switch and deletes of keys still sitting in the draining generation
+/// (early-insert keys are preferentially deleted below, which is exactly
+/// the not-yet-migrated population under `Incremental { step: 1 }`).
+fn growth_oracle(table_desc: &TableBuilder, twin_desc: &TableBuilder, seed: u64) {
+    let mut table = table_desc.build();
+    let mut twin = twin_desc.build();
+    let name = format!("{} (shards {})", table_desc.label(), table_desc.shard_bits());
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = Distribution::Sparse.generate(4000, seed ^ 0x9077);
+    let mut next_fresh = 0usize;
+    let mut live: Vec<u64> = Vec::new();
+    let initial_capacity = table.capacity();
+    for round in 0..12 {
+        // Insert batch: mostly fresh keys (growth pressure), a few
+        // replacements, sized to cross the 70% trigger mid-batch.
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        for i in 0..40usize {
+            let k = if i % 8 == 7 && !live.is_empty() {
+                live[rng.gen_range(0..live.len())]
+            } else {
+                let k = keys[next_fresh % keys.len()];
+                next_fresh += 1;
+                k
+            };
+            items.push((k, rng.gen::<u64>() >> 1));
+        }
+        let mut out_a = vec![Ok(InsertOutcome::Inserted); items.len()];
+        let mut out_b = out_a.clone();
+        table.insert_batch(&items, &mut out_a);
+        twin.insert_batch(&items, &mut out_b);
+        for (i, &(k, v)) in items.iter().enumerate() {
+            let expect = Ok(match model.insert(k, v) {
+                None => InsertOutcome::Inserted,
+                Some(old) => InsertOutcome::Replaced(old),
+            });
+            assert_eq!(out_a[i], expect, "{name} round {round}: insert_batch[{i}] ({k:#x})");
+            assert_eq!(out_b[i], expect, "{name} round {round}: twin insert_batch[{i}] ({k:#x})");
+            if !live.contains(&k) {
+                live.push(k);
+            }
+        }
+        assert_eq!(table.len(), model.len(), "{name} round {round}: len after inserts");
+        assert_eq!(twin.len(), model.len(), "{name} round {round}: twin len after inserts");
+
+        // Delete batch: prefer the *oldest* live keys — under incremental
+        // growth these are the ones most likely still in the draining
+        // generation — plus some misses.
+        let mut victims: Vec<u64> = live.iter().take(10).copied().collect();
+        victims.push(keys[(next_fresh + 1000) % keys.len()]); // absent
+        let mut del_a = vec![None; victims.len()];
+        let mut del_b = del_a.clone();
+        table.delete_batch(&victims, &mut del_a);
+        twin.delete_batch(&victims, &mut del_b);
+        for (i, &k) in victims.iter().enumerate() {
+            let expect = model.remove(&k);
+            assert_eq!(del_a[i], expect, "{name} round {round}: delete_batch[{i}] ({k:#x})");
+            assert_eq!(del_b[i], expect, "{name} round {round}: twin delete_batch[{i}] ({k:#x})");
+        }
+        live.retain(|k| model.contains_key(k));
+
+        // Lookup batch over a live/absent mix.
+        let probe: Vec<u64> =
+            (0..48).map(|_| keys[rng.gen_range(0..keys.len().min(next_fresh + 50))]).collect();
+        let mut look_a = vec![None; probe.len()];
+        let mut look_b = look_a.clone();
+        table.lookup_batch(&probe, &mut look_a);
+        twin.lookup_batch(&probe, &mut look_b);
+        for (i, &k) in probe.iter().enumerate() {
+            let expect = model.get(&k).copied();
+            assert_eq!(look_a[i], expect, "{name} round {round}: lookup_batch[{i}] ({k:#x})");
+            assert_eq!(look_b[i], expect, "{name} round {round}: twin lookup_batch[{i}] ({k:#x})");
+        }
+    }
+    assert!(
+        table.capacity() >= initial_capacity * 4,
+        "{name}: stream must cross at least two growth generations \
+         (capacity {} from {initial_capacity})",
+        table.capacity()
+    );
+    // Final audit: every live entry visible, for_each visits exactly the
+    // model (both generations of a mid-migration table included).
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    table.for_each(&mut |k, v| {
+        assert!(seen.insert(k, v).is_none(), "{name}: for_each visited {k} twice");
+    });
+    assert_eq!(seen, model, "{name}: for_each contents");
+}
+
+/// The builder-driven `grow_at × incremental × shards` growth grid over
+/// every scheme (from the shared [`tests_common::all_schemes`] list, so
+/// new schemes join automatically). The twin is always the unsharded
+/// stop-the-world build of the same cell: sharding and incremental
+/// migration must both be observationally transparent.
+fn growth_grid(shard_bits: u8, step: usize) {
+    for (i, scheme) in tests_common::all_schemes().into_iter().enumerate() {
+        // bits = 6 keeps every scheme feasible (FP needs one 16-slot
+        // group per shard) and puts the first doubling a few batches in.
+        let base = TableBuilder::new(scheme).hash(HashKind::Mult).bits(6).seed(0xD11).grow_at(0.7);
+        let desc = base.clone().incremental(step).shards(shard_bits);
+        growth_oracle(&desc, &base, 0x6A0 + 131 * i as u64 + step as u64);
+    }
+}
+
+#[test]
+fn growth_grid_incremental_step1() {
+    growth_grid(0, 1);
+}
+
+#[test]
+fn growth_grid_incremental_step16() {
+    growth_grid(0, 16);
+}
+
+#[test]
+fn growth_grid_incremental_sharded() {
+    growth_grid(2, 1);
+}
+
+#[test]
+fn growth_grid_all_at_once_sharded() {
+    // Sharded stop-the-world growth against the unsharded twin: isolates
+    // the sharding dimension of the grid.
+    for (i, scheme) in tests_common::all_schemes().into_iter().enumerate() {
+        let base = TableBuilder::new(scheme).hash(HashKind::Mult).bits(6).seed(0xD12).grow_at(0.7);
+        growth_oracle(&base.clone().shards(2), &base, 0x7B1 + 131 * i as u64);
+    }
+}
+
 /// Capacity-boundary churn. Open-addressing tables keep one empty slot
 /// as a probe terminator, so a `2^bits` table holds at most
 /// `2^bits - 1` distinct keys; beyond that, a *fresh* key must be

@@ -177,6 +177,82 @@ proptest! {
     }
 }
 
+/// [`op_strategy`] over a 400-key universe with an insert-heavy mix:
+/// enough distinct keys to push a `2^4`-slot growing table through
+/// several doublings within one 250-op sequence.
+fn op_strategy_growing() -> impl Strategy<Value = Op> {
+    let key = 1u64..=400;
+    prop_oneof![
+        4 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v >> 1)),
+        1 => key.clone().prop_map(Op::Delete),
+        2 => key.prop_map(Op::Lookup),
+    ]
+}
+
+/// An incrementally growing table and its stop-the-world twin must be
+/// element-wise identical at *every* step of an arbitrary operation
+/// sequence — that is, at every intermediate migration state, not just
+/// after the drain completes. `capacity` is compared too: the
+/// incremental table reports its target generation, which doubles at
+/// exactly the same trigger points as the twin.
+fn check_growth_twin(
+    scheme: TableScheme,
+    step: usize,
+    ops: &[Op],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let base = TableBuilder::new(scheme).hash(HashKind::Murmur).bits(4).seed(0x9077).grow_at(0.7);
+    let mut inc = base.clone().incremental(step).build();
+    let mut aao = base.build();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                prop_assert_eq!(inc.insert(k, v), aao.insert(k, v), "insert {}", k);
+            }
+            Op::Delete(k) => {
+                prop_assert_eq!(inc.delete(k), aao.delete(k), "delete {}", k);
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(inc.lookup(k), aao.lookup(k), "lookup {}", k);
+            }
+        }
+        prop_assert_eq!(inc.len(), aao.len());
+        prop_assert_eq!(inc.capacity(), aao.capacity());
+    }
+    // Final sweep: every key of the universe agrees.
+    for k in 1..=400u64 {
+        prop_assert_eq!(inc.lookup(k), aao.lookup(k), "final lookup {}", k);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #[test]
+    fn incremental_growth_matches_all_at_once_lp(
+        ops in proptest::collection::vec(op_strategy_growing(), 1..250),
+    ) {
+        for step in [1usize, 7] {
+            check_growth_twin(TableScheme::LinearProbing, step, &ops)?;
+        }
+    }
+
+    #[test]
+    fn incremental_growth_matches_all_at_once_fp(
+        ops in proptest::collection::vec(op_strategy_growing(), 1..250),
+    ) {
+        for step in [1usize, 7] {
+            check_growth_twin(TableScheme::Fingerprint, step, &ops)?;
+        }
+    }
+
+    #[test]
+    fn incremental_growth_matches_all_at_once_chained(
+        ops in proptest::collection::vec(op_strategy_growing(), 1..250),
+    ) {
+        check_growth_twin(TableScheme::Chained24, 1, &ops)?;
+    }
+}
+
 /// One batch-level operation against a table, sized 0..12 over a 16-key
 /// universe so duplicate keys *within a single batch* are common — the
 /// case where sharded radix routing must preserve in-batch ordering
