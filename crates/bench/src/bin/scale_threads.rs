@@ -12,6 +12,13 @@
 //!   the out-of-cache capacity (the paper's "large" size), the regime
 //!   where per-shard batch prefetching and lock-free-in-expectation
 //!   routing should scale near-linearly;
+//! * **read-only, optimistic vs locked** — single-key `lookup_shared`
+//!   over the schemes with a seqlock read path (LP, RH), once with
+//!   optimistic reads on (two atomic loads per probe, no stores, readers
+//!   never serialize) and once forced through the per-shard mutex. The
+//!   per-key path makes the synchronization cost visible — batches
+//!   amortize it away — and the optimistic/locked ratio at the widest
+//!   sweep point is the headline number for lock-free reads;
 //! * **read/write** — the paper's RW mix (§6) at update percentages
 //!   0/25/75 over per-shard *growing* tables ([`workloads::rw`]'s
 //!   concurrent driver, disjoint key regions per thread), where scaling
@@ -23,7 +30,10 @@
 //! the *same* table — the sweep isolates thread scaling from table
 //! layout.
 
-use bench::{emit, lookup_scale_cell, parse_args, rw_scale_cell, HashId, LookupScale, Scheme};
+use bench::{
+    emit, lookup_scale_cell, parse_args, readonly_scale_cell, rw_scale_cell, HashId, LookupScale,
+    Scheme,
+};
 use metrics::{ReportTable, Series};
 use sevendim_core::{TableBuilder, TableScheme};
 use workloads::RwConfig;
@@ -38,6 +48,12 @@ const TABLES: [(Scheme, HashId); 4] = [
 /// RW update percentages for the scaling panel: read-only, the paper's
 /// "typical OLAP-ish" low-update mix, and write-heavy.
 const UPDATE_PCTS: [u8; 3] = [0, 25, 75];
+
+/// Schemes with a seqlock read path (the read-only panel compares their
+/// optimistic and locked variants; schemes without one would measure the
+/// same locked path twice).
+const OPTIMISTIC_TABLES: [(Scheme, HashId); 2] =
+    [(Scheme::LP, HashId::Mult), (Scheme::RH, HashId::Mult)];
 
 fn main() {
     let args = parse_args(std::env::args());
@@ -66,7 +82,7 @@ fn main() {
         ticks.clone(),
         "M ops/s",
     );
-    let cell = LookupScale { bits, shard_bits, load: 0.5, probes, seed: 0xBA5E };
+    let cell = LookupScale { bits, shard_bits, load: 0.5, probes, seed: 0xBA5E, optimistic: true };
     let mut lookup_curves: Vec<(String, Vec<f64>)> = Vec::new();
     for &(scheme, h) in &TABLES {
         let curve: Vec<f64> =
@@ -75,6 +91,35 @@ fn main() {
         lookup_curves.push((scheme.label(h), curve));
     }
     emit(&lookup, args.csv);
+
+    // Read-only panel: the same table probed key-by-key through
+    // `lookup_shared`, seqlock path vs forced mutex. Fewer probes than the
+    // batch panel — single-key probing forgoes prefetching, so each probe
+    // is an exposed cache miss.
+    let mut readonly = ReportTable::new(
+        "scale_threads — read-only lookup_shared, optimistic (seqlock) vs locked".to_string(),
+        "threads",
+        ticks.clone(),
+        "M ops/s",
+    );
+    let ro_probes = (probes / 4).max(1);
+    let mut ro_ratios: Vec<(String, f64, f64)> = Vec::new();
+    for &(scheme, h) in &OPTIMISTIC_TABLES {
+        let mut at_max = [0.0f64; 2];
+        for (i, optimistic) in [true, false].into_iter().enumerate() {
+            let ro_cell = LookupScale { probes: ro_probes, optimistic, ..cell };
+            let curve: Vec<f64> =
+                sweep.iter().map(|&t| readonly_scale_cell(scheme, h, &ro_cell, t).mops).collect();
+            at_max[i] = *curve.last().unwrap();
+            let tag = if optimistic { "optimistic" } else { "locked" };
+            readonly.push(Series::new(
+                format!("{} {tag}", scheme.label(h)),
+                curve.into_iter().map(Some).collect(),
+            ));
+        }
+        ro_ratios.push((scheme.label(h), at_max[0], at_max[1]));
+    }
+    emit(&readonly, args.csv);
 
     for &pct in &UPDATE_PCTS {
         let mut rw = ReportTable::new(
@@ -109,5 +154,19 @@ fn main() {
             let (one, many) = (curve[0], curve[curve.len() - 1]);
             println!("  {label:<16} {:>5.2}x", many / one);
         }
+        println!();
+    }
+
+    // Optimistic/locked ratio at the widest sweep point. Below 8 cores the
+    // locked baseline is barely contended (fewer readers than shards ever
+    // collide on a mutex), so the ratio is reported but not meaningful as
+    // an acceptance number — say so rather than print a misleading "1.1x".
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("read-only optimistic vs locked at {max_threads} threads:");
+    for (label, opt, locked) in &ro_ratios {
+        println!("  {label:<16} {opt:>8.1} vs {locked:>8.1} M ops/s  ({:>5.2}x)", opt / locked);
+    }
+    if cores < 8 {
+        println!("  (host has {cores} cores — mutex contention, and thus the gap, needs >= 8)");
     }
 }

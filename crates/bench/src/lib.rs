@@ -18,8 +18,8 @@ pub mod runner;
 
 pub use cli::{parse_args, Args, Scale};
 pub use runner::{
-    lookup_scale_cell, rw_cell, rw_scale_cell, worm_cell, worm_cell_with, HashId, LookupScale,
-    RwCellOut, ScalePoint, Scheme, WormCellOut,
+    lookup_scale_cell, readonly_scale_cell, rw_cell, rw_scale_cell, worm_cell, worm_cell_with,
+    HashId, LookupScale, RwCellOut, ScalePoint, Scheme, WormCellOut,
 };
 
 /// Print a report panel as text, plus CSV when requested.

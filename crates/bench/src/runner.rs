@@ -251,6 +251,34 @@ pub struct LookupScale {
     pub probes: usize,
     /// Seed for table hashes and key generation.
     pub seed: u64,
+    /// Whether readers may take the lock-free seqlock path
+    /// ([`TableBuilder::optimistic_reads`]); `false` measures the
+    /// mutex-per-shard baseline.
+    pub optimistic: bool,
+}
+
+/// Build the sharded table of a scaling cell and fill it to `cell.load`
+/// with sparse keys (value = `key ^ 0xFF`), returning the table and the
+/// inserted keys.
+fn build_scale_table(
+    scheme: Scheme,
+    h: HashId,
+    cell: &LookupScale,
+) -> (sevendim_core::ShardedTable<sevendim_core::BoxedTable>, Vec<u64>) {
+    let mut table = TableBuilder::new(scheme.table_scheme())
+        .hash(h.hash_kind())
+        .bits(cell.bits)
+        .seed(cell.seed)
+        .shards(cell.shard_bits)
+        .optimistic_reads(cell.optimistic)
+        .build_sharded();
+    let n_keys = ((1usize << cell.bits) as f64 * cell.load) as usize;
+    let keys = Distribution::Sparse.generate(n_keys, cell.seed ^ 0x5CA1E);
+    let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
+    let mut outcomes = vec![Ok(InsertOutcome::Inserted); items.len()];
+    table.insert_batch(&items, &mut outcomes);
+    assert!(outcomes.iter().all(|o| o.is_ok()), "scale cell build failed for {}", scheme.label(h));
+    (table, keys)
 }
 
 /// Measure successful-lookup throughput of one sharded `(scheme, hash)`
@@ -270,19 +298,8 @@ pub fn lookup_scale_cell(
     cell: &LookupScale,
     threads: usize,
 ) -> ScalePoint {
-    let &LookupScale { bits, shard_bits, load, probes, seed } = cell;
-    let mut table = TableBuilder::new(scheme.table_scheme())
-        .hash(h.hash_kind())
-        .bits(bits)
-        .seed(seed)
-        .shards(shard_bits)
-        .build_sharded();
-    let n_keys = ((1usize << bits) as f64 * load) as usize;
-    let keys = Distribution::Sparse.generate(n_keys, seed ^ 0x5CA1E);
-    let items: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k ^ 0xFF)).collect();
-    let mut outcomes = vec![Ok(InsertOutcome::Inserted); items.len()];
-    table.insert_batch(&items, &mut outcomes);
-    assert!(outcomes.iter().all(|o| o.is_ok()), "scale cell build failed for {}", scheme.label(h));
+    let probes = cell.probes;
+    let (table, keys) = build_scale_table(scheme, h, cell);
     // Per-thread probe streams, prepared outside the timed region: each
     // thread walks the key set from its own offset with a large co-prime
     // stride, so all probes hit but no two threads share an access
@@ -321,6 +338,56 @@ pub fn lookup_scale_cell(
         // Clock starts before the coordinator's barrier entry — workers
         // cannot pass the barrier earlier, so the whole parallel region
         // lies inside [start, join] regardless of scheduling.
+        let start = std::time::Instant::now();
+        barrier.wait();
+        let ops: u64 = handles.into_iter().map(|h| h.join().expect("probe thread panicked")).sum();
+        (ops, start.elapsed())
+    });
+    ScalePoint { threads, mops: Throughput::new(total_ops, elapsed).m_ops_per_sec() }
+}
+
+/// Measure *single-key* `lookup_shared` throughput of one sharded cell —
+/// the panel that isolates the seqlock read path from batch routing.
+///
+/// Where [`lookup_scale_cell`] amortizes shard selection and locking over
+/// 4096-key batches, this cell pays the per-key synchronization cost on
+/// every probe: with `cell.optimistic == false` that is a mutex
+/// lock/unlock per lookup (readers of the same shard serialize), with
+/// `true` it is two atomic loads of the shard's generation counter and no
+/// store at all — the contrast between the two runs is the direct
+/// measurement of what lock-free reads buy.
+pub fn readonly_scale_cell(
+    scheme: Scheme,
+    h: HashId,
+    cell: &LookupScale,
+    threads: usize,
+) -> ScalePoint {
+    let probes = cell.probes;
+    let (table, keys) = build_scale_table(scheme, h, cell);
+    let threads = threads.max(1);
+    let per_thread = probes / threads;
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let (total_ops, elapsed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (table, keys, barrier) = (&table, &keys, &barrier);
+                scope.spawn(move || {
+                    let stride = (2_654_435_761usize % keys.len()) | 1;
+                    let mut pos = (t * keys.len()) / threads;
+                    barrier.wait();
+                    let mut hits = 0u64;
+                    for _ in 0..per_thread {
+                        let key = keys[pos];
+                        pos = (pos + stride) % keys.len();
+                        if table.lookup_shared(key).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    assert_eq!(hits, per_thread as u64, "read-only probes must all hit");
+                    per_thread as u64
+                })
+            })
+            .collect();
         let start = std::time::Instant::now();
         barrier.wait();
         let ops: u64 = handles.into_iter().map(|h| h.join().expect("probe thread panicked")).sum();
@@ -425,11 +492,35 @@ mod tests {
 
     #[test]
     fn lookup_scale_cell_reports_positive_throughput() {
-        let cell = LookupScale { bits: 12, shard_bits: 2, load: 0.5, probes: 20_000, seed: 3 };
+        let cell = LookupScale {
+            bits: 12,
+            shard_bits: 2,
+            load: 0.5,
+            probes: 20_000,
+            seed: 3,
+            optimistic: true,
+        };
         for threads in [1, 2] {
             let p = lookup_scale_cell(Scheme::LP, HashId::Mult, &cell, threads);
             assert_eq!(p.threads, threads);
             assert!(p.mops > 0.0);
+        }
+    }
+
+    #[test]
+    fn readonly_scale_cell_runs_both_read_paths() {
+        for optimistic in [true, false] {
+            let cell = LookupScale {
+                bits: 12,
+                shard_bits: 2,
+                load: 0.5,
+                probes: 20_000,
+                seed: 3,
+                optimistic,
+            };
+            let p = readonly_scale_cell(Scheme::LP, HashId::Mult, &cell, 2);
+            assert_eq!(p.threads, 2);
+            assert!(p.mops > 0.0, "optimistic={optimistic}");
         }
     }
 

@@ -161,6 +161,7 @@ pub struct TableBuilder {
     chained_budget: Option<usize>,
     shard_bits: u8,
     prefetch_batch: Option<usize>,
+    optimistic_reads: bool,
 }
 
 impl TableBuilder {
@@ -178,6 +179,7 @@ impl TableBuilder {
             chained_budget: None,
             shard_bits: 0,
             prefetch_batch: None,
+            optimistic_reads: true,
         }
     }
 
@@ -284,6 +286,22 @@ impl TableBuilder {
             k += 1;
         }
         self.shard_bits = k;
+        self
+    }
+
+    /// Allow sharded builds to serve pure reads through the lock-free
+    /// seqlock path (default on; see the
+    /// [sharded module docs](crate::sharded)). Only affects
+    /// [`TableBuilder::shards`]/[`TableBuilder::concurrency`] builds —
+    /// unsharded tables have no lock to skip. Combined with
+    /// [`TableBuilder::grow_at`], the built shards also *retain* replaced
+    /// generations (a doubling may race a lock-free reader), so memory
+    /// freed by growth accumulates until
+    /// [`ReadView::reclaim_retired`](crate::ReadView::reclaim_retired) is
+    /// called at a quiescent point (`&mut` access). Turning the knob off
+    /// restores lock-only reads and immediate frees.
+    pub fn optimistic_reads(mut self, on: bool) -> Self {
+        self.optimistic_reads = on;
         self
     }
 
@@ -398,12 +416,22 @@ impl TableBuilder {
             chained_budget: self.chained_budget.map(|t| t / n),
             ..self.clone()
         };
-        ShardedTable::try_new(self.shard_bits, self.seed, |i| {
+        let mut table = ShardedTable::try_new(self.shard_bits, self.seed, |i| {
             shard_template
                 .clone()
                 .seed(self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)))
                 .try_build()
-        })
+        })?;
+        table.set_optimistic_reads(self.optimistic_reads);
+        if self.optimistic_reads && self.grow_threshold.is_some() {
+            // Growing shards swap whole generations; lock-free readers may
+            // still hold a swapped-out generation's address, so the shards
+            // must retain (not free) replaced generations. See
+            // [`crate::ReadView::retain_retired_allocations`].
+            use crate::optimistic::ReadView;
+            table.retain_retired_allocations(true);
+        }
+        Ok(table)
     }
 
     /// [`TableBuilder::try_build_sharded`], panicking on an infeasible
@@ -891,6 +919,47 @@ mod tests {
             assert!(shard.load_factor() <= 0.7 + 1e-9, "shard {i} over threshold");
             assert!(shard.display_name().starts_with("FP"), "shard {i} wrong scheme");
         });
+    }
+
+    #[test]
+    fn optimistic_knob_controls_sharded_reads_and_retention() {
+        use crate::optimistic::ReadView;
+        use crate::sharded::ConcurrentTable;
+        // Default: optimistic on; growing shards retain replaced
+        // generations, reclaimable at a quiescent point.
+        let mut t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .seed(3)
+            .shards(2)
+            .grow_at(0.7)
+            .build_sharded();
+        assert!(t.optimistic_reads());
+        for k in 1..=4000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.retired_bytes() > 0, "growth must have retired generations");
+        for k in (1..=4000u64).step_by(13) {
+            assert_eq!(t.lookup_shared(k), Some(k));
+        }
+        t.reclaim_retired();
+        assert_eq!(t.retired_bytes(), 0);
+        // Knob off: lock-only reads, immediate frees.
+        let mut t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .seed(3)
+            .shards(2)
+            .grow_at(0.7)
+            .optimistic_reads(false)
+            .build_sharded();
+        assert!(!t.optimistic_reads());
+        for k in 1..=4000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.retired_bytes(), 0, "retention must be off without optimistic reads");
+        // Static sharded build: optimistic on, nothing ever retired.
+        let t = TableBuilder::new(TableScheme::LinearProbing).bits(12).shards(2).build_sharded();
+        assert!(t.optimistic_reads());
+        assert_eq!(t.retired_bytes(), 0);
     }
 
     #[test]

@@ -125,6 +125,12 @@ impl<H: HashFn64, A: EntryAllocator> ChainedTable8<H, A> {
     }
 }
 
+/// Chained tables allocate and free per-entry heap nodes, so a lock-free
+/// reader could chase a link into freed memory — no optimistic support;
+/// the conservative [`ReadView`](crate::optimistic::ReadView) defaults
+/// route every shared read through the lock.
+impl<H: HashFn64, A: EntryAllocator> crate::optimistic::ReadView for ChainedTable8<H, A> {}
+
 impl<H: HashFn64, A: EntryAllocator> HashTable for ChainedTable8<H, A> {
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
         if is_reserved_key(key) {
@@ -322,6 +328,9 @@ impl<H: HashFn64, A: EntryAllocator> ChainedTable24<H, A> {
         fold_to_bits(self.hash.hash(key), self.dir_bits)
     }
 }
+
+/// As [`ChainedTable8`]: per-entry heap nodes rule out lock-free reads.
+impl<H: HashFn64, A: EntryAllocator> crate::optimistic::ReadView for ChainedTable24<H, A> {}
 
 impl<H: HashFn64, A: EntryAllocator> HashTable for ChainedTable24<H, A> {
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {

@@ -200,6 +200,16 @@ impl<H: HashFamily, const K: usize> Cuckoo<H, K> {
     }
 }
 
+/// Cuckoo resamples its hash functions in place on a failed kick chain,
+/// so a lock-free reader could probe with one half of an old function and
+/// one half of a new one — and kick chains relocate unrelated entries
+/// mid-probe. Both are detectable by seqlock validation, but the paper's
+/// cuckoo workloads are insert-heavy (where optimistic reads buy
+/// nothing), so cuckoo keeps the conservative
+/// [`ReadView`](crate::optimistic::ReadView) defaults: every shared read
+/// goes through the lock.
+impl<H: HashFamily, const K: usize> crate::optimistic::ReadView for Cuckoo<H, K> {}
+
 impl<H: HashFamily, const K: usize> HashTable for Cuckoo<H, K> {
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
         if is_reserved_key(key) {

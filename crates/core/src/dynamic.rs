@@ -47,6 +47,7 @@ use crate::{
 use hashfn::HashFamily;
 use slab_alloc::SlabAllocator;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Builds fresh tables of one scheme at a requested capacity; used by
 /// [`DynamicTable`] on every growth step.
@@ -247,8 +248,12 @@ fn crosses_threshold(threshold_fp: u64, len_after: usize, cap: usize) -> bool {
 }
 
 /// The draining generation of an in-flight incremental migration.
+///
+/// The table is boxed so its address stays stable while it drains: the
+/// optimistic-read path publishes that address through an [`AtomicPtr`]
+/// and probes it without any lock.
 struct OldGeneration<T> {
-    table: T,
+    table: Box<T>,
     /// Keys captured when the migration began, drained from the back.
     /// Keys the workload deletes mid-migration simply miss on pop.
     pending: Vec<u64>,
@@ -260,10 +265,27 @@ struct OldGeneration<T> {
 /// [`GrowthPolicy`].
 pub struct DynamicTable<F: TableFactory> {
     factory: F,
-    /// The current (target) generation: all inserts land here.
-    inner: F::Table,
+    /// The current (target) generation: all inserts land here. Boxed so
+    /// its address survives generation swaps (see `inner_published`).
+    inner: Box<F::Table>,
+    /// The current generation's address, republished with `Release` on
+    /// every swap; the lock-free read path loads it with `Acquire`
+    /// instead of touching the (concurrently rewritten) `inner` field.
+    inner_published: AtomicPtr<F::Table>,
     /// The draining generation of an in-flight incremental migration.
     old: Option<OldGeneration<F::Table>>,
+    /// Address of the draining generation's table, or null when no
+    /// migration is in flight. Same protocol as `inner_published`.
+    old_published: AtomicPtr<F::Table>,
+    /// Generations replaced while `retain_retired` was set: optimistic
+    /// readers stamped before a swap may still be probing them, so their
+    /// allocations must outlive the swap. Reclaimed only through `&mut`
+    /// (true quiescence — no shared-phase reader can exist).
+    retired: Vec<Box<F::Table>>,
+    /// Keep replaced generations alive (set by the sharded wrapper when
+    /// optimistic reads are on). Off by default: sequential users get
+    /// every drop immediately, exactly as before.
+    retain_retired: bool,
     bits: u8,
     seed: u64,
     grow_threshold: f64,
@@ -303,12 +325,17 @@ impl<F: TableFactory> DynamicTable<F> {
         if let GrowthPolicy::Incremental { step } = policy {
             assert!(step >= 1, "incremental growth step must be >= 1");
         }
-        let inner = factory.build(bits, seed);
+        let inner = Box::new(factory.build(bits, seed));
+        let inner_published = AtomicPtr::new(&*inner as *const F::Table as *mut F::Table);
         let threshold_fp = (grow_threshold * (1u64 << THRESHOLD_FP_BITS) as f64).round() as u64;
         Self {
             factory,
             inner,
+            inner_published,
             old: None,
+            old_published: AtomicPtr::new(std::ptr::null_mut()),
+            retired: Vec::new(),
+            retain_retired: false,
             bits,
             seed,
             grow_threshold,
@@ -360,6 +387,38 @@ impl<F: TableFactory> DynamicTable<F> {
         self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(bits as u64 + attempt))
     }
 
+    /// Republish the current generation's address for lock-free readers.
+    fn publish_inner(&self) {
+        self.inner_published
+            .store(&*self.inner as *const F::Table as *mut F::Table, Ordering::Release);
+    }
+
+    /// Republish the draining generation's address (null when none).
+    fn publish_old(&self) {
+        let ptr = self
+            .old
+            .as_ref()
+            .map_or(std::ptr::null_mut(), |g| &*g.table as *const F::Table as *mut F::Table);
+        self.old_published.store(ptr, Ordering::Release);
+    }
+
+    /// Dispose of a replaced generation: park it in the graveyard while
+    /// optimistic readers may still hold its address, drop it otherwise.
+    fn retire(&mut self, table: Box<F::Table>) {
+        if self.retain_retired {
+            self.retired.push(table);
+        }
+    }
+
+    /// End the in-flight migration: unpublish and retire the drained
+    /// generation (no-op when none is in flight).
+    fn drop_old(&mut self) {
+        if let Some(generation) = self.old.take() {
+            self.publish_old();
+            self.retire(generation.table);
+        }
+    }
+
     /// Policy dispatch for a threshold-triggered doubling.
     fn grow(&mut self) -> Result<(), TableError> {
         match self.policy {
@@ -377,11 +436,13 @@ impl<F: TableFactory> DynamicTable<F> {
         self.finish_migration()?;
         let bits = self.bits + 1;
         assert!(bits <= MAX_BITS, "dynamic table exceeded 2^{MAX_BITS} slots");
-        let fresh = self.factory.build(bits, self.generation_seed(bits, 0));
+        let fresh = Box::new(self.factory.build(bits, self.generation_seed(bits, 0)));
         let old_table = std::mem::replace(&mut self.inner, fresh);
+        self.publish_inner();
         let mut pending = Vec::with_capacity(old_table.len());
         old_table.for_each(&mut |k, _| pending.push(k));
         self.old = Some(OldGeneration { table: old_table, pending });
+        self.publish_old();
         self.bits = bits;
         self.rehash_count += 1;
         Ok(())
@@ -401,7 +462,7 @@ impl<F: TableFactory> DynamicTable<F> {
             let Some(gen) = self.old.as_mut() else { return Ok(()) };
             let Some(key) = gen.pending.pop() else {
                 debug_assert!(gen.table.is_empty(), "pending drained but old generation not empty");
-                self.old = None;
+                self.drop_old();
                 return Ok(());
             };
             moved += 1;
@@ -422,7 +483,7 @@ impl<F: TableFactory> DynamicTable<F> {
                 }
             }
             if self.old.as_ref().is_some_and(|g| g.table.is_empty()) {
-                self.old = None;
+                self.drop_old();
                 return Ok(());
             }
         }
@@ -470,8 +531,10 @@ impl<F: TableFactory> DynamicTable<F> {
                     }
                 }
             }
-            self.inner = bigger;
-            self.old = None;
+            let prev = std::mem::replace(&mut self.inner, Box::new(bigger));
+            self.publish_inner();
+            self.drop_old();
+            self.retire(prev);
             self.bits = bits;
             self.rehash_count += 1;
             return Ok(());
@@ -485,6 +548,65 @@ impl<F: TableFactory> DynamicTable<F> {
             GrowthPolicy::AllAtOnce => 0,
             GrowthPolicy::Incremental { step } => step,
         }
+    }
+}
+
+/// Lock-free reads over both generations, gated on generation retention.
+///
+/// A growing table is the one place where a scheme's slot allocation *is*
+/// replaced: every doubling swaps in a fresh generation and drops the old
+/// one. An optimistic reader that stamped before the swap could otherwise
+/// probe freed memory. Two mechanisms close that hole:
+///
+/// * Generations are boxed and their addresses published through
+///   [`AtomicPtr`]s (`Release` on swap, `Acquire` on probe), so a reader
+///   never reads the concurrently rewritten `inner`/`old` fields.
+/// * Replaced generations are parked in a graveyard instead of dropped
+///   while `retain_retired_allocations(true)` is in effect — any address
+///   a stale reader holds stays valid until
+///   [`reclaim_retired`](crate::optimistic::ReadView::reclaim_retired)
+///   is called through `&mut` (which proves no shared-phase reader
+///   exists).
+///
+/// With retention off (the default), `supports_optimistic` is `false`
+/// and every replaced generation drops immediately, exactly as before.
+impl<F: TableFactory> crate::optimistic::ReadView for DynamicTable<F> {
+    fn supports_optimistic(&self) -> bool {
+        // `retain_retired` and the scheme's own support are both fixed
+        // during any shared (reader) phase, so this is race-free.
+        self.retain_retired && self.inner.supports_optimistic()
+    }
+
+    unsafe fn lookup_optimistic(&self, key: u64) -> Option<Option<u64>> {
+        // Probe the published current generation, then the published
+        // draining generation. A swap racing with this probe can make
+        // the answer stale or torn — the caller's seqlock validation
+        // rejects it — but never unsound: both loads see either a live
+        // generation or a retained (still-allocated) one.
+        let inner = self.inner_published.load(Ordering::Acquire);
+        if let Some(value) = (*inner).lookup_optimistic(key)? {
+            return Some(Some(value));
+        }
+        let old = self.old_published.load(Ordering::Acquire);
+        if old.is_null() {
+            return Some(None);
+        }
+        (*old).lookup_optimistic(key)
+    }
+
+    fn retain_retired_allocations(&mut self, on: bool) {
+        self.retain_retired = on;
+        if !on {
+            self.retired.clear();
+        }
+    }
+
+    fn retired_bytes(&self) -> usize {
+        self.retired.iter().map(|t| t.memory_bytes()).sum()
+    }
+
+    fn reclaim_retired(&mut self) {
+        self.retired.clear();
     }
 }
 
@@ -622,6 +744,7 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
     fn memory_bytes(&self) -> usize {
         self.inner.memory_bytes()
             + self.old.as_ref().map_or(0, |g| g.table.memory_bytes() + g.pending.capacity() * 8)
+            + crate::optimistic::ReadView::retired_bytes(self)
     }
 
     fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
@@ -1027,5 +1150,65 @@ mod tests {
         // The paper's 50% case stays bit-exact: 2^31 in Q32.
         assert!(!crosses_threshold(1 << 31, 8, 16));
         assert!(crosses_threshold(1 << 31, 9, 16));
+    }
+
+    #[test]
+    fn retired_generations_accumulate_and_reclaim() {
+        use crate::ReadView;
+        let mut t = DynamicTable::new(LpFactory::<Murmur>::new(), 4, 1, 0.5);
+        assert!(!t.supports_optimistic(), "retention off must disable optimism");
+        t.retain_retired_allocations(true);
+        assert!(t.supports_optimistic());
+        for k in 1..=200u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert!(t.rehash_count() >= 3);
+        assert!(t.retired_bytes() > 0, "growth must have parked generations");
+        assert!(t.memory_bytes() > t.inner().memory_bytes(), "retired bytes must be counted");
+        let retired = t.retired_bytes();
+        t.reclaim_retired();
+        assert_eq!(t.retired_bytes(), 0, "reclaim must drop all {retired} retired bytes");
+        // Switching retention off clears the graveyard from then on.
+        for k in 201..=800u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert!(t.retired_bytes() > 0);
+        t.retain_retired_allocations(false);
+        assert_eq!(t.retired_bytes(), 0);
+        assert!(!t.supports_optimistic());
+    }
+
+    #[test]
+    fn optimistic_lookup_sees_both_generations() {
+        use crate::ReadView;
+        let mut t = DynamicTable::with_policy(
+            LpFactory::<Murmur>::new(),
+            4,
+            3,
+            0.5,
+            GrowthPolicy::Incremental { step: 1 },
+        );
+        t.retain_retired_allocations(true);
+        for k in 1..=9u64 {
+            t.insert(k, k * 7).unwrap();
+        }
+        assert!(t.is_migrating(), "the 9th insert must leave a migration in flight");
+        // Quiescent (no racing writer), so every optimistic probe must
+        // commit on the first attempt and agree with the locked path.
+        for k in 1..=12u64 {
+            let got = unsafe { t.lookup_optimistic(k) };
+            assert_eq!(got, Some(t.lookup(k)), "key {k} mid-migration");
+        }
+    }
+
+    #[test]
+    fn unsupported_scheme_disables_dynamic_optimism() {
+        use crate::ReadView;
+        let mut t = DynamicTable::new(Chained8Factory::<Murmur>::new(), 6, 1, 0.5);
+        t.retain_retired_allocations(true);
+        assert!(
+            !t.supports_optimistic(),
+            "chained inner tables must keep the dynamic wrapper pessimistic"
+        );
     }
 }

@@ -225,19 +225,27 @@ impl<H: HashFn64, const GROUP: usize> FingerprintTable<H, GROUP> {
 
     /// Rebuild the table in place (same capacity, same hash function),
     /// dropping all tombstones — the LP remedy, shared verbatim.
+    ///
+    /// Literally in place: live entries are snapshotted, the *existing*
+    /// tag array is cleared and all three arrays are refilled, so no
+    /// allocation ever moves — the in-bounds guarantee optimistic readers
+    /// need (see [`crate::optimistic`]).
     pub fn rehash_in_place(&mut self) {
-        let cap = self.tags.len();
-        let old_tags = std::mem::replace(&mut self.tags, vec![EMPTY_TAG; cap].into_boxed_slice());
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; cap].into_boxed_slice());
-        let old_values = std::mem::replace(&mut self.values, vec![0; cap].into_boxed_slice());
+        let live: Vec<(u64, u64)> = self
+            .tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t < EMPTY_TAG)
+            .map(|(i, _)| (self.keys[i], self.values[i]))
+            .collect();
+        self.tags.fill(EMPTY_TAG);
+        self.keys.fill(EMPTY_KEY);
         self.len = 0;
         self.tombstones = 0;
-        for (i, &t) in old_tags.iter().enumerate() {
-            if t < EMPTY_TAG {
-                // Distinct keys into an equally-sized empty table: cannot
-                // fail or replace.
-                let _ = self.insert(old_keys[i], old_values[i]);
-            }
+        for (k, v) in live {
+            // Distinct keys into an equally-sized empty table: cannot
+            // fail or replace.
+            let _ = self.insert(k, v);
         }
     }
 
@@ -430,6 +438,53 @@ impl<H: HashFn64, const GROUP: usize> HashTable for FingerprintTable<H, GROUP> {
             ProbeKind::Scalar => format!("FP{group}{}", H::name()),
             ProbeKind::Simd => format!("FP{group}{}SIMD", H::name()),
         }
+    }
+}
+
+/// None of the three arrays moves after construction (`rehash_in_place`
+/// rebuilds inside the existing allocations). The optimistic probe
+/// volatile-copies each group's tags to a stack buffer, classifies the
+/// copy with the configured [`scan_tags`] kernel (SSE2 or scalar), then
+/// arbitrates candidate lanes with volatile key reads — tag, key and
+/// value are read at different instants, so any torn combination implies
+/// a racing writer, which the caller's seqlock validation detects. The
+/// loop is bounded by the group count, never by the "some group has an
+/// empty" invariant.
+impl<H: HashFn64, const GROUP: usize> crate::optimistic::ReadView for FingerprintTable<H, GROUP> {
+    fn supports_optimistic(&self) -> bool {
+        true
+    }
+
+    unsafe fn lookup_optimistic(&self, key: u64) -> Option<Option<u64>> {
+        if is_reserved_key(key) {
+            return Some(None);
+        }
+        let (home_group, tag) = self.home(key);
+        let tags_base = self.tags.as_ptr();
+        let keys_base = self.keys.as_ptr();
+        let values_base = self.values.as_ptr();
+        let mut buf = [EMPTY_TAG; 32]; // GROUP is const-asserted ≤ 32
+        let mut group = home_group;
+        for _ in 0..=self.group_mask {
+            let base = group * GROUP;
+            for (i, b) in buf[..GROUP].iter_mut().enumerate() {
+                *b = std::ptr::read_volatile(tags_base.add(base + i));
+            }
+            let scan = scan_tags(&buf[..GROUP], tag, self.probe_kind);
+            let mut m = scan.matches;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                if std::ptr::read_volatile(keys_base.add(base + lane)) == key {
+                    return Some(Some(std::ptr::read_volatile(values_base.add(base + lane))));
+                }
+                m &= m - 1;
+            }
+            if scan.empties != 0 {
+                return Some(None);
+            }
+            group = (group + 1) & self.group_mask;
+        }
+        Some(None)
     }
 }
 

@@ -44,6 +44,7 @@ pub mod dynamic;
 pub mod fingerprint;
 pub mod linear_probing;
 pub mod lp_soa;
+pub mod optimistic;
 pub mod quadratic;
 pub mod robin_hood;
 pub mod sharded;
@@ -65,6 +66,7 @@ pub use dynamic::{
 pub use fingerprint::{FingerprintTable, GROUP_SLOTS};
 pub use linear_probing::{DeleteStrategy, LinearProbing};
 pub use lp_soa::LinearProbingSoA;
+pub use optimistic::{ReadView, OPTIMISTIC_RETRIES};
 pub use quadratic::QuadraticProbing;
 pub use robin_hood::{RhLookupMode, RobinHood};
 pub use sharded::{ConcurrentTable, ShardedTable};
@@ -195,7 +197,15 @@ impl std::error::Error for TableError {}
 /// implementation that precomputes home slots and issues software
 /// prefetches so independent cache misses overlap (see
 /// [`simd::prefetch_read`]).
-pub trait HashTable {
+///
+/// # Optimistic reads
+///
+/// [`ReadView`] is a supertrait: every table also
+/// describes its lock-free read capability. The defaults are
+/// conservative (no optimistic support — all reads go through locks), so
+/// a scheme opts in by overriding the `ReadView` methods; see the
+/// [`optimistic`] module for the protocol and soundness rules.
+pub trait HashTable: optimistic::ReadView {
     /// Insert or update `key → value`.
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError>;
 

@@ -145,14 +145,17 @@ impl<H: HashFn64> LinearProbing<H> {
     /// Rebuild the table in place (same capacity, same hash function),
     /// dropping all tombstones — the paper's "shrink ... and perform a
     /// rehash anyway" remedy after heavy deletion.
+    ///
+    /// Literally in place: live entries are snapshotted, the *existing*
+    /// slot array is cleared and refilled. The allocation never moves, so
+    /// optimistic readers (see [`crate::optimistic`]) holding a pointer
+    /// into it stay in-bounds for the table's whole lifetime.
     pub fn rehash_in_place(&mut self) {
-        let old = std::mem::replace(
-            &mut self.slots,
-            vec![Pair::empty(); self.mask + 1].into_boxed_slice(),
-        );
+        let live: Vec<Pair> = self.slots.iter().filter(|p| p.is_occupied()).copied().collect();
+        self.slots.fill(Pair::empty());
         self.len = 0;
         self.tombstones = 0;
-        for p in old.iter().filter(|p| p.is_occupied()) {
+        for p in live {
             // Re-inserting distinct keys into an equally-sized empty table
             // cannot fail or replace.
             let _ = self.insert(p.key, p.value);
@@ -506,6 +509,29 @@ impl<H: HashFn64> HashTable for LinearProbing<H> {
             ProbeKind::Scalar => format!("LP{}", H::name()),
             ProbeKind::Simd => format!("LP{}SIMD", H::name()),
         }
+    }
+}
+
+/// The slot array never moves after construction (`rehash_in_place`
+/// rebuilds inside the existing allocation), so a lock-free reader's
+/// pointer into it stays valid; slot *contents* race and are read
+/// volatile, with garbage discarded by the caller's seqlock validation.
+impl<H: HashFn64> crate::optimistic::ReadView for LinearProbing<H> {
+    fn supports_optimistic(&self) -> bool {
+        true
+    }
+
+    unsafe fn lookup_optimistic(&self, key: u64) -> Option<Option<u64>> {
+        if is_reserved_key(key) {
+            return Some(None);
+        }
+        Some(crate::optimistic::probe_pairs_volatile(
+            &self.slots,
+            self.mask,
+            self.home(key),
+            key,
+            self.probe_kind,
+        ))
     }
 }
 

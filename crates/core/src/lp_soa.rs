@@ -110,18 +110,26 @@ impl<H: HashFn64> LinearProbingSoA<H> {
     /// Rebuild the table in place (same capacity, same hash function),
     /// dropping all tombstones — the SoA twin of
     /// [`LinearProbing::rehash_in_place`](crate::LinearProbing::rehash_in_place).
+    ///
+    /// Literally in place: live entries are snapshotted, the *existing*
+    /// key array is cleared and both arrays are refilled, so neither
+    /// allocation ever moves — the in-bounds guarantee optimistic readers
+    /// need (see [`crate::optimistic`]).
     pub fn rehash_in_place(&mut self) {
-        let cap = self.mask + 1;
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; cap].into_boxed_slice());
-        let old_values = std::mem::replace(&mut self.values, vec![0; cap].into_boxed_slice());
+        let live: Vec<(u64, u64)> = self
+            .keys
+            .iter()
+            .zip(self.values.iter())
+            .filter(|(&k, _)| !is_reserved_key(k))
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        self.keys.fill(EMPTY_KEY);
         self.len = 0;
         self.tombstones = 0;
-        for (i, &k) in old_keys.iter().enumerate() {
-            if !is_reserved_key(k) {
-                // Distinct keys into an equally-sized empty table: cannot
-                // fail or replace.
-                let _ = self.insert(k, old_values[i]);
-            }
+        for (k, v) in live {
+            // Distinct keys into an equally-sized empty table: cannot
+            // fail or replace.
+            let _ = self.insert(k, v);
         }
     }
 
@@ -325,6 +333,31 @@ impl<H: HashFn64> HashTable for LinearProbingSoA<H> {
             ProbeKind::Scalar => format!("LPSoA{}", H::name()),
             ProbeKind::Simd => format!("LPSoA{}SIMD", H::name()),
         }
+    }
+}
+
+/// Neither the key nor the value array moves after construction
+/// (`rehash_in_place` rebuilds inside the existing allocations), so
+/// lock-free readers stay in-bounds; the key and value are read at
+/// different instants, but a torn pairing implies a racing writer, which
+/// the caller's seqlock validation detects.
+impl<H: HashFn64> crate::optimistic::ReadView for LinearProbingSoA<H> {
+    fn supports_optimistic(&self) -> bool {
+        true
+    }
+
+    unsafe fn lookup_optimistic(&self, key: u64) -> Option<Option<u64>> {
+        if is_reserved_key(key) {
+            return Some(None);
+        }
+        let pos = crate::optimistic::probe_keys_volatile(
+            &self.keys,
+            self.mask,
+            self.home(key),
+            key,
+            self.probe_kind,
+        );
+        Some(pos.map(|p| std::ptr::read_volatile(self.values.as_ptr().add(p))))
     }
 }
 

@@ -95,14 +95,17 @@ impl<H: HashFn64> QuadraticProbing<H> {
     /// Rebuild the table in place (same capacity, same hash function),
     /// dropping all tombstones. Since QP deletions always tombstone, this
     /// is the remedy after heavy deletion (cf. §2.2).
+    ///
+    /// Literally in place: live entries are snapshotted, the *existing*
+    /// slot array is cleared and refilled, so the allocation never moves
+    /// — the in-bounds guarantee optimistic readers need (see
+    /// [`crate::optimistic`]).
     pub fn rehash_in_place(&mut self) {
-        let old = std::mem::replace(
-            &mut self.slots,
-            vec![Pair::empty(); self.mask + 1].into_boxed_slice(),
-        );
+        let live: Vec<Pair> = self.slots.iter().filter(|p| p.is_occupied()).copied().collect();
+        self.slots.fill(Pair::empty());
         self.len = 0;
         self.tombstones = 0;
-        for p in old.iter().filter(|p| p.is_occupied()) {
+        for p in live {
             let _ = self.insert(p.key, p.value);
         }
     }
@@ -288,6 +291,37 @@ impl<H: HashFn64> HashTable for QuadraticProbing<H> {
 
     fn display_name(&self) -> String {
         format!("QP{}", H::name())
+    }
+}
+
+/// The slot array never moves after construction (`rehash_in_place`
+/// rebuilds inside the existing allocation). The optimistic probe walks
+/// the triangular sequence with volatile slot reads, bounded by the
+/// capacity — unlike `lookup_from`'s unguarded loop, it must not rely on
+/// the "an empty slot exists" invariant, which a racing writer can
+/// transiently break.
+impl<H: HashFn64> crate::optimistic::ReadView for QuadraticProbing<H> {
+    fn supports_optimistic(&self) -> bool {
+        true
+    }
+
+    unsafe fn lookup_optimistic(&self, key: u64) -> Option<Option<u64>> {
+        if is_reserved_key(key) {
+            return Some(None);
+        }
+        let base = self.slots.as_ptr();
+        let mut pos = self.home(key);
+        for i in 1..=(self.mask as u64 + 1) {
+            let slot = std::ptr::read_volatile(base.add(pos));
+            if slot.key == key {
+                return Some(Some(slot.value));
+            }
+            if slot.is_empty() {
+                return Some(None);
+            }
+            pos = (pos + i as usize) & self.mask;
+        }
+        Some(None)
     }
 }
 

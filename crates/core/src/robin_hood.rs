@@ -367,6 +367,32 @@ impl<H: HashFn64> HashTable for RobinHood<H> {
     }
 }
 
+/// Robin Hood never reallocates (backward-shift deletes, no rehash), so
+/// the slot array trivially satisfies the in-bounds rule. The optimistic
+/// probe is the plain linear scan to the first empty slot — correct
+/// because RH places every key within the contiguous run from its home
+/// slot (displacement ordering and the early-abort modes are pure
+/// optimizations, unsafe to trust while a racing writer may leave
+/// displacements transiently non-monotone, so they are not used here).
+impl<H: HashFn64> crate::optimistic::ReadView for RobinHood<H> {
+    fn supports_optimistic(&self) -> bool {
+        true
+    }
+
+    unsafe fn lookup_optimistic(&self, key: u64) -> Option<Option<u64>> {
+        if is_reserved_key(key) {
+            return Some(None);
+        }
+        Some(crate::optimistic::probe_pairs_volatile(
+            &self.slots,
+            self.mask,
+            self.home(key),
+            key,
+            crate::simd::ProbeKind::Scalar,
+        ))
+    }
+}
+
 impl<H: HashFn64> RobinHood<H> {
     /// Lookup body for [`RhLookupMode::DmaxBound`]: stop an unsuccessful
     /// probe after [`RobinHood::dmax`] iterations.

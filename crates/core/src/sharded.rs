@@ -25,6 +25,22 @@
 //! `2^bits` description gives each shard `2^(bits - k)` slots and the
 //! same expected load factor as the unsharded table.
 //!
+//! # Optimistic (lock-free) reads
+//!
+//! Each shard pairs its mutex with a **seqlock generation counter**:
+//! writers make the counter odd on entry and even again on exit, so an
+//! even, unchanged counter brackets a quiescent window. Pure readers
+//! ([`ConcurrentTable::lookup_shared`] and the per-shard sub-batches of
+//! [`ConcurrentTable::lookup_batch_shared`]) first probe **without the
+//! mutex** through the table's [`ReadView`], then accept the answer only
+//! if the counter was even before the probe and unchanged after it — a
+//! probe that raced a writer is discarded and retried up to
+//! [`OPTIMISTIC_RETRIES`] times before falling back to the lock. Tables
+//! that cannot probe safely under a racing writer simply report
+//! `supports_optimistic() == false` and keep the locked path. See
+//! [`crate::optimistic`] for the soundness rules and the memory-ordering
+//! argument, and [`ShardedTable::set_optimistic_reads`] for the toggle.
+//!
 //! # Interaction with [`DynamicTable`](crate::DynamicTable) growth
 //!
 //! When a [`TableBuilder`](crate::TableBuilder) description carries both
@@ -45,23 +61,41 @@
 //! # Batch routing
 //!
 //! The `*_batch` operations radix-partition each batch by shard (one
-//! stable counting sort), run one sub-batch per shard — preserving the
-//! per-shard hash-then-prefetch path of the underlying tables — and
-//! scatter results back to the caller's element order. Scratch buffers
-//! for the partition are pooled and reused across calls, so steady-state
-//! batches allocate nothing. Because a key always routes to the same
-//! shard and the partition is stable, every element observes exactly the
-//! state it would have observed under in-order execution: batch results
-//! are element-wise identical to the single-key loop, as the
-//! [`HashTable`] contract requires.
+//! stable counting sort; the selector hash is computed once per element
+//! and cached for the scatter pass), run one sub-batch per shard —
+//! preserving the per-shard hash-then-prefetch path of the underlying
+//! tables — and scatter results back to the caller's element order.
+//! Scratch buffers for the partition are pooled and reused across calls
+//! (the pool is bounded, and buffers grown by an outlier batch are
+//! trimmed on return), so steady-state batches allocate nothing. Because
+//! a key always routes to the same shard and the partition is stable,
+//! every element observes exactly the state it would have observed under
+//! in-order execution: batch results are element-wise identical to the
+//! single-key loop, as the [`HashTable`] contract requires.
 
+use crate::optimistic::{ReadView, OPTIMISTIC_RETRIES};
 use crate::{HashTable, InsertOutcome, TableError};
 use hashfn::{fold_to_bits, HashFamily, HashFn64, Murmur};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Salt folded into the selector seed so the shard selector is never the
 /// same function as any shard's table hash.
 const SELECTOR_SALT: u64 = 0x5AA2_D5E1_EC70_25AB;
+
+/// Scratch buffers kept pooled per table. Beyond this, returned scratch
+/// is dropped: steady state needs one scratch per concurrently in-flight
+/// batch, and more threads than this contend on the shard locks long
+/// before they contend on the pool.
+const SCRATCH_POOL_CAP: usize = 8;
+
+/// Largest per-buffer element capacity a pooled scratch may keep. One
+/// outlier batch (say a 10M-row join build) would otherwise pin its
+/// buffers in the pool forever; trimming on return caps the steady-state
+/// pool footprint while keeping every common batch size allocation-free.
+const SCRATCH_RETAIN_ELEMS: usize = 4096;
 
 /// Operations a table offers to concurrent callers through a shared
 /// reference. [`ShardedTable`] implements this by locking only the shards
@@ -69,7 +103,10 @@ const SELECTOR_SALT: u64 = 0x5AA2_D5E1_EC70_25AB;
 ///
 /// Semantics match the corresponding [`HashTable`] methods except for
 /// cross-thread ordering: concurrent calls from different threads are
-/// linearized per shard in lock-acquisition order.
+/// linearized per shard in lock-acquisition order (reads that commit on
+/// the optimistic path linearize at their validation point: the counter
+/// check proves no writer ran during the probe, so the answer equals the
+/// one the lock would have produced at that instant).
 pub trait ConcurrentTable: Send + Sync {
     /// [`HashTable::insert`] through a shared reference.
     fn insert_shared(&self, key: u64, value: u64) -> Result<InsertOutcome, TableError>;
@@ -97,6 +134,168 @@ pub trait ConcurrentTable: Send + Sync {
     fn len_shared(&self) -> usize;
 }
 
+/// One shard: a table plus the two halves of its synchronization — the
+/// mutex every mutation (and locked read) takes, and the seqlock
+/// generation counter that lets optimistic readers skip the mutex.
+///
+/// The table lives in an [`UnsafeCell`] because optimistic readers take
+/// `&T` while a writer may hold `&mut T`: exactly the aliasing a seqlock
+/// is designed to make harmless (reads are volatile, results are
+/// discarded unless the counter proves the race did not happen — see
+/// [`crate::optimistic`]).
+struct Shard<T> {
+    /// Generation counter: even = stable, odd = writer in its critical
+    /// section. Writers bump it on entry (`AcqRel`) and exit (`Release`).
+    seq: AtomicU64,
+    lock: Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+/// SAFETY: all `&mut` access to `data` goes through the mutex
+/// ([`Shard::write`]); shared access is either mutex-protected
+/// ([`Shard::read_locked`]) or an optimistic probe whose result is
+/// discarded unless the generation counter proves no writer ran
+/// ([`ReadView::lookup_optimistic`]'s contract).
+unsafe impl<T: Send> Sync for Shard<T> {}
+
+impl<T: HashTable> Shard<T> {
+    fn new(data: T) -> Self {
+        Self { seq: AtomicU64::new(0), lock: Mutex::new(()), data: UnsafeCell::new(data) }
+    }
+
+    /// Locked shared access. Leaves the generation counter untouched:
+    /// locked readers don't invalidate concurrent optimistic readers.
+    fn read_locked(&self) -> ReadGuard<'_, T> {
+        let guard = lock(&self.lock);
+        // SAFETY: the mutex is held, so no writer (which also takes the
+        // mutex) can hold `&mut` to the table for the guard's lifetime.
+        ReadGuard { _lock: guard, data: unsafe { &*self.data.get() } }
+    }
+
+    /// Locked exclusive access, bracketed by the generation counter: odd
+    /// on entry, even again when the guard drops — including on unwind,
+    /// so a panicking writer cannot wedge readers on a stale-but-even
+    /// stamp that validates a torn probe.
+    fn write(&self) -> WriteGuard<'_, T> {
+        let guard = lock(&self.lock);
+        let prev = self.seq.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev & 1 == 0, "writer entered with an odd generation counter");
+        WriteGuard { shard: self, _lock: guard }
+    }
+
+    /// One bounded run of optimistic lookup attempts. `Some(answer)` is a
+    /// *validated* answer (as good as a locked read); `None` means the
+    /// caller must take the lock — the table doesn't support optimistic
+    /// probing, the probe bailed, or a writer raced every attempt.
+    fn try_optimistic_lookup(&self, key: u64) -> Option<Option<u64>> {
+        // SAFETY: `supports_optimistic` only reads state that is never
+        // written during a shared phase (scheme constants, the retention
+        // flag, a published generation pointer).
+        let data = unsafe { &*self.data.get() };
+        if !data.supports_optimistic() {
+            return None;
+        }
+        for _ in 0..OPTIMISTIC_RETRIES {
+            let stamp = self.seq.load(Ordering::Acquire);
+            if stamp & 1 == 1 {
+                continue; // writer mid-flight; this attempt is spent
+            }
+            // SAFETY: the probe tolerates a racing writer (the ReadView
+            // contract); its answer is discarded unless validation below
+            // proves the race did not happen. The shard outlives the call.
+            let Some(answer) = (unsafe { data.lookup_optimistic(key) }) else {
+                return None; // table-level bail: the lock is the only path
+            };
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == stamp {
+                return Some(answer);
+            }
+        }
+        None
+    }
+
+    /// Batch twin of [`Shard::try_optimistic_lookup`]: probe a whole
+    /// sub-batch under one stamp and validate once. Returns `false` (with
+    /// `out` in an unspecified state) if the caller must redo the
+    /// sub-batch under the lock.
+    fn try_optimistic_batch(&self, keys: &[u64], out: &mut [Option<u64>]) -> bool {
+        // SAFETY: as in `try_optimistic_lookup`.
+        let data = unsafe { &*self.data.get() };
+        if !data.supports_optimistic() {
+            return false;
+        }
+        for _ in 0..OPTIMISTIC_RETRIES {
+            let stamp = self.seq.load(Ordering::Acquire);
+            if stamp & 1 == 1 {
+                continue;
+            }
+            let mut bailed = false;
+            for (&key, slot) in keys.iter().zip(out.iter_mut()) {
+                // SAFETY: as in `try_optimistic_lookup`.
+                match unsafe { data.lookup_optimistic(key) } {
+                    Some(answer) => *slot = answer,
+                    None => {
+                        bailed = true;
+                        break;
+                    }
+                }
+            }
+            if bailed {
+                return false;
+            }
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == stamp {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Locked shared access to a shard's table (see [`Shard::read_locked`]).
+struct ReadGuard<'a, T> {
+    _lock: MutexGuard<'a, ()>,
+    data: &'a T,
+}
+
+impl<T> Deref for ReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.data
+    }
+}
+
+/// Locked exclusive access to a shard's table, seqlock-bracketed (see
+/// [`Shard::write`]).
+struct WriteGuard<'a, T> {
+    shard: &'a Shard<T>,
+    _lock: MutexGuard<'a, ()>,
+}
+
+impl<T> Deref for WriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the shard mutex.
+        unsafe { &*self.shard.data.get() }
+    }
+}
+
+impl<T> DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the shard mutex, and optimistic readers
+        // never trust data read while the counter is odd.
+        unsafe { &mut *self.shard.data.get() }
+    }
+}
+
+impl<T> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.shard.seq.fetch_add(1, Ordering::Release);
+    }
+}
+
 /// Reusable buffers for one in-flight batch partition. Pooled on the
 /// table so repeated batch calls — including concurrent ones, each
 /// holding its own scratch — stop allocating after warm-up.
@@ -104,6 +303,9 @@ pub trait ConcurrentTable: Send + Sync {
 struct Scratch {
     /// Original index of the element at each partitioned position.
     perm: Vec<u32>,
+    /// Shard id of each element, computed once in the counting pass and
+    /// reused by the scatter pass (`shard_bits ≤ 8`, so a `u8` holds it).
+    shard_ids: Vec<u8>,
     /// Per-shard sub-range starts (`num_shards + 1` entries).
     starts: Vec<usize>,
     /// Scatter cursors (reset from `starts` per batch).
@@ -118,6 +320,61 @@ struct Scratch {
     outcomes: Vec<Result<InsertOutcome, TableError>>,
 }
 
+impl Scratch {
+    /// Trim any buffer an outlier batch grew beyond `max_elems` elements
+    /// so the pool's steady-state footprint stays bounded. The buffers'
+    /// *contents* are per-batch state, so clearing before shrinking loses
+    /// nothing.
+    fn trim(&mut self, max_elems: usize) {
+        fn trim_vec<T>(v: &mut Vec<T>, max_elems: usize) {
+            if v.capacity() > max_elems {
+                v.clear();
+                v.shrink_to(max_elems);
+            }
+        }
+        trim_vec(&mut self.perm, max_elems);
+        trim_vec(&mut self.shard_ids, max_elems);
+        trim_vec(&mut self.starts, max_elems);
+        trim_vec(&mut self.cursor, max_elems);
+        trim_vec(&mut self.keys, max_elems);
+        trim_vec(&mut self.items, max_elems);
+        trim_vec(&mut self.values, max_elems);
+        trim_vec(&mut self.outcomes, max_elems);
+    }
+}
+
+/// A pooled [`Scratch`] on loan to one batch call. Returning it to the
+/// pool lives in `Drop`, so a panicking shard sub-batch (e.g. a poisoned
+/// allocator deep in a chained table) can't leak the buffers — before
+/// this guard existed, every in-flight scratch of a panicking batch was
+/// simply lost.
+struct ScratchGuard<'a, T: HashTable> {
+    table: &'a ShardedTable<T>,
+    scratch: Option<Scratch>,
+}
+
+impl<T: HashTable> Deref for ScratchGuard<'_, T> {
+    type Target = Scratch;
+
+    fn deref(&self) -> &Scratch {
+        self.scratch.as_ref().expect("scratch taken")
+    }
+}
+
+impl<T: HashTable> DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        self.scratch.as_mut().expect("scratch taken")
+    }
+}
+
+impl<T: HashTable> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.table.put_scratch(scratch);
+        }
+    }
+}
+
 /// A hash table sharded into `2^k` independently locked sub-tables. See
 /// the [module docs](self) for the design.
 ///
@@ -126,9 +383,12 @@ struct Scratch {
 /// unchanged, and [`ConcurrentTable`], which exposes the same operations
 /// through `&self` for multi-threaded callers.
 pub struct ShardedTable<T: HashTable> {
-    shards: Box<[Mutex<T>]>,
+    shards: Box<[Shard<T>]>,
     shard_bits: u8,
     selector: Murmur,
+    /// Whether pure reads may use the lock-free seqlock path (on by
+    /// default; the locked path is always the fallback).
+    optimistic: bool,
     scratch_pool: Mutex<Vec<Scratch>>,
 }
 
@@ -143,9 +403,10 @@ impl<T: HashTable> ShardedTable<T> {
         assert!(shard_bits <= 8, "shard bits must be in 0..=8, got {shard_bits}");
         let n = 1usize << shard_bits;
         Self {
-            shards: (0..n).map(|i| Mutex::new(make_shard(i))).collect(),
+            shards: (0..n).map(|i| Shard::new(make_shard(i))).collect(),
             shard_bits,
             selector: Murmur::from_seed(seed ^ SELECTOR_SALT),
+            optimistic: true,
             scratch_pool: Mutex::new(Vec::new()),
         }
     }
@@ -159,12 +420,13 @@ impl<T: HashTable> ShardedTable<T> {
     ) -> Result<Self, TableError> {
         assert!(shard_bits <= 8, "shard bits must be in 0..=8, got {shard_bits}");
         let n = 1usize << shard_bits;
-        let shards: Result<Box<[Mutex<T>]>, TableError> =
-            (0..n).map(|i| make_shard(i).map(Mutex::new)).collect();
+        let shards: Result<Box<[Shard<T>]>, TableError> =
+            (0..n).map(|i| make_shard(i).map(Shard::new)).collect();
         Ok(Self {
             shards: shards?,
             shard_bits,
             selector: Murmur::from_seed(seed ^ SELECTOR_SALT),
+            optimistic: true,
             scratch_pool: Mutex::new(Vec::new()),
         })
     }
@@ -177,6 +439,23 @@ impl<T: HashTable> ShardedTable<T> {
     /// The shard-count exponent `k`.
     pub fn shard_bits(&self) -> u8 {
         self.shard_bits
+    }
+
+    /// Enable or disable the lock-free read path (enabled by default).
+    ///
+    /// Disabling routes every read through the shard mutex — useful as a
+    /// baseline in benchmarks and as a big hammer when debugging. Takes
+    /// `&mut self`: flipping the flag mid-read would be harmless (the
+    /// locked path is always correct) but racy flips make benchmarks
+    /// unrepeatable.
+    pub fn set_optimistic_reads(&mut self, on: bool) {
+        self.optimistic = on;
+    }
+
+    /// Whether the lock-free read path is enabled (it still only applies
+    /// to shards whose tables report `supports_optimistic()`).
+    pub fn optimistic_reads(&self) -> bool {
+        self.optimistic
     }
 
     /// Which shard `key` routes to.
@@ -192,49 +471,60 @@ impl<T: HashTable> ShardedTable<T> {
     /// Live entries per shard (locks each shard briefly; a snapshot, not
     /// an atomic view).
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| lock(s).len()).collect()
+        self.shards.iter().map(|s| s.read_locked().len()).collect()
     }
 
     /// Run `f` over a shared reference to each shard in turn (each shard
     /// locked for the duration of its call).
     pub fn for_each_shard(&self, mut f: impl FnMut(usize, &T)) {
         for (i, shard) in self.shards.iter().enumerate() {
-            f(i, &lock(shard));
+            f(i, &shard.read_locked());
         }
     }
 
-    fn take_scratch(&self) -> Scratch {
-        lock(&self.scratch_pool).pop().unwrap_or_default()
+    fn take_scratch(&self) -> ScratchGuard<'_, T> {
+        let scratch = lock(&self.scratch_pool).pop().unwrap_or_default();
+        ScratchGuard { table: self, scratch: Some(scratch) }
     }
 
-    fn put_scratch(&self, s: Scratch) {
-        lock(&self.scratch_pool).push(s);
+    fn put_scratch(&self, mut s: Scratch) {
+        let mut pool = lock(&self.scratch_pool);
+        if pool.len() >= SCRATCH_POOL_CAP {
+            return; // bounded pool: surplus scratch is dropped
+        }
+        s.trim(SCRATCH_RETAIN_ELEMS);
+        pool.push(s);
     }
 
     /// Stable counting sort of `len` elements into per-shard sub-ranges.
     /// `shard_key(i)` must return the key of element `i`. Fills
     /// `s.perm[pos] = original index` and `s.starts` with the sub-range
-    /// boundaries.
+    /// boundaries. The selector hash runs once per element: the counting
+    /// pass caches each element's shard id and the scatter pass reuses it.
     fn partition(&self, len: usize, s: &mut Scratch, shard_key: impl Fn(usize) -> u64) {
         let n = self.shards.len();
         s.starts.clear();
         s.starts.resize(n + 1, 0);
         s.perm.clear();
         s.perm.resize(len, 0);
-        // Pass 1: count per shard (starts[shard + 1] accumulates).
+        // Pass 1: count per shard (starts[shard + 1] accumulates), caching
+        // the shard ids.
+        s.shard_ids.clear();
+        s.shard_ids.reserve(len);
         for i in 0..len {
-            s.starts[self.shard_of(shard_key(i)) + 1] += 1;
+            let shard = self.shard_of(shard_key(i)) as u8;
+            s.shard_ids.push(shard);
+            s.starts[shard as usize + 1] += 1;
         }
         for shard in 0..n {
             s.starts[shard + 1] += s.starts[shard];
         }
-        // Pass 2: stable scatter of indices.
+        // Pass 2: stable scatter of indices, from the cached ids.
         s.cursor.clear();
         s.cursor.extend_from_slice(&s.starts[..n]);
-        for i in 0..len {
-            let shard = self.shard_of(shard_key(i));
-            s.perm[s.cursor[shard]] = i as u32;
-            s.cursor[shard] += 1;
+        for (i, &shard) in s.shard_ids.iter().enumerate() {
+            s.perm[s.cursor[shard as usize]] = i as u32;
+            s.cursor[shard as usize] += 1;
         }
     }
 
@@ -246,6 +536,16 @@ impl<T: HashTable> ShardedTable<T> {
                 run(shard, lo, hi);
             }
         }
+    }
+
+    /// Look up one per-shard sub-batch: optimistically when allowed,
+    /// under the shard lock otherwise (or when validation keeps failing).
+    fn lookup_subrange(&self, shard: usize, keys: &[u64], out: &mut [Option<u64>]) {
+        let shard = &self.shards[shard];
+        if self.optimistic && shard.try_optimistic_batch(keys, out) {
+            return;
+        }
+        shard.read_locked().lookup_batch(keys, out);
     }
 }
 
@@ -259,35 +559,41 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 
 impl<T: HashTable + Send> ConcurrentTable for ShardedTable<T> {
     fn insert_shared(&self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
-        lock(&self.shards[self.shard_of(key)]).insert(key, value)
+        self.shards[self.shard_of(key)].write().insert(key, value)
     }
 
     fn lookup_shared(&self, key: u64) -> Option<u64> {
-        lock(&self.shards[self.shard_of(key)]).lookup(key)
+        let shard = &self.shards[self.shard_of(key)];
+        if self.optimistic {
+            if let Some(answer) = shard.try_optimistic_lookup(key) {
+                return answer;
+            }
+        }
+        shard.read_locked().lookup(key)
     }
 
     fn delete_shared(&self, key: u64) -> Option<u64> {
-        lock(&self.shards[self.shard_of(key)]).delete(key)
+        self.shards[self.shard_of(key)].write().delete(key)
     }
 
     fn lookup_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]) {
         assert_eq!(keys.len(), out.len(), "lookup_batch: keys and out lengths differ");
         if self.shards.len() == 1 {
-            return lock(&self.shards[0]).lookup_batch(keys, out);
+            return self.lookup_subrange(0, keys, out);
         }
-        let mut s = self.take_scratch();
-        self.partition(keys.len(), &mut s, |i| keys[i]);
+        let mut guard = self.take_scratch();
+        let s: &mut Scratch = &mut guard;
+        self.partition(keys.len(), s, |i| keys[i]);
         s.keys.clear();
         s.keys.extend(s.perm.iter().map(|&p| keys[p as usize]));
         s.values.clear();
         s.values.resize(keys.len(), None);
         self.for_each_subrange(&s.starts, |shard, lo, hi| {
-            lock(&self.shards[shard]).lookup_batch(&s.keys[lo..hi], &mut s.values[lo..hi]);
+            self.lookup_subrange(shard, &s.keys[lo..hi], &mut s.values[lo..hi]);
         });
         for (&p, &v) in s.perm.iter().zip(&s.values) {
             out[p as usize] = v;
         }
-        self.put_scratch(s);
     }
 
     fn insert_batch_shared(
@@ -297,45 +603,71 @@ impl<T: HashTable + Send> ConcurrentTable for ShardedTable<T> {
     ) {
         assert_eq!(items.len(), out.len(), "insert_batch: items and out lengths differ");
         if self.shards.len() == 1 {
-            return lock(&self.shards[0]).insert_batch(items, out);
+            return self.shards[0].write().insert_batch(items, out);
         }
-        let mut s = self.take_scratch();
-        self.partition(items.len(), &mut s, |i| items[i].0);
+        let mut guard = self.take_scratch();
+        let s: &mut Scratch = &mut guard;
+        self.partition(items.len(), s, |i| items[i].0);
         s.items.clear();
         s.items.extend(s.perm.iter().map(|&p| items[p as usize]));
         s.outcomes.clear();
         s.outcomes.resize(items.len(), Ok(InsertOutcome::Inserted));
         self.for_each_subrange(&s.starts, |shard, lo, hi| {
-            lock(&self.shards[shard]).insert_batch(&s.items[lo..hi], &mut s.outcomes[lo..hi]);
+            self.shards[shard].write().insert_batch(&s.items[lo..hi], &mut s.outcomes[lo..hi]);
         });
         for (&p, &o) in s.perm.iter().zip(&s.outcomes) {
             out[p as usize] = o;
         }
-        self.put_scratch(s);
     }
 
     fn delete_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]) {
         assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
         if self.shards.len() == 1 {
-            return lock(&self.shards[0]).delete_batch(keys, out);
+            return self.shards[0].write().delete_batch(keys, out);
         }
-        let mut s = self.take_scratch();
-        self.partition(keys.len(), &mut s, |i| keys[i]);
+        let mut guard = self.take_scratch();
+        let s: &mut Scratch = &mut guard;
+        self.partition(keys.len(), s, |i| keys[i]);
         s.keys.clear();
         s.keys.extend(s.perm.iter().map(|&p| keys[p as usize]));
         s.values.clear();
         s.values.resize(keys.len(), None);
         self.for_each_subrange(&s.starts, |shard, lo, hi| {
-            lock(&self.shards[shard]).delete_batch(&s.keys[lo..hi], &mut s.values[lo..hi]);
+            self.shards[shard].write().delete_batch(&s.keys[lo..hi], &mut s.values[lo..hi]);
         });
         for (&p, &v) in s.perm.iter().zip(&s.values) {
             out[p as usize] = v;
         }
-        self.put_scratch(s);
     }
 
     fn len_shared(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).len()).sum()
+        self.shards.iter().map(|s| s.read_locked().len()).sum()
+    }
+}
+
+/// The sharded wrapper is itself never a shard, so it keeps the
+/// conservative `supports_optimistic() == false` (optimism happens *per
+/// shard*, inside the `ConcurrentTable` methods). The retention hooks
+/// fan out to every shard: the builder calls
+/// `retain_retired_allocations(true)` when growing shards must keep
+/// replaced generations alive for lock-free readers, and
+/// `reclaim_retired` — safe here because `&mut self` proves no reader
+/// exists — frees them at a quiescent point.
+impl<T: HashTable + Send> ReadView for ShardedTable<T> {
+    fn retain_retired_allocations(&mut self, on: bool) {
+        for shard in self.shards.iter_mut() {
+            shard.data.get_mut().retain_retired_allocations(on);
+        }
+    }
+
+    fn retired_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read_locked().retired_bytes()).sum()
+    }
+
+    fn reclaim_retired(&mut self) {
+        for shard in self.shards.iter_mut() {
+            shard.data.get_mut().reclaim_retired();
+        }
     }
 }
 
@@ -377,21 +709,21 @@ impl<T: HashTable + Send> HashTable for ShardedTable<T> {
     }
 
     fn capacity(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).capacity()).sum()
+        self.shards.iter().map(|s| s.read_locked().capacity()).sum()
     }
 
     fn memory_bytes(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).memory_bytes()).sum()
+        self.shards.iter().map(|s| s.read_locked().memory_bytes()).sum()
     }
 
     fn for_each(&self, f: &mut dyn FnMut(u64, u64)) {
         for shard in self.shards.iter() {
-            lock(shard).for_each(f);
+            shard.read_locked().for_each(f);
         }
     }
 
     fn display_name(&self) -> String {
-        format!("Sharded{}x{}", self.shards.len(), lock(&self.shards[0]).display_name())
+        format!("Sharded{}x{}", self.shards.len(), self.shards[0].read_locked().display_name())
     }
 }
 
@@ -536,5 +868,176 @@ mod tests {
             }
         });
         assert_eq!(t.len_shared(), 1000 + 2 * 500);
+    }
+
+    #[test]
+    fn optimistic_and_locked_reads_agree() {
+        let mut t = sharded_lp(2);
+        assert!(t.optimistic_reads(), "optimistic reads must default on");
+        for k in 1..=800u64 {
+            t.insert(k, k * 5).unwrap();
+        }
+        // Quiescent: the optimistic path must commit and agree with the
+        // locked path for hits and misses alike.
+        for k in 1..=1000u64 {
+            let optimistic = t.lookup_shared(k);
+            t.set_optimistic_reads(false);
+            let locked = t.lookup_shared(k);
+            t.set_optimistic_reads(true);
+            assert_eq!(optimistic, locked, "key {k}");
+        }
+        // Same for the batch path.
+        let keys: Vec<u64> = (1..=1000u64).collect();
+        let mut fast = vec![None; keys.len()];
+        t.lookup_batch_shared(&keys, &mut fast);
+        t.set_optimistic_reads(false);
+        let mut slow = vec![None; keys.len()];
+        t.lookup_batch_shared(&keys, &mut slow);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn seqlock_counter_brackets_writes() {
+        let t = sharded_lp(0);
+        let before = t.shards[0].seq.load(Ordering::SeqCst);
+        assert_eq!(before & 1, 0, "counter must rest even");
+        t.insert_shared(1, 1).unwrap();
+        let after = t.shards[0].seq.load(Ordering::SeqCst);
+        assert_eq!(after, before + 2, "one write = entry bump + exit bump");
+        // Reads (locked or optimistic) must not move the counter.
+        let _ = t.lookup_shared(1);
+        let keys = [1u64, 2, 3];
+        let mut out = [None; 3];
+        t.lookup_batch_shared(&keys, &mut out);
+        assert_eq!(t.shards[0].seq.load(Ordering::SeqCst), after, "reads bumped the counter");
+    }
+
+    #[test]
+    fn racing_reader_sees_only_committed_values() {
+        // A writer hammers one shard while readers probe the same keys
+        // lock-free: every answer must be a value some insert committed
+        // (k * 2), never a torn or half-written one.
+        let t = std::sync::Arc::new(sharded_lp(0));
+        const KEYS: u64 = 512;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let (t, stop) = (t.clone(), stop.clone());
+            std::thread::spawn(move || {
+                for round in 0..200u64 {
+                    for k in 1..=KEYS {
+                        t.insert_shared(k, k * 2).unwrap();
+                    }
+                    for k in (1..=KEYS).step_by(3) {
+                        t.delete_shared(k);
+                    }
+                    std::hint::black_box(round);
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+        let mut checked = 0u64;
+        while !stop.load(Ordering::Acquire) {
+            for k in 1..=KEYS {
+                if let Some(v) = t.lookup_shared(k) {
+                    assert_eq!(v, k * 2, "torn value for key {k}");
+                    checked += 1;
+                }
+            }
+        }
+        writer.join().unwrap();
+        assert!(checked > 0, "reader never observed a present key");
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded_and_trimmed() {
+        let t = sharded_lp(3);
+        // A deliberately huge batch grows the scratch buffers …
+        let keys: Vec<u64> = (1..=100_000u64).collect();
+        let mut out = vec![None; keys.len()];
+        t.lookup_batch_shared(&keys, &mut out);
+        {
+            let pool = lock(&t.scratch_pool);
+            assert_eq!(pool.len(), 1);
+            // … but the returned scratch was trimmed back to the retain cap.
+            for s in pool.iter() {
+                assert!(s.keys.capacity() <= SCRATCH_RETAIN_ELEMS, "keys kept outlier capacity");
+                assert!(s.perm.capacity() <= SCRATCH_RETAIN_ELEMS, "perm kept outlier capacity");
+                assert!(
+                    s.shard_ids.capacity() <= SCRATCH_RETAIN_ELEMS,
+                    "shard_ids kept outlier capacity"
+                );
+            }
+        }
+        // Many concurrent batches may be in flight, but the pool retains
+        // at most SCRATCH_POOL_CAP scratches afterwards.
+        std::thread::scope(|scope| {
+            for _ in 0..(SCRATCH_POOL_CAP * 4) {
+                let t = &t;
+                scope.spawn(move || {
+                    let keys: Vec<u64> = (1..=256u64).collect();
+                    let mut out = vec![None; keys.len()];
+                    for _ in 0..50 {
+                        t.lookup_batch_shared(&keys, &mut out);
+                    }
+                });
+            }
+        });
+        assert!(
+            lock(&t.scratch_pool).len() <= SCRATCH_POOL_CAP,
+            "pool exceeded its cap: {}",
+            lock(&t.scratch_pool).len()
+        );
+    }
+
+    /// A table whose batch lookups panic — the scenario that used to leak
+    /// the in-flight scratch.
+    struct PanickyTable;
+
+    impl crate::optimistic::ReadView for PanickyTable {}
+
+    impl HashTable for PanickyTable {
+        fn insert(&mut self, _k: u64, _v: u64) -> Result<InsertOutcome, TableError> {
+            Ok(InsertOutcome::Inserted)
+        }
+        fn lookup(&self, _k: u64) -> Option<u64> {
+            None
+        }
+        fn delete(&mut self, _k: u64) -> Option<u64> {
+            None
+        }
+        fn lookup_batch(&self, _keys: &[u64], _out: &mut [Option<u64>]) {
+            panic!("injected batch failure");
+        }
+        fn len(&self) -> usize {
+            0
+        }
+        fn capacity(&self) -> usize {
+            16
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn for_each(&self, _f: &mut dyn FnMut(u64, u64)) {}
+        fn display_name(&self) -> String {
+            "Panicky".into()
+        }
+    }
+
+    #[test]
+    fn panicking_sub_batch_returns_scratch_to_pool() {
+        let t: ShardedTable<PanickyTable> = ShardedTable::new(2, 1, |_| PanickyTable);
+        let keys: Vec<u64> = (1..=64u64).collect();
+        for round in 0..3 {
+            let mut out = vec![None; keys.len()];
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                t.lookup_batch_shared(&keys, &mut out);
+            }));
+            assert!(r.is_err(), "round {round}: injected panic must surface");
+            assert_eq!(
+                lock(&t.scratch_pool).len(),
+                1,
+                "round {round}: panic leaked the in-flight scratch"
+            );
+        }
     }
 }

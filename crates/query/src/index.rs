@@ -52,6 +52,11 @@ impl PointIndex {
     }
 }
 
+/// The index is consumed through `&mut`/`&self` like any sequential
+/// table; it is never a shard, so it keeps the conservative
+/// [`ReadView`](sevendim_core::ReadView) defaults (no lock-free reads).
+impl sevendim_core::ReadView for PointIndex {}
+
 impl HashTable for PointIndex {
     fn insert(&mut self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
         self.table.insert(key, value)

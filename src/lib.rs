@@ -116,8 +116,8 @@ pub mod prelude {
         decision::Mutability, recommend, BoxedTable, ChainedTable24, ChainedTable8,
         ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, GrowthPolicy,
         HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing,
-        RhLookupMode, RobinHood, ShardedTable, TableBuilder, TableChoice, TableError, TableScheme,
-        WorkloadProfile,
+        ReadView, RhLookupMode, RobinHood, ShardedTable, TableBuilder, TableChoice, TableError,
+        TableScheme, WorkloadProfile,
     };
     pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};
 }

@@ -33,10 +33,12 @@ const UNIVERSE: u64 = 640;
 const OPS: usize = 10_000;
 
 /// Drive a sharded table and its unsharded twin through the same mixed
-/// single-key script; every observable must match at every step.
-fn sharded_oracle(scheme: TableScheme, hash: HashKind) {
+/// single-key script; every observable must match at every step. Runs
+/// with the seqlock read path on or off (`optimistic`): reads through
+/// the lock-free path must be element-wise identical to locked reads.
+fn sharded_oracle(scheme: TableScheme, hash: HashKind, optimistic: bool) {
     let desc = TableBuilder::new(scheme).hash(hash).bits(BITS).seed(0x0AC1E);
-    let mut sharded = desc.clone().shards(SHARD_BITS).build();
+    let mut sharded = desc.clone().shards(SHARD_BITS).optimistic_reads(optimistic).build_sharded();
     let mut plain = desc.build();
     let label = plain.display_name();
     let mut rng = StdRng::seed_from_u64(0x5AA2D ^ scheme as u64 ^ (hash as u64) << 8);
@@ -83,9 +85,9 @@ fn sharded_oracle(scheme: TableScheme, hash: HashKind) {
 /// The same equivalence through the radix-partitioned batch path: the
 /// sharded table executes `*_batch` calls of random sizes, the unsharded
 /// twin executes the same elements key by key.
-fn sharded_batch_oracle(scheme: TableScheme, hash: HashKind) {
+fn sharded_batch_oracle(scheme: TableScheme, hash: HashKind, optimistic: bool) {
     let desc = TableBuilder::new(scheme).hash(hash).bits(BITS).seed(0xBA7C4);
-    let mut sharded = desc.clone().shards(SHARD_BITS).build();
+    let mut sharded = desc.clone().shards(SHARD_BITS).optimistic_reads(optimistic).build_sharded();
     let mut plain = desc.build();
     let label = plain.display_name();
     let mut rng = StdRng::seed_from_u64(0xC0 ^ scheme as u64 ^ (hash as u64) << 8);
@@ -149,8 +151,10 @@ macro_rules! sharded_oracle_grid {
             #[test]
             fn $name() {
                 for hash in HashKind::ALL {
-                    sharded_oracle($scheme, hash);
-                    sharded_batch_oracle($scheme, hash);
+                    for optimistic in [true, false] {
+                        sharded_oracle($scheme, hash, optimistic);
+                        sharded_batch_oracle($scheme, hash, optimistic);
+                    }
                 }
             }
         )+
@@ -254,6 +258,113 @@ fn concurrent_rw_driver_sweeps_threads() {
             assert!(shard.load_factor() <= 0.7 + 1e-9, "shard {i} over threshold");
         });
     }
+}
+
+/// Lock-free readers racing writers that insert, delete, *and grow*:
+/// the seqlock tentpole's correctness test. Writers populate disjoint
+/// key ranges (with periodic deletes) into a sharded table whose shards
+/// double repeatedly; readers concurrently probe random keys through
+/// both the single-key and the batched shared-lookup paths.
+///
+/// The oracle is the per-key "ever inserted" model: every key's one
+/// committed value is a pure function of the key, so a racing reader
+/// must observe either `None` or exactly that value — anything else is
+/// a torn read the seqlock validation failed to discard — and a key no
+/// writer ever inserts must never be observed present.
+#[test]
+fn optimistic_readers_race_inserting_deleting_growing_writers() {
+    const WRITERS: u64 = 2;
+    const READERS: usize = 2;
+    const PER_WRITER: u64 = 6_000;
+    const UNIVERSE_TOP: u64 = WRITERS * PER_WRITER + 1_000; // tail never inserted
+    fn committed(k: u64) -> u64 {
+        k * 31 + 7
+    }
+    // Small initial shards + growth: the run crosses many generation
+    // swaps while readers hold lock-free probes in flight.
+    let table = TableBuilder::new(TableScheme::LinearProbing)
+        .bits(10)
+        .seed(0x0CC)
+        .shards(2)
+        .grow_at(0.7)
+        .incremental(8)
+        .build_sharded();
+    assert!(table.optimistic_reads(), "the stress test must exercise the seqlock path");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let hits = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let table = &table;
+                scope.spawn(move || {
+                    let base = 1 + w * PER_WRITER;
+                    for k in base..base + PER_WRITER {
+                        table.insert_shared(k, committed(k)).unwrap();
+                        // Churn: delete an earlier stripe so readers race
+                        // tombstones too, not just fresh inserts.
+                        if k % 5 == 0 && k > base + 16 {
+                            table.delete_shared(k - 16);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for r in 0..READERS {
+            let (table, stop, hits) = (&table, &stop, &hits);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xEAD + r as u64);
+                let mut batch = vec![0u64; 256];
+                let mut values = vec![None; 256];
+                let mut seen = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let k = rng.gen_range(1..=UNIVERSE_TOP);
+                    if let Some(v) = table.lookup_shared(k) {
+                        assert!(k <= WRITERS * PER_WRITER, "reader {r}: phantom key {k}");
+                        assert_eq!(v, committed(k), "reader {r}: torn value for key {k}");
+                        seen += 1;
+                    }
+                    for slot in batch.iter_mut() {
+                        *slot = rng.gen_range(1..=UNIVERSE_TOP);
+                    }
+                    table.lookup_batch_shared(&batch, &mut values);
+                    for (&k, v) in batch.iter().zip(&values) {
+                        if let Some(v) = *v {
+                            assert!(k <= WRITERS * PER_WRITER, "reader {r}: phantom key {k}");
+                            assert_eq!(v, committed(k), "reader {r}: torn batch value for {k}");
+                            seen += 1;
+                        }
+                    }
+                }
+                hits.fetch_add(seen, std::sync::atomic::Ordering::AcqRel);
+            });
+        }
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+    assert!(
+        hits.load(std::sync::atomic::Ordering::Acquire) > 0,
+        "readers never observed a committed key — the race never happened"
+    );
+    // Quiescent sweep: the undeleted majority is present and exact.
+    let keys: Vec<u64> = (1..=WRITERS * PER_WRITER).collect();
+    let mut out = vec![None; keys.len()];
+    table.lookup_batch_shared(&keys, &mut out);
+    let present = out.iter().flatten().count();
+    assert!(present as u64 >= WRITERS * PER_WRITER * 7 / 10, "only {present} keys survived");
+    for (&k, v) in keys.iter().zip(&out) {
+        if let Some(v) = *v {
+            assert_eq!(v, committed(k), "key {k} settled on a torn value");
+        }
+    }
+    // The growth the readers raced really happened, and its retired
+    // generations are reclaimable now that the threads are gone
+    // (`ReadView` comes in through the prelude).
+    let mut table = table;
+    assert!(table.retired_bytes() > 0, "no generation swap ever raced the readers");
+    table.reclaim_retired();
+    assert_eq!(table.retired_bytes(), 0);
 }
 
 /// Measure shared-lookup throughput (M ops/s) of `table` at `threads`
