@@ -1,0 +1,403 @@
+//! Load generator for the networked KV service.
+//!
+//! ```text
+//! cargo run --release -p bench --bin kv_loadgen -- --scale smoke --json
+//! ```
+//!
+//! Spawns an in-process `KvServer` (or targets `--addr host:port`),
+//! then drives it from `--conns` client threads, each keeping
+//! `--pipeline` requests in flight over one socket. Two panels:
+//!
+//! * **get** — 100% `GET` over a preloaded key space (every lookup
+//!   hits), the panel that shows how far wire pipelining carries the
+//!   table's batched probe kernels;
+//! * **mixed** — `--get-ratio`% `GET` / rest `PUT` over the same keys,
+//!   the service-shaped analogue of the paper's RW mix.
+//!
+//! Arrival is **open-loop** when `--rate` is set: each request has a
+//! scheduled arrival time on a fixed grid and its latency is measured
+//! from that *schedule*, not from the send — a stalled server makes
+//! queued requests' latencies grow, instead of silently slowing the
+//! arrival rate (coordinated omission). `--rate 0` (default) is closed
+//! loop: the pipeline refills as responses return and latency is
+//! measured from enqueue.
+//!
+//! Per-worker latencies land in private `LatencyHistogram`s and are
+//! merged for reporting (`LatencyHistogram::merged` — identical to one
+//! histogram recording every sample). `--json` additionally writes
+//! `BENCH_net.json` for trend tracking.
+
+#[cfg(not(target_os = "linux"))]
+fn main() {
+    eprintln!("kv_loadgen needs Linux (the server is epoll-based)");
+    std::process::exit(2);
+}
+
+#[cfg(target_os = "linux")]
+fn main() {
+    linux::main()
+}
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use metrics::LatencyHistogram;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sevendim_core::{ConcurrentTable, TableBuilder, TableScheme};
+    use sevendim_net::protocol::{Op, Request};
+    use sevendim_net::{KvClient, KvServer};
+    use std::collections::VecDeque;
+    use std::io::Write as _;
+    use std::net::SocketAddr;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Scale {
+        Smoke,
+        Default,
+        Paper,
+    }
+
+    struct Args {
+        scale: Scale,
+        conns: Option<usize>,
+        pipeline: Option<usize>,
+        ops: Option<usize>,
+        keys: Option<usize>,
+        /// GET percentage of the mixed panel, 0..=100.
+        get_ratio: u32,
+        /// Open-loop arrival rate in ops/s across all connections
+        /// (0 = closed loop).
+        rate: u64,
+        json: bool,
+        addr: Option<String>,
+    }
+
+    impl Args {
+        fn conns(&self) -> usize {
+            self.conns.unwrap_or(match self.scale {
+                Scale::Smoke => 2,
+                Scale::Default => 4,
+                Scale::Paper => 16,
+            })
+        }
+
+        fn pipeline(&self) -> usize {
+            self.pipeline
+                .unwrap_or(match self.scale {
+                    Scale::Smoke => 16,
+                    Scale::Default => 64,
+                    Scale::Paper => 128,
+                })
+                .max(1)
+        }
+
+        fn ops(&self) -> usize {
+            self.ops.unwrap_or(match self.scale {
+                Scale::Smoke => 40_000,
+                Scale::Default => 400_000,
+                Scale::Paper => 10_000_000,
+            })
+        }
+
+        fn keys(&self) -> usize {
+            self.keys
+                .unwrap_or(match self.scale {
+                    Scale::Smoke => 10_000,
+                    Scale::Default => 100_000,
+                    Scale::Paper => 1_000_000,
+                })
+                .max(1)
+        }
+    }
+
+    fn parse_args(argv: impl IntoIterator<Item = String>) -> Args {
+        let mut args = Args {
+            scale: Scale::Default,
+            conns: None,
+            pipeline: None,
+            ops: None,
+            keys: None,
+            get_ratio: 80,
+            rate: 0,
+            json: false,
+            addr: None,
+        };
+        let mut it = argv.into_iter();
+        let _bin = it.next();
+        while let Some(flag) = it.next() {
+            let mut value_for =
+                |flag: &str| it.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = match value_for("--scale").as_str() {
+                        "smoke" => Scale::Smoke,
+                        "default" => Scale::Default,
+                        "paper" => Scale::Paper,
+                        v => usage(&format!("unknown scale '{v}'")),
+                    }
+                }
+                "--conns" => args.conns = Some(parse_num(&value_for("--conns"), "--conns")),
+                "--pipeline" => {
+                    args.pipeline = Some(parse_num(&value_for("--pipeline"), "--pipeline"))
+                }
+                "--ops" => args.ops = Some(parse_num(&value_for("--ops"), "--ops")),
+                "--keys" => args.keys = Some(parse_num(&value_for("--keys"), "--keys")),
+                "--get-ratio" => {
+                    let r = parse_num(&value_for("--get-ratio"), "--get-ratio");
+                    if r > 100 {
+                        usage("--get-ratio is a percentage (0..=100)");
+                    }
+                    args.get_ratio = r as u32;
+                }
+                "--rate" => args.rate = parse_num(&value_for("--rate"), "--rate") as u64,
+                "--json" => args.json = true,
+                "--addr" => args.addr = Some(value_for("--addr")),
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        args
+    }
+
+    fn parse_num(v: &str, flag: &str) -> usize {
+        v.parse().unwrap_or_else(|_| usage(&format!("{flag} must be an integer")))
+    }
+
+    fn usage(err: &str) -> ! {
+        if !err.is_empty() {
+            eprintln!("error: {err}");
+        }
+        eprintln!(
+            "usage: kv_loadgen [--scale smoke|default|paper] [--conns N] [--pipeline N] \
+             [--ops N] [--keys N] [--get-ratio PCT] [--rate OPS_PER_SEC] [--addr HOST:PORT] \
+             [--json]"
+        );
+        std::process::exit(if err.is_empty() { 0 } else { 2 })
+    }
+
+    struct PanelResult {
+        name: &'static str,
+        ops: u64,
+        elapsed: Duration,
+        hist: LatencyHistogram,
+    }
+
+    impl PanelResult {
+        fn mops(&self) -> f64 {
+            self.ops as f64 / self.elapsed.as_secs_f64() / 1e6
+        }
+    }
+
+    /// One worker: a windowed pipeline of `depth` requests over one
+    /// connection, with open-loop scheduling when `interval_ns > 0`.
+    fn worker(
+        addr: SocketAddr,
+        ops: usize,
+        depth: usize,
+        keys: u64,
+        get_ratio: u32,
+        interval_ns: u64,
+        seed: u64,
+    ) -> std::io::Result<LatencyHistogram> {
+        let mut client = KvClient::connect(addr)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hist = LatencyHistogram::new();
+        let mut inflight: VecDeque<(u64, u64)> = VecDeque::with_capacity(depth); // (id, sched_ns)
+        let start = Instant::now();
+        for i in 0..ops {
+            // Open loop: request i is *due* at i·interval regardless of
+            // server progress; if we're early, wait for the schedule.
+            let sched_ns = i as u64 * interval_ns;
+            if interval_ns > 0 {
+                let now = start.elapsed().as_nanos() as u64;
+                if sched_ns > now {
+                    std::thread::sleep(Duration::from_nanos(sched_ns - now));
+                }
+            }
+            if inflight.len() >= depth {
+                client.flush()?;
+                let (id, sched) = inflight.pop_front().expect("inflight is non-empty");
+                let (got, _resp) = client.recv()?;
+                debug_assert_eq!(got, id, "server answers FIFO");
+                hist.record(start.elapsed().as_nanos() as u64 - sched);
+            }
+            let key = rng.gen_range(0..keys);
+            let req = if rng.gen_range(0..100u32) < get_ratio {
+                Request::Get(key)
+            } else {
+                Request::Put(key, i as u64)
+            };
+            let sched = if interval_ns > 0 { sched_ns } else { start.elapsed().as_nanos() as u64 };
+            let id = client.enqueue(&req);
+            inflight.push_back((id, sched));
+        }
+        client.flush()?;
+        while let Some((id, sched)) = inflight.pop_front() {
+            let (got, _resp) = client.recv()?;
+            debug_assert_eq!(got, id, "server answers FIFO");
+            hist.record(start.elapsed().as_nanos() as u64 - sched);
+        }
+        Ok(hist)
+    }
+
+    fn run_panel(name: &'static str, addr: SocketAddr, args: &Args, get_ratio: u32) -> PanelResult {
+        let conns = args.conns();
+        let total_ops = args.ops();
+        let per_worker = total_ops.div_ceil(conns);
+        let keys = args.keys() as u64;
+        let depth = args.pipeline();
+        // The global arrival rate splits evenly across connections.
+        let interval_ns = (1_000_000_000u64 * conns as u64).checked_div(args.rate).unwrap_or(0);
+        let start = Instant::now();
+        let workers: Vec<_> = (0..conns)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    worker(
+                        addr,
+                        per_worker,
+                        depth,
+                        keys,
+                        get_ratio,
+                        interval_ns,
+                        0xC0FFEE + w as u64,
+                    )
+                })
+            })
+            .collect();
+        let hists: Vec<LatencyHistogram> = workers
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked").expect("worker I/O failed"))
+            .collect();
+        let elapsed = start.elapsed();
+        PanelResult {
+            name,
+            ops: (per_worker * conns) as u64,
+            elapsed,
+            hist: LatencyHistogram::merged(&hists),
+        }
+    }
+
+    /// Preload every key so the GET panel always hits, using `BATCH`
+    /// frames (also warms the server's batch path).
+    fn preload(addr: SocketAddr, keys: u64) -> std::io::Result<()> {
+        let mut client = KvClient::connect(addr)?;
+        let mut ops = Vec::with_capacity(1024);
+        for chunk_start in (0..keys).step_by(1024) {
+            ops.clear();
+            for k in chunk_start..(chunk_start + 1024).min(keys) {
+                ops.push(Op::Put(k, k.wrapping_mul(3)));
+            }
+            let results = client.batch(&ops)?;
+            assert_eq!(results.len(), ops.len(), "preload batch answered fully");
+        }
+        Ok(())
+    }
+
+    fn fmt_us(nanos: u64) -> String {
+        format!("{:.1}", nanos as f64 / 1000.0)
+    }
+
+    pub fn main() {
+        let args = parse_args(std::env::args());
+        let keys = args.keys();
+
+        // In-process server unless --addr points elsewhere: LP × Mult
+        // sharded table sized to hold the key space at <= 70% load, with
+        // optimistic reads on (the GET panel should take the seqlock
+        // path).
+        let mut server = None;
+        let addr: SocketAddr = match &args.addr {
+            Some(a) => a.parse().unwrap_or_else(|_| usage("--addr must be HOST:PORT")),
+            None => {
+                let slots = (keys as f64 / 0.7).ceil() as usize;
+                let bits = (slots.next_power_of_two().trailing_zeros() as u8).max(8);
+                let table = TableBuilder::new(TableScheme::LinearProbing)
+                    .bits(bits)
+                    .concurrency(args.conns())
+                    .optimistic_reads(true)
+                    .build_sharded();
+                let table: Arc<dyn ConcurrentTable> = Arc::new(table);
+                let handle = KvServer::spawn("127.0.0.1:0", table).expect("spawn server");
+                let a = handle.addr();
+                server = Some(handle);
+                a
+            }
+        };
+
+        println!(
+            "kv_loadgen — {} conns × pipeline {}, {} ops/panel, {} keys, {}",
+            args.conns(),
+            args.pipeline(),
+            args.ops(),
+            keys,
+            if args.rate == 0 {
+                "closed loop".to_string()
+            } else {
+                format!("open loop at {} ops/s", args.rate)
+            },
+        );
+
+        preload(addr, keys as u64).expect("preload");
+
+        let panels =
+            [run_panel("get", addr, &args, 100), run_panel("mixed", addr, &args, args.get_ratio)];
+
+        println!(
+            "\n{:<8} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "panel", "ops", "M ops/s", "mean us", "p50 us", "p99 us", "max us"
+        );
+        for p in &panels {
+            println!(
+                "{:<8} {:>10} {:>8.2} {:>10} {:>10} {:>10} {:>10}",
+                p.name,
+                p.ops,
+                p.mops(),
+                format!("{:.1}", p.hist.mean_nanos() / 1000.0),
+                fmt_us(p.hist.p50()),
+                fmt_us(p.hist.p99()),
+                fmt_us(p.hist.max_nanos()),
+            );
+        }
+
+        if args.json {
+            let mut out = String::from("{\n  \"bench\": \"kv_loadgen\",\n");
+            out.push_str(&format!(
+                "  \"conns\": {}, \"pipeline\": {}, \"keys\": {}, \"rate\": {},\n  \"panels\": [\n",
+                args.conns(),
+                args.pipeline(),
+                keys,
+                args.rate,
+            ));
+            for (i, p) in panels.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"ops\": {}, \"secs\": {:.6}, \"mops\": {:.4}, \
+                     \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+                    p.name,
+                    p.ops,
+                    p.elapsed.as_secs_f64(),
+                    p.mops(),
+                    p.hist.mean_nanos(),
+                    p.hist.p50(),
+                    p.hist.p99(),
+                    p.hist.max_nanos(),
+                    if i + 1 < panels.len() { "," } else { "" },
+                ));
+            }
+            out.push_str("  ]\n}\n");
+            let mut f = std::fs::File::create("BENCH_net.json").expect("create BENCH_net.json");
+            f.write_all(out.as_bytes()).expect("write BENCH_net.json");
+            println!("\nwrote BENCH_net.json");
+        }
+
+        if let Some(handle) = server.take() {
+            let stats = handle.shutdown().expect("server shutdown");
+            assert_eq!(stats.protocol_closes, 0, "loadgen speaks the protocol");
+            println!(
+                "clean shutdown: {} conns, {} frames, {} ops served",
+                stats.accepted, stats.frames, stats.ops
+            );
+        }
+    }
+}

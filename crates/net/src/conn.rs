@@ -1,0 +1,460 @@
+//! Per-connection state machine: buffered frame decoding, run-segmented
+//! batch execution, and backpressured response writing.
+//!
+//! Each connection owns a non-blocking socket plus two byte buffers:
+//!
+//! * **Read side** — readable events append bytes to `rbuf`; complete
+//!   frames are decoded off the front. Pipelined requests accumulate
+//!   here, and that accumulation is the batching opportunity: all frames
+//!   decoded in one pass are split into maximal **runs of the same
+//!   opcode** and each run is executed through the table's prefetching
+//!   batch API ([`ConcurrentTable::lookup_batch_shared`] /
+//!   `insert_batch_shared` / `delete_batch_shared`). Run segmentation —
+//!   not sorting — is what preserves the wire contract: a `PUT` followed
+//!   by a `GET` of the same key must observe the `PUT`, so frames are
+//!   never reordered, only grouped where adjacent. `BATCH` frames get
+//!   the same treatment internally over their ops.
+//! * **Write side** — responses are encoded into `wbuf` in frame order
+//!   and flushed opportunistically. Partial writes keep their offset;
+//!   `EAGAIN` arms `EPOLLOUT`; `EINTR` retries. The queue is **bounded**:
+//!   once more than [`WBUF_HIGH`] bytes are pending, the connection
+//!   stops reading (its `EPOLLIN` interest is dropped) and stops
+//!   decoding, so a slow-reading client stalls only itself — its
+//!   requests queue in *its* socket, not in server memory. Reading
+//!   resumes once the queue drains below [`WBUF_LOW`].
+//!
+//! A protocol error (bad magic, bad checksum, oversized length, …)
+//! closes the connection: framing is unrecoverable after the first
+//! malformed byte, and closing is the only honest reply.
+
+use crate::protocol::{
+    decode_request, encode_response, Op, OpResponse, ProtoError, Request, Response,
+};
+use sevendim_core::{ConcurrentTable, InsertOutcome};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+
+use crate::sys::{EPOLLIN, EPOLLOUT};
+
+/// Stop reading a connection once this many response bytes are pending.
+pub const WBUF_HIGH: usize = 256 * 1024;
+
+/// Resume reading once the pending responses drop below this.
+pub const WBUF_LOW: usize = 32 * 1024;
+
+/// Per-event read cap: after this many bytes the loop moves on to other
+/// connections (level-triggered epoll re-reports the rest).
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Why a connection ended.
+#[derive(Debug)]
+pub(crate) enum Close {
+    /// Peer closed its write side (normal end of conversation).
+    Eof,
+    /// Peer spoke garbage; the typed reason.
+    Protocol(ProtoError),
+    /// Transport error.
+    Io(io::Error),
+}
+
+/// Reusable buffers for one connection's request execution.
+#[derive(Default)]
+struct ExecScratch {
+    frames: Vec<(u64, Request)>,
+    keys: Vec<u64>,
+    values: Vec<Option<u64>>,
+    items: Vec<(u64, u64)>,
+    outcomes: Vec<Result<InsertOutcome, sevendim_core::TableError>>,
+}
+
+/// Counters one pump reports up to the server's totals.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PumpStats {
+    /// Request frames answered.
+    pub frames: u64,
+    /// Table operations executed (a `BATCH` frame counts its ops).
+    pub ops: u64,
+}
+
+pub(crate) struct Connection {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Start of the unwritten suffix of `wbuf`.
+    wstart: usize,
+    /// True while backpressure has reading suspended.
+    paused: bool,
+    /// The peer half-closed its write side: no more requests are
+    /// coming, but buffered frames still get answered and pending
+    /// responses still drain before the connection closes.
+    peer_eof: bool,
+    /// The epoll interest mask currently registered for this fd (the
+    /// server syncs it against [`Connection::interest`] after each
+    /// event).
+    pub registered: u32,
+    scratch: ExecScratch,
+}
+
+impl Connection {
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wstart: 0,
+            paused: false,
+            peer_eof: false,
+            registered: EPOLLIN,
+            scratch: ExecScratch::default(),
+        }
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Response bytes queued but not yet written.
+    fn pending_out(&self) -> usize {
+        self.wbuf.len() - self.wstart
+    }
+
+    /// The interest mask this connection currently wants.
+    pub fn interest(&self) -> u32 {
+        let mut mask = 0;
+        if !self.paused && !self.peer_eof {
+            mask |= EPOLLIN;
+        }
+        if self.pending_out() > 0 {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Drive the connection after an epoll event (or after an unpause):
+    /// read what's available, decode/execute/encode, flush what fits.
+    pub fn handle(
+        &mut self,
+        readable: bool,
+        writable: bool,
+        table: &dyn ConcurrentTable,
+        stats: &mut PumpStats,
+    ) -> Result<(), Close> {
+        if writable {
+            self.flush()?;
+        }
+        if readable && !self.paused && !self.peer_eof {
+            self.fill_rbuf()?;
+        }
+        self.pump(table, stats)?;
+        // EOF acts only after the pump: bytes the peer sent before
+        // half-closing are decoded and answered (a poisoned tail still
+        // surfaces as its protocol error above), and queued responses
+        // finish draining through later writable events.
+        if self.peer_eof && self.pending_out() == 0 {
+            return Err(Close::Eof);
+        }
+        Ok(())
+    }
+
+    /// Read up to [`READ_BUDGET`] bytes into `rbuf`.
+    fn fill_rbuf(&mut self) -> Result<(), Close> {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut taken = 0;
+        while taken < READ_BUDGET {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    taken += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Close::Io(e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode, execute, and encode as much of `rbuf` as backpressure
+    /// allows, then flush and update the pause state.
+    fn pump(&mut self, table: &dyn ConcurrentTable, stats: &mut PumpStats) -> Result<(), Close> {
+        let mut consumed = 0;
+        self.scratch.frames.clear();
+        while self.pending_out() < WBUF_HIGH {
+            // Gather a contiguous stretch of decoded frames, then execute
+            // them together so adjacent same-op frames share one batch
+            // call.
+            match decode_request(&self.rbuf[consumed..]) {
+                Ok(Some((id, req, used))) => {
+                    consumed += used;
+                    self.scratch.frames.push((id, req));
+                    if self.scratch.frames.len() >= 1024 {
+                        self.execute_pending(table, stats);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Answer everything decoded before the poison so the
+                    // peer can match responses to requests, then close.
+                    self.execute_pending(table, stats);
+                    let _ = self.flush();
+                    return Err(Close::Protocol(e));
+                }
+            }
+        }
+        self.execute_pending(table, stats);
+        if consumed > 0 {
+            self.rbuf.drain(..consumed);
+        }
+        self.flush()?;
+        self.paused = if self.paused {
+            self.pending_out() >= WBUF_LOW
+        } else {
+            self.pending_out() > WBUF_HIGH
+        };
+        Ok(())
+    }
+
+    /// Execute the gathered frames (run-segmented) and encode their
+    /// responses into `wbuf`.
+    fn execute_pending(&mut self, table: &dyn ConcurrentTable, stats: &mut PumpStats) {
+        let frames = std::mem::take(&mut self.scratch.frames);
+        if frames.is_empty() {
+            self.scratch.frames = frames;
+            return;
+        }
+        stats.frames += frames.len() as u64;
+        let mut i = 0;
+        while i < frames.len() {
+            let j = end_of_run(&frames, i);
+            match frames[i].1 {
+                Request::Get(_) => {
+                    self.scratch.keys.clear();
+                    self.scratch.keys.extend(frames[i..j].iter().map(|(_, r)| match r {
+                        Request::Get(k) => *k,
+                        _ => unreachable!("run of GETs"),
+                    }));
+                    self.scratch.values.clear();
+                    self.scratch.values.resize(j - i, None);
+                    table.lookup_batch_shared(&self.scratch.keys, &mut self.scratch.values);
+                    for (t, (id, _)) in frames[i..j].iter().enumerate() {
+                        encode_response(
+                            *id,
+                            &Response::Get(self.scratch.values[t]),
+                            &mut self.wbuf,
+                        );
+                    }
+                }
+                Request::Put(..) => {
+                    self.scratch.items.clear();
+                    self.scratch.items.extend(frames[i..j].iter().map(|(_, r)| match r {
+                        Request::Put(k, v) => (*k, *v),
+                        _ => unreachable!("run of PUTs"),
+                    }));
+                    self.scratch.outcomes.clear();
+                    self.scratch.outcomes.resize(j - i, Ok(InsertOutcome::Inserted));
+                    table.insert_batch_shared(&self.scratch.items, &mut self.scratch.outcomes);
+                    for (t, (id, _)) in frames[i..j].iter().enumerate() {
+                        encode_response(
+                            *id,
+                            &Response::Put(self.scratch.outcomes[t]),
+                            &mut self.wbuf,
+                        );
+                    }
+                }
+                Request::Del(_) => {
+                    self.scratch.keys.clear();
+                    self.scratch.keys.extend(frames[i..j].iter().map(|(_, r)| match r {
+                        Request::Del(k) => *k,
+                        _ => unreachable!("run of DELs"),
+                    }));
+                    self.scratch.values.clear();
+                    self.scratch.values.resize(j - i, None);
+                    table.delete_batch_shared(&self.scratch.keys, &mut self.scratch.values);
+                    for (t, (id, _)) in frames[i..j].iter().enumerate() {
+                        encode_response(
+                            *id,
+                            &Response::Del(self.scratch.values[t]),
+                            &mut self.wbuf,
+                        );
+                    }
+                }
+                Request::Batch(_) => {
+                    debug_assert_eq!(j, i + 1, "batch frames execute one at a time");
+                    let (id, Request::Batch(ops)) = &frames[i] else { unreachable!("batch run") };
+                    stats.ops += ops.len() as u64;
+                    let results = execute_ops(table, ops, &mut self.scratch);
+                    encode_response(*id, &Response::Batch(results), &mut self.wbuf);
+                }
+            }
+            if !matches!(frames[i].1, Request::Batch(_)) {
+                stats.ops += (j - i) as u64;
+            }
+            i = j;
+        }
+        self.scratch.frames = frames;
+        self.scratch.frames.clear();
+    }
+
+    /// Write as much of `wbuf` as the socket accepts right now.
+    fn flush(&mut self) -> Result<(), Close> {
+        while self.wstart < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wstart..]) {
+                Ok(0) => return Err(Close::Io(io::ErrorKind::WriteZero.into())),
+                Ok(n) => self.wstart += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Close::Io(e)),
+            }
+        }
+        if self.wstart == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wstart = 0;
+        } else if self.wstart > 64 * 1024 {
+            // Keep the queue from creeping: drop the written prefix once
+            // it outweighs a socket buffer.
+            self.wbuf.drain(..self.wstart);
+            self.wstart = 0;
+        }
+        Ok(())
+    }
+}
+
+/// End of the maximal run starting at `i`: same opcode kind, with
+/// `BATCH` frames always alone (their internal ops are segmented
+/// instead).
+fn end_of_run(frames: &[(u64, Request)], i: usize) -> usize {
+    fn kind(r: &Request) -> u8 {
+        match r {
+            Request::Get(_) => 0,
+            Request::Put(..) => 1,
+            Request::Del(_) => 2,
+            Request::Batch(_) => 3,
+        }
+    }
+    let k = kind(&frames[i].1);
+    if k == 3 {
+        return i + 1;
+    }
+    let mut j = i + 1;
+    while j < frames.len() && kind(&frames[j].1) == k {
+        j += 1;
+    }
+    j
+}
+
+/// Execute one `BATCH` frame's ops, run-segmented like top-level frames.
+fn execute_ops(table: &dyn ConcurrentTable, ops: &[Op], s: &mut ExecScratch) -> Vec<OpResponse> {
+    fn kind(op: &Op) -> u8 {
+        match op {
+            Op::Get(_) => 0,
+            Op::Put(..) => 1,
+            Op::Del(_) => 2,
+        }
+    }
+    let mut results = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        let k = kind(&ops[i]);
+        let mut j = i + 1;
+        while j < ops.len() && kind(&ops[j]) == k {
+            j += 1;
+        }
+        match k {
+            0 => {
+                s.keys.clear();
+                s.keys.extend(ops[i..j].iter().map(|op| match op {
+                    Op::Get(key) => *key,
+                    _ => unreachable!("run of GETs"),
+                }));
+                s.values.clear();
+                s.values.resize(j - i, None);
+                table.lookup_batch_shared(&s.keys, &mut s.values);
+                results.extend(s.values.iter().map(|v| OpResponse::Get(*v)));
+            }
+            1 => {
+                s.items.clear();
+                s.items.extend(ops[i..j].iter().map(|op| match op {
+                    Op::Put(key, value) => (*key, *value),
+                    _ => unreachable!("run of PUTs"),
+                }));
+                s.outcomes.clear();
+                s.outcomes.resize(j - i, Ok(InsertOutcome::Inserted));
+                table.insert_batch_shared(&s.items, &mut s.outcomes);
+                results.extend(s.outcomes.iter().map(|o| OpResponse::Put(*o)));
+            }
+            _ => {
+                s.keys.clear();
+                s.keys.extend(ops[i..j].iter().map(|op| match op {
+                    Op::Del(key) => *key,
+                    _ => unreachable!("run of DELs"),
+                }));
+                s.values.clear();
+                s.values.resize(j - i, None);
+                table.delete_batch_shared(&s.keys, &mut s.values);
+                results.extend(s.values.iter().map(|v| OpResponse::Del(*v)));
+            }
+        }
+        i = j;
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sevendim_core::{TableBuilder, TableScheme};
+
+    #[test]
+    fn batch_ops_execute_in_order_with_run_segmentation() {
+        // PUT then GET of the same key inside one batch must observe the
+        // PUT — segmentation may group, never reorder.
+        let table = TableBuilder::new(TableScheme::LinearProbing).bits(8).shards(1).build_sharded();
+        let mut scratch = ExecScratch::default();
+        let ops = vec![
+            Op::Put(1, 10),
+            Op::Put(2, 20),
+            Op::Get(1),
+            Op::Get(99),
+            Op::Del(2),
+            Op::Get(2),
+            Op::Put(1, 11),
+            Op::Get(1),
+        ];
+        let results = execute_ops(&table, &ops, &mut scratch);
+        assert_eq!(
+            results,
+            vec![
+                OpResponse::Put(Ok(InsertOutcome::Inserted)),
+                OpResponse::Put(Ok(InsertOutcome::Inserted)),
+                OpResponse::Get(Some(10)),
+                OpResponse::Get(None),
+                OpResponse::Del(Some(20)),
+                OpResponse::Get(None),
+                OpResponse::Put(Ok(InsertOutcome::Replaced(10))),
+                OpResponse::Get(Some(11)),
+            ]
+        );
+    }
+
+    #[test]
+    fn run_boundaries_split_on_kind_and_isolate_batches() {
+        let frames = vec![
+            (1, Request::Get(1)),
+            (2, Request::Get(2)),
+            (3, Request::Put(1, 1)),
+            (4, Request::Batch(vec![])),
+            (5, Request::Batch(vec![])),
+            (6, Request::Del(1)),
+        ];
+        assert_eq!(end_of_run(&frames, 0), 2);
+        assert_eq!(end_of_run(&frames, 2), 3);
+        assert_eq!(end_of_run(&frames, 3), 4, "batches never merge");
+        assert_eq!(end_of_run(&frames, 4), 5);
+        assert_eq!(end_of_run(&frames, 5), 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! The epoll event loop: one thread multiplexing a listener, a wake
+//! pipe, and every client connection.
+//!
+//! Single-threaded by design — the table underneath
+//! ([`ConcurrentTable`]) is the concurrent component; the network layer
+//! adds pipelining, not threads. One loop iteration is:
+//!
+//! 1. `epoll_wait` (level-triggered, indefinite timeout) for the ready
+//!    set.
+//! 2. Listener ready → accept until `EAGAIN`, registering each new
+//!    socket non-blocking with `TCP_NODELAY` and `EPOLLIN` interest.
+//! 3. Wake pipe ready → drain it; a raised shutdown flag ends the loop
+//!    after the current batch.
+//! 4. Connection ready → hand the readiness to its
+//!    [`Connection`](crate::conn) state machine (read, decode, execute
+//!    through the shared table, encode, flush), then sync its epoll
+//!    interest mask if backpressure or a partial write changed it
+//!    (`EPOLL_CTL_MOD` only on change — the common steady state does no
+//!    syscall).
+//!
+//! Tokens: the listener and wake pipe use the two top `u64` values;
+//! connections are keyed by their fd, which the kernel guarantees
+//! unique among live fds.
+
+use crate::conn::{Close, Connection, PumpStats};
+use crate::protocol::ProtoError;
+use crate::sys::{Epoll, EpollEvent, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use sevendim_core::ConcurrentTable;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Counters the loop accumulates over its lifetime, returned by
+/// [`ServerHandle::shutdown`] so tests can assert on server-side
+/// behavior (e.g. "the malformed frame closed exactly one connection").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Request frames answered (a `BATCH` counts once).
+    pub frames: u64,
+    /// Table operations executed (a `BATCH` counts its ops).
+    pub ops: u64,
+    /// Connections closed because the peer broke the protocol.
+    pub protocol_closes: u64,
+    /// Connections closed by I/O errors (reset, write-zero, …).
+    pub io_closes: u64,
+    /// The most recent protocol violation, for diagnostics and tests.
+    pub last_protocol_error: Option<ProtoError>,
+    /// The most recent I/O close kind, for diagnostics.
+    pub last_io_error: Option<io::ErrorKind>,
+}
+
+/// The networked KV server: an epoll loop on its own thread serving a
+/// [`ConcurrentTable`] over the `7DKV` wire protocol.
+pub struct KvServer;
+
+impl KvServer {
+    /// Bind `addr`, spawn the event loop, and return a handle. Pass
+    /// port 0 to let the OS pick; the actual address is
+    /// [`ServerHandle::addr`].
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        table: Arc<dyn ConcurrentTable>,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(WakePipe::new()?);
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut looped =
+            EventLoop { listener, epoll, wake: Arc::clone(&wake), table, conns: HashMap::new() };
+        let flag = Arc::clone(&shutdown);
+        let join = std::thread::Builder::new()
+            .name("kv-server".into())
+            .spawn(move || looped.run(&flag))?;
+        Ok(ServerHandle { addr: local, shutdown, wake, join: Some(join) })
+    }
+}
+
+/// Owner handle for a running server. Dropping it shuts the server
+/// down; [`ServerHandle::shutdown`] does the same but returns the
+/// loop's [`ServerStats`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    wake: Arc<WakePipe>,
+    join: Option<JoinHandle<io::Result<ServerStats>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is actually listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the event loop and return its lifetime counters.
+    pub fn shutdown(mut self) -> io::Result<ServerStats> {
+        self.signal();
+        let join = self.join.take().expect("shutdown runs once");
+        join.join().expect("kv-server thread panicked")
+    }
+
+    fn signal(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake.wake();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.signal();
+            let _ = join.join();
+        }
+    }
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    epoll: Epoll,
+    wake: Arc<WakePipe>,
+    table: Arc<dyn ConcurrentTable>,
+    conns: HashMap<RawFd, Connection>,
+}
+
+impl EventLoop {
+    fn run(&mut self, shutdown: &AtomicBool) -> io::Result<ServerStats> {
+        let mut stats = ServerStats::default();
+        let mut events = [EpollEvent::default(); 256];
+        loop {
+            let n = self.epoll.wait(&mut events, -1)?;
+            for ev in &events[..n] {
+                // Copy out of the (possibly packed) event record.
+                let (token, ready) = ({ ev.data }, { ev.events });
+                match token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_LISTENER => self.accept_ready(&mut stats)?,
+                    _ => self.conn_ready(token as RawFd, ready, &mut stats),
+                }
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return Ok(stats);
+            }
+        }
+    }
+
+    /// Accept every pending connection (level-triggered: stop at
+    /// `EAGAIN`, the kernel re-reports anything left).
+    fn accept_ready(&mut self, stats: &mut ServerStats) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    // Latency over throughput for small pipelined frames.
+                    let _ = stream.set_nodelay(true);
+                    let conn = Connection::new(stream);
+                    let fd = conn.fd();
+                    self.epoll.add(fd, conn.registered, fd as u64)?;
+                    self.conns.insert(fd, conn);
+                    stats.accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection failures (e.g. the peer reset
+                // between ready and accept) must not kill the loop.
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    /// Drive one connection's state machine and re-sync its interest.
+    fn conn_ready(&mut self, fd: RawFd, ready: u32, stats: &mut ServerStats) {
+        let Some(conn) = self.conns.get_mut(&fd) else {
+            return; // already closed earlier in this batch
+        };
+        // Error/hangup conditions surface through the read path: the
+        // next `read(2)` reports EOF or the real errno.
+        let readable = ready & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0;
+        let writable = ready & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0;
+        let mut pump = PumpStats::default();
+        let result = conn.handle(readable, writable, &*self.table, &mut pump);
+        stats.frames += pump.frames;
+        stats.ops += pump.ops;
+        match result {
+            Ok(()) => {
+                let want = conn.interest();
+                if want != conn.registered {
+                    if self.epoll.modify(fd, want, fd as u64).is_ok() {
+                        conn.registered = want;
+                    } else {
+                        self.close(fd); // kernel lost track of it: drop
+                    }
+                }
+            }
+            Err(close) => {
+                match close {
+                    Close::Eof => {}
+                    Close::Protocol(e) => {
+                        stats.protocol_closes += 1;
+                        stats.last_protocol_error = Some(e);
+                    }
+                    Close::Io(e) => {
+                        stats.io_closes += 1;
+                        stats.last_io_error = Some(e.kind());
+                    }
+                }
+                self.close(fd);
+            }
+        }
+    }
+
+    fn close(&mut self, fd: RawFd) {
+        // Dropping the connection closes the socket, which also removes
+        // it from the epoll set; the explicit delete just keeps the
+        // interest list tight if anything else holds the fd open.
+        let _ = self.epoll.delete(fd);
+        self.conns.remove(&fd);
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal Linux `epoll` + pipe FFI — the only unsafe surface of the
+//! crate.
+//!
+//! The workspace builds offline (no crates.io, so no `libc` crate), and
+//! `std` exposes no readiness API; this module declares the four
+//! syscall wrappers the event loop needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `pipe2` — plus `read`/`write` for the wake pipe)
+//! directly against the C library, and wraps them in two safe types:
+//!
+//! * [`Epoll`] — an epoll instance owning its fd, with `add`/`modify`/
+//!   `delete`/`wait` returning `io::Result`. Level-triggered (the
+//!   default): correctness never depends on draining a socket in one
+//!   pass, the kernel re-reports unfinished fds on the next `wait`.
+//! * [`WakePipe`] — the classic self-pipe: the read end sits in the
+//!   epoll set, any thread can [`WakePipe::wake`] the loop out of an
+//!   indefinite `wait` (e.g. for shutdown). Both ends are non-blocking;
+//!   a full pipe already guarantees a pending wakeup, so `EAGAIN` on
+//!   `wake` is success.
+//!
+//! Everything here is Linux-specific and gated accordingly; the rest of
+//! the crate (protocol codec, blocking client) is portable.
+
+#![cfg(target_os = "linux")]
+
+use std::ffi::c_int;
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readable readiness (also reported on peer close).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to request it).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, no need to request it).
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+/// `O_CLOEXEC`: both our fds must not leak into spawned processes.
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const O_CLOEXEC: c_int = 0o2000000;
+const O_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the one ABI
+/// where the kernel expects the 12-byte layout); natural alignment
+/// elsewhere.
+#[derive(Clone, Copy, Default)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub struct EpollEvent {
+    /// Ready-event bitmask (`EPOLL*`).
+    pub events: u32,
+    /// The caller's token, returned verbatim.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A level-triggered epoll instance. The fd closes on drop.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Create an epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall; a valid return is a live fd we then own.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: `fd` is a freshly created fd owned by no one else.
+        Ok(Self { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` with an interest mask and a caller token.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Remove a registered fd (closing the fd also removes it; this is
+    /// for deregistering without closing).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Block until at least one registered fd is ready (or `timeout_ms`
+    /// passes; `-1` = forever) and fill `events` with the ready set.
+    /// `EINTR` retries internally — callers never see spurious wakeups
+    /// from signals.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the buffer is valid for `events.len()` entries for
+            // the duration of the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            match cvt(n) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A non-blocking self-pipe for waking an epoll loop from other threads.
+pub struct WakePipe {
+    rd: OwnedFd,
+    wr: OwnedFd,
+}
+
+impl WakePipe {
+    /// Create the pipe (`O_NONBLOCK | O_CLOEXEC` on both ends).
+    pub fn new() -> io::Result<Self> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-slot buffer for pipe2 to fill.
+        cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+        // SAFETY: both fds were just created and are owned by no one else.
+        unsafe { Ok(Self { rd: OwnedFd::from_raw_fd(fds[0]), wr: OwnedFd::from_raw_fd(fds[1]) }) }
+    }
+
+    /// The read end's fd, for epoll registration.
+    pub fn read_fd(&self) -> RawFd {
+        self.rd.as_raw_fd()
+    }
+
+    /// Make the next (or current) `epoll_wait` on the read end return.
+    /// Infallible by design: `EAGAIN` means the pipe is full, i.e. a
+    /// wakeup is already pending.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one-byte write from a live stack buffer to an owned fd.
+        let _ = unsafe { write(self.wr.as_raw_fd(), &byte, 1) };
+    }
+
+    /// Consume all pending wakeup bytes (call from the loop when the
+    /// read end reports readable).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reads into a live stack buffer from an owned fd.
+            let n = unsafe { read(self.rd.as_raw_fd(), buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                return; // empty (EAGAIN), closed, or a signal — all done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_pipe_rouses_an_epoll_wait() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let pipe = WakePipe::new().expect("pipe2");
+        epoll.add(pipe.read_fd(), EPOLLIN, 7).expect("epoll_ctl add");
+        // Nothing pending: a zero timeout reports no events.
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+        // After a wake, the read end is ready and carries our token.
+        pipe.wake();
+        let n = epoll.wait(&mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 7);
+        assert_ne!({ events[0].events } & EPOLLIN, 0);
+        // Drained, the loop goes quiet again; repeated wakes coalesce.
+        pipe.drain();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+        pipe.wake();
+        pipe.wake();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 1);
+        pipe.drain();
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+    }
+
+    #[test]
+    fn modify_and_delete_change_the_interest_set() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let pipe = WakePipe::new().expect("pipe2");
+        epoll.add(pipe.read_fd(), EPOLLIN, 1).expect("add");
+        pipe.wake();
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 1);
+        // Interest masked off: the pending byte no longer reports.
+        epoll.modify(pipe.read_fd(), 0, 1).expect("modify");
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+        epoll.modify(pipe.read_fd(), EPOLLIN, 2).expect("modify");
+        let n = epoll.wait(&mut events, 0).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!({ events[0].data }, 2, "token updates with modify");
+        epoll.delete(pipe.read_fd()).expect("delete");
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+    }
+}

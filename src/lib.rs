@@ -19,8 +19,9 @@
 //! | [`hash`] | `hashfn` | Multiply-shift, multiply-add-shift, tabulation, Murmur3 finalizer; quality statistics |
 //! | [`tables`] | `sevendim-core` | ChainedH8/H24, LP (AoS + SoA, scalar + AVX2), QP, RH, CuckooH2/3/4, bucketized fingerprint (FP, SSE2 tag scans); growing wrapper; sharded concurrent wrapper; displacement/cluster stats; Figure 8 decision graph |
 //! | [`workload`] | `workloads` | dense/sparse/grid distributions; WORM and RW drivers (single- and multi-threaded) |
-//! | [`measure`] | `metrics` | throughput, multi-seed statistics, figure-shaped report tables |
+//! | [`measure`] | `metrics` | throughput, multi-seed statistics, latency histograms, figure-shaped report tables |
 //! | [`ops`] | `query` | hash join, group-by aggregation, profile-dispatched point index |
+//! | [`net`] | `sevendim-net` | networked KV service: epoll event loop, `7DKV` binary protocol, pipelined client (Linux) |
 //!
 //! ## Quick start
 //!
@@ -98,6 +99,7 @@ pub use hashfn as hash;
 pub use metrics as measure;
 pub use query as ops;
 pub use sevendim_core as tables;
+pub use sevendim_net as net;
 pub use workloads as workload;
 
 /// The names you need for day-to-day use: every table, every hash
@@ -119,6 +121,12 @@ pub mod prelude {
         ReadView, RhLookupMode, RobinHood, ShardedTable, TableBuilder, TableChoice, TableError,
         TableScheme, WorkloadProfile,
     };
+    #[cfg(target_os = "linux")]
+    pub use sevendim_net::{KvServer, ServerHandle, ServerStats};
+    // The client and full wire protocol are portable; the protocol
+    // module stays namespaced (`seven_dim_hashing::net::protocol`) so
+    // its `Op`/`Request` names don't shadow user types on glob import.
+    pub use sevendim_net::KvClient;
     pub use workloads::{Distribution, RwConfig, RwStream, WormConfig, WormKeys};
 }
 
