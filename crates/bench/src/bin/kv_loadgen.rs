@@ -25,7 +25,16 @@
 //! Per-worker latencies land in private `LatencyHistogram`s and are
 //! merged for reporting (`LatencyHistogram::merged` — identical to one
 //! histogram recording every sample). `--json` additionally writes
-//! `BENCH_net.json` for trend tracking.
+//! `BENCH_net.json` (schema v2: stamped with `schema_version`,
+//! `server_threads`, and `accept_mode`) for trend tracking.
+//!
+//! `--server-threads N` sets the in-process server's worker count
+//! (default: one per core) and the ceiling of the **thread sweep
+//! panel**: the GET workload re-run against fresh servers at 1, 2, 4, …
+//! worker threads, charting how throughput scales as more cores run
+//! the seqlock read path. On a 1-core host the sweep still prints (the
+//! curve is flat there — correctness, not scaling) with the same
+//! caveat `scale_threads` uses.
 
 #[cfg(not(target_os = "linux"))]
 fn main() {
@@ -45,12 +54,27 @@ mod linux {
     use rand::{Rng, SeedableRng};
     use sevendim_core::{ConcurrentTable, TableBuilder, TableScheme};
     use sevendim_net::protocol::{Op, Request};
-    use sevendim_net::{KvClient, KvServer};
+    use sevendim_net::{AcceptMode, KvClient, KvServer, ServerHandle};
     use std::collections::VecDeque;
     use std::io::Write as _;
     use std::net::SocketAddr;
     use std::sync::Arc;
     use std::time::{Duration, Instant};
+
+    /// Most client connections (threads) the generator will drive; more
+    /// is a config error, not a bigger benchmark.
+    const MAX_CONNS: usize = 1024;
+
+    /// Deepest per-connection pipeline. Past a few thousand in-flight
+    /// frames the client's deferred `recv` can deadlock against the
+    /// server's write-side backpressure (both socket buffers full, the
+    /// server paused on `WBUF_HIGH`, the client blocked in `flush`) —
+    /// reject the config instead of hanging.
+    const MAX_PIPELINE: usize = 4096;
+
+    /// Sanity ceiling for `--server-threads` (the sweep spawns a fresh
+    /// server per point).
+    const MAX_SERVER_THREADS: usize = 256;
 
     #[derive(Clone, Copy, PartialEq, Eq)]
     enum Scale {
@@ -70,6 +94,10 @@ mod linux {
         /// Open-loop arrival rate in ops/s across all connections
         /// (0 = closed loop).
         rate: u64,
+        /// Worker event loops for the in-process server (None = one per
+        /// core) and the ceiling of the thread-sweep panel.
+        server_threads: Option<usize>,
+        accept: AcceptMode,
         json: bool,
         addr: Option<String>,
     }
@@ -84,13 +112,18 @@ mod linux {
         }
 
         fn pipeline(&self) -> usize {
-            self.pipeline
-                .unwrap_or(match self.scale {
-                    Scale::Smoke => 16,
-                    Scale::Default => 64,
-                    Scale::Paper => 128,
-                })
-                .max(1)
+            self.pipeline.unwrap_or(match self.scale {
+                Scale::Smoke => 16,
+                Scale::Default => 64,
+                Scale::Paper => 128,
+            })
+        }
+
+        /// Resolved server worker count: the flag, or one per core.
+        fn server_threads(&self) -> usize {
+            self.server_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
         }
 
         fn ops(&self) -> usize {
@@ -121,6 +154,8 @@ mod linux {
             keys: None,
             get_ratio: 80,
             rate: 0,
+            server_threads: None,
+            accept: AcceptMode::Auto,
             json: false,
             addr: None,
         };
@@ -152,13 +187,65 @@ mod linux {
                     args.get_ratio = r as u32;
                 }
                 "--rate" => args.rate = parse_num(&value_for("--rate"), "--rate") as u64,
+                "--server-threads" => {
+                    args.server_threads =
+                        Some(parse_num(&value_for("--server-threads"), "--server-threads"))
+                }
+                "--accept" => {
+                    args.accept = match value_for("--accept").as_str() {
+                        "auto" => AcceptMode::Auto,
+                        "reuseport" => AcceptMode::ReusePort,
+                        "mailbox" => AcceptMode::Mailbox,
+                        v => usage(&format!("unknown accept mode '{v}'")),
+                    }
+                }
                 "--json" => args.json = true,
                 "--addr" => args.addr = Some(value_for("--addr")),
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
+        validate(&args);
         args
+    }
+
+    /// Reject configs that would hang or thrash instead of measuring:
+    /// zero connections or pipeline depth never make progress, an
+    /// oversized pipeline deadlocks against server backpressure, and an
+    /// absurd rate cannot be scheduled on a nanosecond grid.
+    fn validate(args: &Args) {
+        if let Some(c) = args.conns {
+            if c == 0 {
+                usage("--conns must be >= 1 (zero connections generate no load)");
+            }
+            if c > MAX_CONNS {
+                usage(&format!("--conns must be <= {MAX_CONNS} (one thread per connection)"));
+            }
+        }
+        if let Some(p) = args.pipeline {
+            if p == 0 {
+                usage("--pipeline must be >= 1 (an empty pipeline never completes)");
+            }
+            if p > MAX_PIPELINE {
+                usage(&format!(
+                    "--pipeline must be <= {MAX_PIPELINE} (deeper deadlocks against \
+                     server write backpressure)"
+                ));
+            }
+        }
+        if let Some(o) = args.ops {
+            if o == 0 {
+                usage("--ops must be >= 1");
+            }
+        }
+        if let Some(t) = args.server_threads {
+            if t == 0 || t > MAX_SERVER_THREADS {
+                usage(&format!("--server-threads must be in 1..={MAX_SERVER_THREADS}"));
+            }
+        }
+        if (1_000_000_000u64 * args.conns() as u64).checked_div(args.rate) == Some(0) {
+            usage("--rate too high: per-connection arrival interval rounds to 0 ns");
+        }
     }
 
     fn parse_num(v: &str, flag: &str) -> usize {
@@ -171,10 +258,19 @@ mod linux {
         }
         eprintln!(
             "usage: kv_loadgen [--scale smoke|default|paper] [--conns N] [--pipeline N] \
-             [--ops N] [--keys N] [--get-ratio PCT] [--rate OPS_PER_SEC] [--addr HOST:PORT] \
+             [--ops N] [--keys N] [--get-ratio PCT] [--rate OPS_PER_SEC] \
+             [--server-threads N] [--accept auto|reuseport|mailbox] [--addr HOST:PORT] \
              [--json]"
         );
         std::process::exit(if err.is_empty() { 0 } else { 2 })
+    }
+
+    fn accept_name(mode: AcceptMode) -> &'static str {
+        match mode {
+            AcceptMode::Auto => "auto",
+            AcceptMode::ReusePort => "reuseport",
+            AcceptMode::Mailbox => "mailbox",
+        }
     }
 
     struct PanelResult {
@@ -299,35 +395,107 @@ mod linux {
         format!("{:.1}", nanos as f64 / 1000.0)
     }
 
+    /// A fresh in-process server for `args`' workload: LP × Mult sharded
+    /// table sized to hold the key space at <= 70% load, optimistic
+    /// reads on (the GET panels should take the seqlock path), `threads`
+    /// worker event loops.
+    fn spawn_server(args: &Args, threads: usize) -> ServerHandle {
+        let keys = args.keys();
+        let slots = (keys as f64 / 0.7).ceil() as usize;
+        let bits = (slots.next_power_of_two().trailing_zeros() as u8).max(8);
+        let table = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(bits)
+            .concurrency(args.conns().max(threads))
+            .optimistic_reads(true)
+            .build_sharded();
+        let table: Arc<dyn ConcurrentTable> = Arc::new(table);
+        KvServer::builder()
+            .threads(threads)
+            .accept(args.accept)
+            .spawn("127.0.0.1:0", table)
+            .expect("spawn server")
+    }
+
+    struct SweepPoint {
+        threads: usize,
+        mops: f64,
+        p50_ns: u64,
+        p99_ns: u64,
+    }
+
+    /// Worker counts for the sweep: 1, 2, 4, … up to `max`, always
+    /// including `max` itself. At least two points even on a 1-core
+    /// host, so the panel exists everywhere (flat curve = correctness
+    /// evidence, not scaling evidence).
+    fn sweep_points(max: usize) -> Vec<usize> {
+        let top = max.max(2);
+        let mut points = Vec::new();
+        let mut t = 1;
+        while t < top {
+            points.push(t);
+            t *= 2;
+        }
+        points.push(top);
+        points
+    }
+
+    /// The thread-sweep panel: the GET workload re-run against a fresh
+    /// server (own table, own preload) per worker count. Skipped when
+    /// `--addr` targets an external server we can't respawn.
+    fn run_sweep(args: &Args) -> Vec<SweepPoint> {
+        let keys = args.keys() as u64;
+        sweep_points(args.server_threads())
+            .into_iter()
+            .map(|threads| {
+                let handle = spawn_server(args, threads);
+                preload(handle.addr(), keys).expect("sweep preload");
+                let panel = run_panel("get", handle.addr(), args, 100);
+                let stats = handle.shutdown().expect("sweep server shutdown");
+                assert_eq!(stats.protocol_closes, 0, "loadgen speaks the protocol");
+                SweepPoint {
+                    threads,
+                    mops: panel.mops(),
+                    p50_ns: panel.hist.p50(),
+                    p99_ns: panel.hist.p99(),
+                }
+            })
+            .collect()
+    }
+
+    /// Open file descriptors of this process, for the leak check: after
+    /// every server and client is shut down the count must return to
+    /// its startup value (worker epolls, wake pipes, listeners, and
+    /// accepted sockets all closed).
+    fn count_fds() -> usize {
+        std::fs::read_dir("/proc/self/fd").map(|d| d.count()).unwrap_or(0)
+    }
+
     pub fn main() {
+        let fds_at_start = count_fds();
         let args = parse_args(std::env::args());
         let keys = args.keys();
 
-        // In-process server unless --addr points elsewhere: LP × Mult
-        // sharded table sized to hold the key space at <= 70% load, with
-        // optimistic reads on (the GET panel should take the seqlock
-        // path).
+        // In-process server unless --addr points elsewhere.
         let mut server = None;
         let addr: SocketAddr = match &args.addr {
             Some(a) => a.parse().unwrap_or_else(|_| usage("--addr must be HOST:PORT")),
             None => {
-                let slots = (keys as f64 / 0.7).ceil() as usize;
-                let bits = (slots.next_power_of_two().trailing_zeros() as u8).max(8);
-                let table = TableBuilder::new(TableScheme::LinearProbing)
-                    .bits(bits)
-                    .concurrency(args.conns())
-                    .optimistic_reads(true)
-                    .build_sharded();
-                let table: Arc<dyn ConcurrentTable> = Arc::new(table);
-                let handle = KvServer::spawn("127.0.0.1:0", table).expect("spawn server");
+                let handle = spawn_server(&args, args.server_threads());
                 let a = handle.addr();
                 server = Some(handle);
                 a
             }
         };
 
+        // The accept path the server actually resolved to (Auto becomes
+        // reuseport or mailbox at spawn); external targets report the
+        // flag as requested since we can't introspect them.
+        let resolved_accept =
+            server.as_ref().map_or(args.accept, sevendim_net::ServerHandle::accept_mode);
+
         println!(
-            "kv_loadgen — {} conns × pipeline {}, {} ops/panel, {} keys, {}",
+            "kv_loadgen — {} conns × pipeline {}, {} ops/panel, {} keys, {}, \
+             {} server threads ({} accept)",
             args.conns(),
             args.pipeline(),
             args.ops(),
@@ -337,6 +505,8 @@ mod linux {
             } else {
                 format!("open loop at {} ops/s", args.rate)
             },
+            args.server_threads(),
+            accept_name(resolved_accept),
         );
 
         preload(addr, keys as u64).expect("preload");
@@ -361,14 +531,58 @@ mod linux {
             );
         }
 
+        // The main in-process server is done before the sweep spawns its
+        // own; an external --addr server can't be respawned per point,
+        // so the sweep is skipped there.
+        if let Some(handle) = server.take() {
+            let stats = handle.shutdown().expect("server shutdown");
+            assert_eq!(stats.protocol_closes, 0, "loadgen speaks the protocol");
+            println!(
+                "clean shutdown: {} conns, {} frames, {} ops served",
+                stats.accepted, stats.frames, stats.ops
+            );
+        }
+
+        let sweep = if args.addr.is_none() { run_sweep(&args) } else { Vec::new() };
+        if !sweep.is_empty() {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            println!("\nserver-thread sweep — GET panel, {} accept:", accept_name(resolved_accept));
+            println!(
+                "{:<8} {:>8} {:>8} {:>10} {:>10}",
+                "threads", "M ops/s", "speedup", "p50 us", "p99 us"
+            );
+            let base = sweep[0].mops;
+            for pt in &sweep {
+                println!(
+                    "{:<8} {:>8.2} {:>7.2}x {:>10} {:>10}",
+                    pt.threads,
+                    pt.mops,
+                    if base > 0.0 { pt.mops / base } else { 0.0 },
+                    fmt_us(pt.p50_ns),
+                    fmt_us(pt.p99_ns),
+                );
+            }
+            let top = sweep.last().expect("sweep is non-empty").threads;
+            if cores < top {
+                println!(
+                    "(host has {cores} core(s) — points above {cores} threads oversubscribe \
+                     and show correctness, not scaling)"
+                );
+            }
+        }
+
         if args.json {
-            let mut out = String::from("{\n  \"bench\": \"kv_loadgen\",\n");
+            let mut out =
+                String::from("{\n  \"bench\": \"kv_loadgen\",\n  \"schema_version\": 2,\n");
             out.push_str(&format!(
-                "  \"conns\": {}, \"pipeline\": {}, \"keys\": {}, \"rate\": {},\n  \"panels\": [\n",
+                "  \"conns\": {}, \"pipeline\": {}, \"keys\": {}, \"rate\": {},\n  \
+                 \"server_threads\": {}, \"accept_mode\": \"{}\",\n  \"panels\": [\n",
                 args.conns(),
                 args.pipeline(),
                 keys,
                 args.rate,
+                args.server_threads(),
+                accept_name(resolved_accept),
             ));
             for (i, p) in panels.iter().enumerate() {
                 out.push_str(&format!(
@@ -385,19 +599,27 @@ mod linux {
                     if i + 1 < panels.len() { "," } else { "" },
                 ));
             }
+            out.push_str("  ],\n  \"sweep\": [\n");
+            for (i, pt) in sweep.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"threads\": {}, \"mops\": {:.4}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+                    pt.threads,
+                    pt.mops,
+                    pt.p50_ns,
+                    pt.p99_ns,
+                    if i + 1 < sweep.len() { "," } else { "" },
+                ));
+            }
             out.push_str("  ]\n}\n");
             let mut f = std::fs::File::create("BENCH_net.json").expect("create BENCH_net.json");
             f.write_all(out.as_bytes()).expect("write BENCH_net.json");
             println!("\nwrote BENCH_net.json");
         }
 
-        if let Some(handle) = server.take() {
-            let stats = handle.shutdown().expect("server shutdown");
-            assert_eq!(stats.protocol_closes, 0, "loadgen speaks the protocol");
-            println!(
-                "clean shutdown: {} conns, {} frames, {} ops served",
-                stats.accepted, stats.frames, stats.ops
-            );
-        }
+        // Every worker thread has joined by now; any fd delta is a leak
+        // in the server/client lifecycle.
+        let fds_at_end = count_fds();
+        assert_eq!(fds_at_end, fds_at_start, "file descriptors leaked across server lifecycles");
+        println!("no leaked fds ({fds_at_end} open, same as at startup)");
     }
 }

@@ -1023,6 +1023,33 @@ mod tests {
         }
     }
 
+    /// A thread-per-core network front end shares one
+    /// `Arc<dyn ConcurrentTable>` across N worker threads: that is only
+    /// sound if the sharded table (over the builder's `BoxedTable`) is
+    /// `Send + Sync + 'static` and the trait object itself carries the
+    /// bounds. Compile-time assertions — a removed bound fails the
+    /// build here, not in a downstream crate at 2 a.m.
+    #[test]
+    fn sharded_tables_are_shareable_across_worker_threads() {
+        fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+        assert_send_sync_static::<ShardedTable<crate::BoxedTable>>();
+        assert_send_sync_static::<std::sync::Arc<dyn ConcurrentTable>>();
+        // And the builder's product coerces to the shared trait object.
+        let table: std::sync::Arc<dyn ConcurrentTable> = std::sync::Arc::new(
+            crate::TableBuilder::new(crate::TableScheme::LinearProbing)
+                .bits(6)
+                .shards(1)
+                .build_sharded(),
+        );
+        let t2 = std::sync::Arc::clone(&table);
+        let handle = std::thread::spawn(move || {
+            t2.insert_shared(1, 10).expect("insert");
+            t2.lookup_shared(1)
+        });
+        assert_eq!(handle.join().expect("worker thread"), Some(10));
+        assert_eq!(table.lookup_shared(1), Some(10), "write visible across threads");
+    }
+
     #[test]
     fn panicking_sub_batch_returns_scratch_to_pool() {
         let t: ShardedTable<PanickyTable> = ShardedTable::new(2, 1, |_| PanickyTable);

@@ -35,7 +35,7 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::fd::{AsRawFd, RawFd};
 
-use crate::sys::{EPOLLIN, EPOLLOUT};
+use crate::sys::{retry_eintr, EPOLLIN, EPOLLOUT};
 
 /// Stop reading a connection once this many response bytes are pending.
 pub const WBUF_HIGH: usize = 256 * 1024;
@@ -114,8 +114,9 @@ impl Connection {
         self.stream.as_raw_fd()
     }
 
-    /// Response bytes queued but not yet written.
-    fn pending_out(&self) -> usize {
+    /// Response bytes queued but not yet written (the server's shutdown
+    /// drain keeps flushing until this reaches zero).
+    pub(crate) fn pending_out(&self) -> usize {
         self.wbuf.len() - self.wstart
     }
 
@@ -162,7 +163,7 @@ impl Connection {
         let mut chunk = [0u8; 16 * 1024];
         let mut taken = 0;
         while taken < READ_BUDGET {
-            match self.stream.read(&mut chunk) {
+            match retry_eintr(|| self.stream.read(&mut chunk)) {
                 Ok(0) => {
                     self.peer_eof = true;
                     break;
@@ -172,7 +173,6 @@ impl Connection {
                     taken += n;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(Close::Io(e)),
             }
         }
@@ -303,11 +303,11 @@ impl Connection {
     /// Write as much of `wbuf` as the socket accepts right now.
     fn flush(&mut self) -> Result<(), Close> {
         while self.wstart < self.wbuf.len() {
-            match self.stream.write(&self.wbuf[self.wstart..]) {
+            let (stream, pending) = (&mut self.stream, &self.wbuf[self.wstart..]);
+            match retry_eintr(|| stream.write(pending)) {
                 Ok(0) => return Err(Close::Io(io::ErrorKind::WriteZero.into())),
                 Ok(n) => self.wstart += n,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(Close::Io(e)),
             }
         }

@@ -10,13 +10,21 @@
 //!   headers, `GET`/`PUT`/`DEL`/`BATCH` frames, streaming decode with
 //!   typed errors.
 //! * `sys` (Linux) — the crate's only unsafe code: raw `epoll` +
-//!   `pipe2` FFI (the workspace builds offline, so no `libc` crate).
-//! * `conn`/`server` (Linux) — a single-threaded, level-triggered
-//!   event loop over non-blocking sockets. Pipelined frames that
-//!   accumulate in a connection's read buffer are split into runs of
-//!   the same opcode and executed through
+//!   `pipe2` + `SO_REUSEPORT` socket FFI (the workspace builds offline,
+//!   so no `libc` crate), plus the one shared `EINTR` retry policy.
+//! * `conn`/`server` (Linux) — a **thread-per-core**, level-triggered
+//!   event loop fleet over non-blocking sockets: one worker per core
+//!   (knob: [`KvServer::builder`]`.threads(n)`), each with its own
+//!   epoll instance, wake pipe, and connections, all serving one
+//!   shared table. New connections reach workers either through
+//!   per-worker `SO_REUSEPORT` listeners (kernel flow-hash balancing)
+//!   or a least-loaded lock-free mailbox hand-off ([`AcceptMode`]).
+//!   Pipelined frames that accumulate in a connection's read buffer
+//!   are split into runs of the same opcode and executed through
 //!   [`ConcurrentTable`](sevendim_core::ConcurrentTable)'s prefetching
-//!   batch calls, so wire pipelining turns directly into table MLP.
+//!   batch calls, so wire pipelining turns directly into table MLP —
+//!   and GET runs ride the seqlock optimistic read path, which is what
+//!   lets N workers scale reads without shard mutex contention.
 //!   Per-connection output queues are bounded: past the high
 //!   watermark the server stops reading that socket until the queue
 //!   drains (backpressure lands on the slow peer, not on server
@@ -34,7 +42,9 @@
 //!     .shards(3)
 //!     .optimistic_reads(true)
 //!     .build_sharded();
-//! let server = KvServer::spawn("127.0.0.1:0", Arc::new(table))?;
+//! // One worker event loop per core by default; pin the count with
+//! // the builder (correctness is identical at any worker count).
+//! let server = KvServer::builder().threads(2).spawn("127.0.0.1:0", Arc::new(table))?;
 //! let mut client = KvClient::connect(server.addr())?;
 //! client.put(7, 42)?;
 //! assert_eq!(client.get(7)?, Some(42));
@@ -46,6 +56,8 @@
 pub mod client;
 #[cfg(target_os = "linux")]
 mod conn;
+#[cfg(target_os = "linux")]
+mod mailbox;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 mod server;
@@ -56,4 +68,4 @@ pub use client::KvClient;
 #[cfg(target_os = "linux")]
 pub use conn::{WBUF_HIGH, WBUF_LOW};
 #[cfg(target_os = "linux")]
-pub use server::{KvServer, ServerHandle, ServerStats};
+pub use server::{AcceptMode, KvServer, KvServerBuilder, ServerHandle, ServerStats, DRAIN_TIMEOUT};

@@ -1,0 +1,172 @@
+//! A lock-free mailbox for handing accepted connections to workers.
+//!
+//! The portable accept path (no `SO_REUSEPORT`) has one acceptor thread
+//! pushing accepted sockets to the least-loaded worker; each worker
+//! owns one [`Mailbox`] and empties it from its event loop after a
+//! wake. The shape is the classic *swap list*: producers push onto an
+//! atomic LIFO via CAS (push-only Treiber stack — immune to ABA because
+//! nothing pops single nodes), and the consumer takes the whole chain
+//! with one `swap(null)`, then reverses it to restore FIFO order. Both
+//! sides are lock-free and allocation is one node per message; there is
+//! no capacity limit, so the acceptor can never block on a slow worker
+//! (backpressure belongs to the listen backlog, not the handoff).
+//!
+//! Any items still queued when the last owner drops the mailbox are
+//! dropped with it — for `TcpStream` payloads that closes the sockets,
+//! so shutdown leaks no fds even when a handoff races the exit flag.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct Node<T> {
+    item: T,
+    next: *mut Node<T>,
+}
+
+/// A multi-producer, single-consumer take-all queue. `take_all` is
+/// intended for one consumer at a time (the owning worker), but even
+/// concurrent consumers would only race for disjoint chains — there is
+/// no unsafe aliasing, just unspecified distribution.
+pub struct Mailbox<T> {
+    head: AtomicPtr<Node<T>>,
+}
+
+// SAFETY: the mailbox moves `T` values across threads (producer to
+// consumer) and never shares a `&T`; `T: Send` is exactly the bound
+// that makes both directions sound.
+unsafe impl<T: Send> Send for Mailbox<T> {}
+unsafe impl<T: Send> Sync for Mailbox<T> {}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    pub fn new() -> Self {
+        Self { head: AtomicPtr::new(ptr::null_mut()) }
+    }
+
+    /// True when nothing is queued — one relaxed load, so event loops
+    /// can poll it every iteration for free.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Relaxed).is_null()
+    }
+
+    /// Push one item (lock-free; any thread).
+    pub fn push(&self, item: T) {
+        let node = Box::into_raw(Box::new(Node { item, next: ptr::null_mut() }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours alone until the CAS publishes it.
+            unsafe { (*node).next = head };
+            // `Release` publishes the node body; the failure load feeds
+            // straight back into the next CAS attempt.
+            match self.head.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Take every queued item, oldest first. One atomic `swap`; the
+    /// returned `Vec` is empty without allocating when the mailbox is.
+    pub fn take_all(&self) -> Vec<T> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        // `Acquire` pairs with the push's `Release`: node bodies are
+        // fully visible before we walk them.
+        let mut chain = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut items = Vec::new();
+        while !chain.is_null() {
+            // SAFETY: the swap made this chain exclusively ours; each
+            // node was created by `Box::into_raw` in `push`.
+            let node = unsafe { Box::from_raw(chain) };
+            chain = node.next;
+            items.push(node.item);
+        }
+        // The chain is newest-first (LIFO push); callers want arrival
+        // order.
+        items.reverse();
+        items
+    }
+}
+
+impl<T> Drop for Mailbox<T> {
+    fn drop(&mut self) {
+        drop(self.take_all());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn take_all_returns_items_in_push_order() {
+        let mbox = Mailbox::new();
+        assert!(mbox.is_empty());
+        assert!(mbox.take_all().is_empty());
+        for i in 0..5 {
+            mbox.push(i);
+        }
+        assert!(!mbox.is_empty());
+        assert_eq!(mbox.take_all(), vec![0, 1, 2, 3, 4]);
+        assert!(mbox.is_empty());
+        mbox.push(9);
+        assert_eq!(mbox.take_all(), vec![9], "reusable after a drain");
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        const PRODUCERS: usize = 4;
+        const PER: u64 = 2_000;
+        let mbox = Arc::new(Mailbox::new());
+        let handles: Vec<_> = (0..PRODUCERS as u64)
+            .map(|p| {
+                let mbox = Arc::clone(&mbox);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        mbox.push(p * PER + i);
+                    }
+                })
+            })
+            .collect();
+        // Consume concurrently with the producers, then drain the tail.
+        let mut seen = Vec::new();
+        while seen.len() < PRODUCERS * PER as usize {
+            seen.extend(mbox.take_all());
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        seen.extend(mbox.take_all());
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..(PRODUCERS as u64 * PER)).collect();
+        assert_eq!(seen, expected, "every push is taken exactly once");
+        // Per-producer FIFO is preserved within each take_all batch by
+        // construction (reverse of a LIFO chain) — spot-check the
+        // single-producer case exhaustively above instead of here.
+    }
+
+    #[test]
+    fn dropping_a_nonempty_mailbox_drops_its_items() {
+        struct Counted(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mbox = Mailbox::new();
+        for _ in 0..3 {
+            mbox.push(Counted(Arc::clone(&drops)));
+        }
+        drop(mbox);
+        assert_eq!(drops.load(Ordering::Relaxed), 3);
+    }
+}

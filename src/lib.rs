@@ -122,7 +122,7 @@ pub mod prelude {
         TableScheme, WorkloadProfile,
     };
     #[cfg(target_os = "linux")]
-    pub use sevendim_net::{KvServer, ServerHandle, ServerStats};
+    pub use sevendim_net::{AcceptMode, KvServer, KvServerBuilder, ServerHandle, ServerStats};
     // The client and full wire protocol are portable; the protocol
     // module stays namespaced (`seven_dim_hashing::net::protocol`) so
     // its `Op`/`Request` names don't shadow user types on glob import.

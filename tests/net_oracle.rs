@@ -20,9 +20,10 @@ use rand::{Rng, SeedableRng};
 use seven_dim_hashing::net::protocol::{Op, OpResponse, ProtoError, Request, Response};
 use seven_dim_hashing::net::{KvClient, KvServer};
 use seven_dim_hashing::prelude::*;
+use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
 use tests_common::all_schemes;
 
 /// Key universe: small enough to force collisions, replacements, and
@@ -224,4 +225,254 @@ fn pipelined_batches_interleave_with_point_frames_correctly() {
     let stats = server.shutdown().expect("shutdown");
     assert_eq!(stats.frames, reqs.len() as u64);
     assert_eq!(stats.ops, 6 + 7);
+}
+
+// ---- multi-worker oracle -------------------------------------------------
+//
+// With N workers the cross-client interleaving at the table is real
+// concurrency, so a sequential twin table can no longer predict it.
+// Instead each client owns a *disjoint* key range and models it with a
+// HashMap: within a range only that client's (FIFO-ordered) stream
+// touches the keys, so per-client responses stay exactly predictable no
+// matter how workers interleave — and the final table contents must be
+// the union of the models.
+
+/// Clients driven concurrently against the multi-worker server.
+const CLIENTS: usize = 4;
+/// Keys per client range (client `c` owns `1 + c*RANGE ..= (c+1)*RANGE`,
+/// staying clear of the reserved key 0).
+const RANGE: u64 = 64;
+/// Frames per client per configuration.
+const CLIENT_FRAMES: usize = 120;
+
+fn random_ranged_op(rng: &mut StdRng, lo: u64) -> Op {
+    let key = rng.gen_range(lo..lo + RANGE);
+    match rng.gen_range(0..10u32) {
+        0..=4 => Op::Get(key),
+        5..=7 => Op::Put(key, rng.gen_range(0..1_000_000)),
+        _ => Op::Del(key),
+    }
+}
+
+/// Apply one op to a client's HashMap model, producing the response the
+/// wire must carry. Exact because the tables never refuse an insert at
+/// this load (<= 256 keys in 2^10-slot shards).
+fn model_op(model: &mut HashMap<u64, u64>, op: Op) -> OpResponse {
+    match op {
+        Op::Get(k) => OpResponse::Get(model.get(&k).copied()),
+        Op::Put(k, v) => OpResponse::Put(Ok(match model.insert(k, v) {
+            Some(old) => InsertOutcome::Replaced(old),
+            None => InsertOutcome::Inserted,
+        })),
+        Op::Del(k) => OpResponse::Del(model.remove(&k)),
+    }
+}
+
+fn model_response(model: &mut HashMap<u64, u64>, req: &Request) -> Response {
+    match req {
+        Request::Get(k) => match model_op(model, Op::Get(*k)) {
+            OpResponse::Get(v) => Response::Get(v),
+            _ => unreachable!(),
+        },
+        Request::Put(k, v) => match model_op(model, Op::Put(*k, *v)) {
+            OpResponse::Put(r) => Response::Put(r),
+            _ => unreachable!(),
+        },
+        Request::Del(k) => match model_op(model, Op::Del(*k)) {
+            OpResponse::Del(v) => Response::Del(v),
+            _ => unreachable!(),
+        },
+        Request::Batch(ops) => Response::Batch(ops.iter().map(|&op| model_op(model, op)).collect()),
+    }
+}
+
+/// One concurrent client: a randomized pipelined stream over its own
+/// key range, every response checked against the model as it arrives.
+/// Returns the model for the union check.
+fn client_stream(addr: SocketAddr, client_idx: u64, seed: u64) -> HashMap<u64, u64> {
+    let lo = 1 + client_idx * RANGE;
+    let mut client = KvClient::connect(addr).expect("connect");
+    let mut model = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sent = 0usize;
+    while sent < CLIENT_FRAMES {
+        let segment = rng.gen_range(1..=16usize).min(CLIENT_FRAMES - sent);
+        let mut expected = Vec::with_capacity(segment);
+        for _ in 0..segment {
+            let req = if rng.gen_range(0..8u32) == 0 {
+                let n = rng.gen_range(0..=8usize);
+                Request::Batch((0..n).map(|_| random_ranged_op(&mut rng, lo)).collect())
+            } else {
+                match random_ranged_op(&mut rng, lo) {
+                    Op::Get(k) => Request::Get(k),
+                    Op::Put(k, v) => Request::Put(k, v),
+                    Op::Del(k) => Request::Del(k),
+                }
+            };
+            expected.push((client.enqueue(&req), model_response(&mut model, &req)));
+            sent += 1;
+        }
+        client.flush().expect("flush");
+        for (id, want) in expected {
+            let (got_id, got) = client.recv().expect("recv");
+            assert_eq!(got_id, id, "client {client_idx}: FIFO order broken");
+            assert_eq!(got, want, "client {client_idx}: response diverged from model");
+        }
+    }
+    model
+}
+
+#[test]
+fn multi_worker_concurrent_streams_match_per_client_models_for_every_scheme() {
+    for (i, scheme) in all_schemes().into_iter().enumerate() {
+        for (j, optimistic) in [true, false].into_iter().enumerate() {
+            // Alternate the accept path across the grid so both the
+            // SO_REUSEPORT and the mailbox hand-off get scheme-wide
+            // coverage without doubling the runtime.
+            let accept = if (i + j) % 2 == 0 { AcceptMode::ReusePort } else { AcceptMode::Mailbox };
+            let builder = TableBuilder::new(scheme)
+                .bits(10)
+                .seed(0xA11 + i as u64)
+                .shards(2)
+                .optimistic_reads(optimistic);
+            let served: Arc<dyn ConcurrentTable> = Arc::new(builder.build_sharded());
+            let server = KvServer::builder()
+                .threads(2)
+                .accept(accept)
+                .spawn("127.0.0.1:0", served)
+                .expect("spawn server");
+            assert_eq!(server.threads(), 2);
+            let addr = server.addr();
+
+            let joins: Vec<_> = (0..CLIENTS as u64)
+                .map(|c| {
+                    let seed = 0xC11E + ((i as u64) << 16) + ((j as u64) << 8) + c;
+                    std::thread::spawn(move || client_stream(addr, c, seed))
+                })
+                .collect();
+            let mut union: HashMap<u64, u64> = HashMap::new();
+            for join in joins {
+                union.extend(join.join().expect("client thread panicked"));
+            }
+
+            // The table must now hold exactly the union of the disjoint
+            // per-client models.
+            let all_keys: Vec<Op> = (1..=CLIENTS as u64 * RANGE).map(Op::Get).collect();
+            let probed = {
+                let mut c = KvClient::connect(addr).expect("connect probe");
+                c.batch(&all_keys).expect("probe batch")
+            };
+            for (k, got) in (1..=CLIENTS as u64 * RANGE).zip(probed) {
+                assert_eq!(
+                    got,
+                    OpResponse::Get(union.get(&k).copied()),
+                    "{scheme:?} optimistic={optimistic} {accept:?}: key {k} diverged"
+                );
+            }
+
+            let stats = server.shutdown().expect("shutdown");
+            let label = format!("{scheme:?} optimistic={optimistic} {accept:?}");
+            assert_eq!(stats.accepted, CLIENTS as u64 + 1, "{label}");
+            assert_eq!(stats.protocol_closes, 0, "{label}: well-formed stream closed a conn");
+            assert_eq!(stats.io_closes, 0, "{label}");
+        }
+    }
+}
+
+#[test]
+fn shutdown_drains_buffered_responses_to_concurrent_readers() {
+    // Clients flush a deep pipeline and *don't read* until shutdown has
+    // begun: every request the server answered before the signal must
+    // still reach its client (the drain guarantee), followed by EOF.
+    const DRAIN_CLIENTS: usize = 3;
+    const DRAIN_FRAMES: usize = 200;
+    let table: Arc<dyn ConcurrentTable> = Arc::new(
+        TableBuilder::new(TableScheme::LinearProbing)
+            .bits(10)
+            .shards(2)
+            .optimistic_reads(true)
+            .build_sharded(),
+    );
+    let server = KvServer::builder().threads(2).spawn("127.0.0.1:0", table).expect("spawn server");
+    let addr = server.addr();
+
+    // Barrier A: all clients have flushed. Barrier B: shutdown is about
+    // to be signalled, clients may start reading (concurrently with the
+    // workers' drain pass).
+    let flushed = Arc::new(Barrier::new(DRAIN_CLIENTS + 1));
+    let reading = Arc::new(Barrier::new(DRAIN_CLIENTS + 1));
+    let joins: Vec<_> = (0..DRAIN_CLIENTS)
+        .map(|c| {
+            let (flushed, reading) = (Arc::clone(&flushed), Arc::clone(&reading));
+            std::thread::spawn(move || {
+                let mut client = KvClient::connect(addr).expect("connect");
+                let ids: Vec<u64> = (0..DRAIN_FRAMES)
+                    .map(|i| client.enqueue(&Request::Put(1 + (c * DRAIN_FRAMES + i) as u64, 7)))
+                    .collect();
+                client.flush().expect("flush");
+                flushed.wait();
+                reading.wait();
+                for id in ids {
+                    let (got_id, resp) = client.recv().expect("drained response");
+                    assert_eq!(got_id, id, "client {c}: FIFO order broken");
+                    assert!(matches!(resp, Response::Put(Ok(_))), "client {c}");
+                }
+                // Nothing further is owed: the worker closes the socket
+                // once its buffered responses are flushed.
+                let err = client.recv().expect_err("EOF after the drained responses");
+                assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "client {c}");
+            })
+        })
+        .collect();
+
+    flushed.wait();
+    // Wait until the workers have *answered* every frame, so the full
+    // response volume is buffered (server-side or in socket buffers)
+    // when shutdown begins.
+    let total = (DRAIN_CLIENTS * DRAIN_FRAMES) as u64;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while server.stats().frames < total {
+        assert!(std::time::Instant::now() < deadline, "server never answered all frames");
+        std::thread::yield_now();
+    }
+    reading.wait();
+    let stats = server.shutdown().expect("shutdown");
+    for join in joins {
+        join.join().expect("client thread panicked");
+    }
+    assert_eq!(stats.frames, total);
+    assert_eq!(stats.ops, total);
+    assert_eq!(stats.protocol_closes, 0);
+    assert_eq!(stats.io_closes, 0);
+}
+
+#[test]
+fn spawn_serve_shutdown_cycle_leaks_no_file_descriptors() {
+    // Every fd the server opens (epoll instances, wake pipes, listeners,
+    // accepted sockets) must be closed by shutdown. Other tests in this
+    // binary run concurrently and may open fds between our snapshots, so
+    // retry a few times — a genuine leak fails every attempt.
+    fn count_fds() -> usize {
+        std::fs::read_dir("/proc/self/fd").expect("procfs").count()
+    }
+    let mut last = (0, 0);
+    for attempt in 0..3 {
+        let before = count_fds();
+        let table: Arc<dyn ConcurrentTable> = Arc::new(
+            TableBuilder::new(TableScheme::LinearProbing).bits(8).shards(2).build_sharded(),
+        );
+        let server =
+            KvServer::builder().threads(3).spawn("127.0.0.1:0", table).expect("spawn server");
+        let mut client = KvClient::connect(server.addr()).expect("connect");
+        assert!(client.put(1, 1).expect("put").is_ok());
+        drop(client);
+        server.shutdown().expect("shutdown");
+        let after = count_fds();
+        if before == after {
+            return;
+        }
+        last = (before, after);
+        let _ = attempt;
+    }
+    panic!("fd count changed across every spawn/shutdown cycle: {} -> {}", last.0, last.1);
 }
