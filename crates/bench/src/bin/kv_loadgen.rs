@@ -25,8 +25,21 @@
 //! Per-worker latencies land in private `LatencyHistogram`s and are
 //! merged for reporting (`LatencyHistogram::merged` — identical to one
 //! histogram recording every sample). `--json` additionally writes
-//! `BENCH_net.json` (schema v2: stamped with `schema_version`,
-//! `server_threads`, and `accept_mode`) for trend tracking.
+//! `BENCH_net.json` (schema v3: stamped with `schema_version`,
+//! `server_threads`, `accept_mode`, and `warmup_ops`) for trend
+//! tracking.
+//!
+//! Every measured window is preceded by an **untimed warm-up**: the
+//! preload plus a few thousand throwaway ops in the measured panel's
+//! own shape (same connections, pipeline depth, and mix), so first-use
+//! costs — connection setup, buffer allocation, table page faults,
+//! branch warm-up in the event loop — land outside the clock. Fresh
+//! servers (the main run and every sweep point) each get their own
+//! warm-up; without it the sweep's low-thread points carried the whole
+//! cold start and the scaling curve was skewed. The server's own op
+//! counter cross-checks the bookkeeping at shutdown: the sum of
+//! preload, warm-up, and panel ops must account for every op served,
+//! proving the measured panels counted only their own windows.
 //!
 //! `--server-threads N` sets the in-process server's worker count
 //! (default: one per core) and the ceiling of the **thread sweep
@@ -75,6 +88,13 @@ mod linux {
     /// Sanity ceiling for `--server-threads` (the sweep spawns a fresh
     /// server per point).
     const MAX_SERVER_THREADS: usize = 256;
+
+    /// Untimed throwaway ops per connection before each measured
+    /// window. A thousand per connection is enough to fault in the
+    /// client/server buffers and run every event-loop path a few
+    /// hundred times; it is deliberately *not* scaled with `--ops` so
+    /// smoke runs stay quick.
+    const WARMUP_OPS_PER_CONN: usize = 1000;
 
     #[derive(Clone, Copy, PartialEq, Eq)]
     enum Scale {
@@ -338,14 +358,20 @@ mod linux {
         Ok(hist)
     }
 
-    fn run_panel(name: &'static str, addr: SocketAddr, args: &Args, get_ratio: u32) -> PanelResult {
+    fn run_panel(
+        name: &'static str,
+        addr: SocketAddr,
+        args: &Args,
+        get_ratio: u32,
+        total_ops: usize,
+        rate: u64,
+    ) -> PanelResult {
         let conns = args.conns();
-        let total_ops = args.ops();
         let per_worker = total_ops.div_ceil(conns);
         let keys = args.keys() as u64;
         let depth = args.pipeline();
         // The global arrival rate splits evenly across connections.
-        let interval_ns = (1_000_000_000u64 * conns as u64).checked_div(args.rate).unwrap_or(0);
+        let interval_ns = (1_000_000_000u64 * conns as u64).checked_div(rate).unwrap_or(0);
         let start = Instant::now();
         let workers: Vec<_> = (0..conns)
             .map(|w| {
@@ -373,6 +399,17 @@ mod linux {
             elapsed,
             hist: LatencyHistogram::merged(&hists),
         }
+    }
+
+    /// The untimed warm-up burst: the measured panels' own shape (same
+    /// connections, pipeline depth, and mixed GET/PUT ratio), result
+    /// thrown away. Returns the op count it issued so the shutdown
+    /// accounting can prove it stayed outside every measured window.
+    fn warmup(addr: SocketAddr, args: &Args) -> u64 {
+        let total = args.conns() * WARMUP_OPS_PER_CONN;
+        // Always closed loop: the warm-up exists to exercise code paths,
+        // not to honor the measured panels' arrival schedule.
+        run_panel("warmup", addr, args, args.get_ratio, total, 0).ops
     }
 
     /// Preload every key so the GET panel always hits, using `BATCH`
@@ -449,9 +486,18 @@ mod linux {
             .map(|threads| {
                 let handle = spawn_server(args, threads);
                 preload(handle.addr(), keys).expect("sweep preload");
-                let panel = run_panel("get", handle.addr(), args, 100);
+                // Untimed warm-up per point: each fresh server pays its
+                // cold start *before* its measured window, so the
+                // low-thread points no longer carry setup skew.
+                let warmed = warmup(handle.addr(), args);
+                let panel = run_panel("get", handle.addr(), args, 100, args.ops(), args.rate);
                 let stats = handle.shutdown().expect("sweep server shutdown");
                 assert_eq!(stats.protocol_closes, 0, "loadgen speaks the protocol");
+                assert_eq!(
+                    stats.ops,
+                    keys + warmed + panel.ops,
+                    "sweep point at {threads} threads: measured window op accounting"
+                );
                 SweepPoint {
                     threads,
                     mops: panel.mops(),
@@ -510,9 +556,12 @@ mod linux {
         );
 
         preload(addr, keys as u64).expect("preload");
+        let warmed = warmup(addr, &args);
 
-        let panels =
-            [run_panel("get", addr, &args, 100), run_panel("mixed", addr, &args, args.get_ratio)];
+        let panels = [
+            run_panel("get", addr, &args, 100, args.ops(), args.rate),
+            run_panel("mixed", addr, &args, args.get_ratio, args.ops(), args.rate),
+        ];
 
         println!(
             "\n{:<8} {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
@@ -537,9 +586,20 @@ mod linux {
         if let Some(handle) = server.take() {
             let stats = handle.shutdown().expect("server shutdown");
             assert_eq!(stats.protocol_closes, 0, "loadgen speaks the protocol");
+            // Regression guard for the warm-up fix: the server's total
+            // op count must be exactly preload + warm-up + the two
+            // measured panels — the panels counted nothing but their
+            // own windows, and the warm-up stayed outside them.
+            let measured: u64 = panels.iter().map(|p| p.ops).sum();
+            assert_eq!(
+                stats.ops,
+                keys as u64 + warmed + measured,
+                "measured window op accounting (preload {keys} + warmup {warmed} + panels)"
+            );
             println!(
-                "clean shutdown: {} conns, {} frames, {} ops served",
-                stats.accepted, stats.frames, stats.ops
+                "clean shutdown: {} conns, {} frames, {} ops served \
+                 ({} preload + {} warmup + {} measured)",
+                stats.accepted, stats.frames, stats.ops, keys, warmed, measured
             );
         }
 
@@ -573,16 +633,18 @@ mod linux {
 
         if args.json {
             let mut out =
-                String::from("{\n  \"bench\": \"kv_loadgen\",\n  \"schema_version\": 2,\n");
+                String::from("{\n  \"bench\": \"kv_loadgen\",\n  \"schema_version\": 3,\n");
             out.push_str(&format!(
                 "  \"conns\": {}, \"pipeline\": {}, \"keys\": {}, \"rate\": {},\n  \
-                 \"server_threads\": {}, \"accept_mode\": \"{}\",\n  \"panels\": [\n",
+                 \"server_threads\": {}, \"accept_mode\": \"{}\", \"warmup_ops\": {},\n  \
+                 \"panels\": [\n",
                 args.conns(),
                 args.pipeline(),
                 keys,
                 args.rate,
                 args.server_threads(),
                 accept_name(resolved_accept),
+                warmed,
             ));
             for (i, p) in panels.iter().enumerate() {
                 out.push_str(&format!(

@@ -1,0 +1,231 @@
+//! Durability costs and recovery speed: what the WAL charges, what
+//! group commit refunds, and what snapshots *don't* stall.
+//!
+//! ```text
+//! cargo run --release -p bench --bin recovery_tail -- --scale smoke
+//! ```
+//!
+//! Three panels over a sharded LP×Mult table wrapped in
+//! [`DurableTable`] (real files under a throwaway temp directory):
+//!
+//! * **logged vs unlogged throughput** — the same PUT stream through
+//!   the bare table, then logged under [`FsyncPolicy::Never`],
+//!   `EveryN(64)`, and `Always`, single-op and group-committed
+//!   (64-op batches = 64 ops per record per fsync). The spread is the
+//!   whole durability trade: `Always`+singles pays one `fsync(2)` per
+//!   op; group commit divides that by the batch size at identical
+//!   guarantees for the acknowledged batch.
+//! * **snapshot overlap** — steady-state insert latency (p50/p99)
+//!   versus inserts racing an in-flight snapshot of a preloaded table.
+//!   Snapshots scan shard-at-a-time via `for_each_shared` and never
+//!   stop the world: the during-snapshot p99 must sit in the same
+//!   order of magnitude as steady state, and the bench prints both so
+//!   the claim is a number, not an adjective.
+//! * **recovery** — reopen the logged directory and time the replay:
+//!   `recovered: replayed N ops in T ms` (the line CI greps), plus
+//!   replay throughput, which bounds restart time per gigabyte of log.
+//!
+//! Latencies use [`metrics::LatencyHistogram`] (log-linear, ≤ 12.5%
+//! error). `--ops` overrides the logged-op count; fsync-heavy rows are
+//! the budget, so the default scales are modest.
+
+use bench::{parse_args, Scale};
+use metrics::LatencyHistogram;
+use sevendim_core::{ConcurrentTable, FsyncPolicy, TableBuilder, TableScheme};
+use sevendim_durable::DurableTable;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// PUTs per throughput row (fsync-bound rows make this the budget).
+fn logged_ops(scale: Scale, flag: Option<usize>) -> usize {
+    flag.unwrap_or(match scale {
+        Scale::Smoke => 4_000,
+        Scale::Default => 40_000,
+        Scale::Paper => 400_000,
+    })
+}
+
+/// Entries preloaded before the snapshot-overlap panel (the snapshot
+/// must take long enough to overlap a measurable insert stream).
+fn preload_keys(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 40_000,
+        Scale::Default => 400_000,
+        Scale::Paper => 2_000_000,
+    }
+}
+
+fn builder(dir: Option<&Path>) -> TableBuilder {
+    let b = TableBuilder::new(TableScheme::LinearProbing)
+        .bits(16)
+        .shards(3)
+        .grow_at(0.7)
+        .incremental(32)
+        .seed(0xD1_5C);
+    match dir {
+        Some(d) => b.wal(d),
+        None => b,
+    }
+}
+
+fn mops(ops: usize, secs: f64) -> f64 {
+    ops as f64 / secs / 1e6
+}
+
+fn put_stream(table: &dyn ConcurrentTable, ops: usize) -> f64 {
+    let start = Instant::now();
+    for i in 0..ops as u64 {
+        table.insert_shared(i * 2 + 2, i).expect("insert");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn put_stream_batched(table: &dyn ConcurrentTable, ops: usize, batch: usize) -> f64 {
+    let mut out = vec![Ok(sevendim_core::InsertOutcome::Inserted); batch];
+    let start = Instant::now();
+    let mut i = 0u64;
+    while (i as usize) < ops {
+        let n = batch.min(ops - i as usize);
+        let items: Vec<(u64, u64)> = (0..n as u64).map(|j| ((i + j) * 2 + 2, i + j)).collect();
+        table.insert_batch_shared(&items, &mut out[..n]);
+        i += n as u64;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// One logged throughput row: fresh WAL dir, `ops` PUTs, report M ops/s
+/// and the fsyncs the policy actually issued (from the file counters).
+fn logged_row(dir: &Path, policy: FsyncPolicy, ops: usize, batch: Option<usize>) -> (f64, u64) {
+    std::fs::remove_dir_all(dir).ok();
+    let b = builder(Some(dir)).fsync_policy(policy);
+    let (table, _) = DurableTable::open(&b).expect("open logged table");
+    let secs = match batch {
+        Some(n) => put_stream_batched(&table, ops, n),
+        None => put_stream(&table, ops),
+    };
+    let records = table.records_logged();
+    drop(table);
+    (secs, records)
+}
+
+fn fmt_us(nanos: u64) -> String {
+    format!("{:.1}", nanos as f64 / 1e3)
+}
+
+fn main() {
+    let args = parse_args(std::env::args());
+    let ops = logged_ops(args.scale, args.ops);
+    let base = std::env::temp_dir().join(format!("sevendim-recovery-tail-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    println!("recovery_tail — {} logged PUTs/row, WAL under {}\n", ops, base.display());
+
+    // Panel 1: logged vs unlogged throughput across fsync policies.
+    println!("{:<24} {:>9} {:>9} {:>10}", "write path", "M ops/s", "records", "vs bare");
+    let bare = builder(None).build_sharded();
+    let bare_secs = put_stream(&bare, ops);
+    let bare_mops = mops(ops, bare_secs);
+    println!("{:<24} {:>9.3} {:>9} {:>10}", "unlogged", bare_mops, "-", "1.00x");
+    let rows: [(&str, FsyncPolicy, Option<usize>); 4] = [
+        ("wal Never", FsyncPolicy::Never, None),
+        ("wal EveryN(64)", FsyncPolicy::EveryN(64), None),
+        ("wal Always", FsyncPolicy::Always, None),
+        ("wal Always, batch 64", FsyncPolicy::Always, Some(64)),
+    ];
+    let log_dir: PathBuf = base.join("throughput");
+    for (name, policy, batch) in rows {
+        let (secs, records) = logged_row(&log_dir, policy, ops, batch);
+        let m = mops(ops, secs);
+        println!(
+            "{:<24} {:>9.3} {:>9} {:>9.2}x",
+            name,
+            m,
+            records,
+            if bare_mops > 0.0 { m / bare_mops } else { 0.0 }
+        );
+    }
+
+    // Panel 2: inserts racing an in-flight snapshot. Preload, measure a
+    // steady-state window, then snapshot on another thread and measure
+    // the window that overlaps it.
+    let snap_dir = base.join("snapshot");
+    let b = builder(Some(&snap_dir)).fsync_policy(FsyncPolicy::Never);
+    let (table, _) = DurableTable::open(&b).expect("open snapshot table");
+    let table = Arc::new(table);
+    let preload = preload_keys(args.scale);
+    for i in 0..preload as u64 {
+        table.insert_shared(i * 2 + 2, i).expect("preload");
+    }
+    let mut steady = LatencyHistogram::new();
+    let mut k = (preload as u64) * 2 + 2;
+    for _ in 0..ops {
+        let t = Instant::now();
+        table.insert_shared(k, k).expect("steady insert");
+        steady.record(t.elapsed().as_nanos() as u64);
+        k += 2;
+    }
+    let during = {
+        let snapping = Arc::new(AtomicBool::new(true));
+        let snap_table = Arc::clone(&table);
+        let snap_flag = Arc::clone(&snapping);
+        let snapper = std::thread::spawn(move || {
+            let stats = snap_table.snapshot_now().expect("snapshot");
+            snap_flag.store(false, Ordering::Release);
+            stats
+        });
+        let mut during = LatencyHistogram::new();
+        // Keep inserting for as long as the snapshot runs (with a floor
+        // so the histogram is never starved on a fast snapshot).
+        let mut n = 0u64;
+        while snapping.load(Ordering::Acquire) || n < 1_000 {
+            let t = Instant::now();
+            table.insert_shared(k, k).expect("during-snapshot insert");
+            during.record(t.elapsed().as_nanos() as u64);
+            k += 2;
+            n += 1;
+        }
+        let stats = snapper.join().expect("snapshot thread");
+        println!(
+            "\nsnapshot overlap — {} entries snapshotted while {} inserts proceeded:",
+            stats.entries, n
+        );
+        during
+    };
+    println!("{:<18} {:>9} {:>9} {:>9}", "insert window", "p50 us", "p99 us", "max us");
+    for (name, h) in [("steady state", &steady), ("during snapshot", &during)] {
+        println!(
+            "{:<18} {:>9} {:>9} {:>9}",
+            name,
+            fmt_us(h.p50()),
+            fmt_us(h.p99()),
+            fmt_us(h.max_nanos())
+        );
+    }
+    let ratio = during.p99() as f64 / steady.p99().max(1) as f64;
+    println!(
+        "during-snapshot p99 is {ratio:.1}x steady state (same order of magnitude = \
+         snapshots don't stop the world)"
+    );
+    let total_live = table.len_shared();
+    drop(table);
+
+    // Panel 3: recovery — reopen the snapshot directory (snapshot +
+    // post-snapshot log tail) and time the replay.
+    let t = Instant::now();
+    let (recovered, report) = DurableTable::open(&b).expect("reopen");
+    let took = t.elapsed();
+    assert!(report.clean(), "recovery hit damage: {:?}", report.tail_error);
+    assert_eq!(recovered.len_shared(), total_live, "recovered state matches the live table");
+    println!(
+        "\nrecovered: replayed {} ops in {:.1} ms ({} snapshot entries, {:.2} M ops/s replay)",
+        report.replayed_ops,
+        took.as_secs_f64() * 1e3,
+        report.snapshot_entries,
+        mops(report.replayed_ops as usize, took.as_secs_f64().max(1e-9)),
+    );
+    drop(recovered);
+
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -42,6 +42,7 @@ use crate::{
 };
 use hashfn::{HashFamily, MultAddShift, MultShift, Murmur, Tabulation};
 use slab_alloc::SlabAllocator;
+use std::path::{Path, PathBuf};
 
 /// What the builder builds: a boxed table that is also [`Send`], so
 /// builder-made tables (and the [`ShardedTable`]s wrapping them) can move
@@ -148,6 +149,26 @@ impl HashKind {
     }
 }
 
+/// When the durability layer fsyncs the write-ahead log (consumed by the
+/// `sevendim-durable` crate; inert configuration data here — `core` has
+/// no I/O). See [`TableBuilder::fsync_policy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every group-committed record: by the time a mutation
+    /// is acknowledged it is on stable storage. The default, and the only
+    /// policy under which the crash-recovery oracle may assume every
+    /// acknowledged op survives.
+    Always,
+    /// `fsync` once every `n` appended records (and always at snapshot
+    /// and close): bounded loss window, amortized sync cost.
+    EveryN(u64),
+    /// Never `fsync` from the mutation path — the OS page cache decides
+    /// when bytes hit disk. Snapshot and close still sync. Fastest, and
+    /// the loss window is unbounded on power failure (though not on
+    /// process crash: appends still reach the kernel before the ack).
+    Never,
+}
+
 /// Builder for every table in the study. See the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct TableBuilder {
@@ -162,6 +183,9 @@ pub struct TableBuilder {
     shard_bits: u8,
     prefetch_batch: Option<usize>,
     optimistic_reads: bool,
+    wal_dir: Option<PathBuf>,
+    fsync_policy: FsyncPolicy,
+    snapshot_every: Option<u64>,
 }
 
 impl TableBuilder {
@@ -180,6 +204,9 @@ impl TableBuilder {
             shard_bits: 0,
             prefetch_batch: None,
             optimistic_reads: true,
+            wal_dir: None,
+            fsync_policy: FsyncPolicy::Always,
+            snapshot_every: None,
         }
     }
 
@@ -325,6 +352,36 @@ impl TableBuilder {
         self
     }
 
+    /// Log every mutation to a write-ahead log under `dir` and recover
+    /// from it on open. `core` only records the description — the
+    /// `sevendim-durable` crate reads it back (via
+    /// [`TableBuilder::wal_dir`]) and wraps the built table in its
+    /// `DurableTable`; see that crate for the record format, group
+    /// commit, and recovery semantics.
+    pub fn wal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// How often the WAL is fsync'd (default [`FsyncPolicy::Always`]).
+    /// Inert without [`TableBuilder::wal`].
+    pub fn fsync_policy(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync_policy = policy;
+        self
+    }
+
+    /// Write a snapshot (and truncate the log) after every `records`
+    /// logged records, bounding replay work at recovery. Snapshots scan
+    /// the live table through `ConcurrentTable::for_each_shared` — one
+    /// shard locked at a time — so they never stop the world. `None`
+    /// (the default) means snapshot only when asked explicitly. Inert
+    /// without [`TableBuilder::wal`].
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        assert!(records >= 1, "snapshot_every wants a record count >= 1, got {records}");
+        self.snapshot_every = Some(records);
+        self
+    }
+
     /// The configured scheme.
     pub fn scheme_kind(&self) -> TableScheme {
         self.scheme
@@ -349,6 +406,21 @@ impl TableBuilder {
     /// [`TableBuilder::grow_at`] set).
     pub fn growth_policy(&self) -> GrowthPolicy {
         self.growth_policy
+    }
+
+    /// The configured WAL directory ([`TableBuilder::wal`]), if any.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.wal_dir.as_deref()
+    }
+
+    /// The configured fsync policy ([`TableBuilder::fsync_policy`]).
+    pub fn fsync_kind(&self) -> FsyncPolicy {
+        self.fsync_policy
+    }
+
+    /// The configured snapshot cadence ([`TableBuilder::snapshot_every`]).
+    pub fn snapshot_threshold(&self) -> Option<u64> {
+        self.snapshot_every
     }
 
     /// Paper-style label of the configured cell, e.g. `"RHMult"`.

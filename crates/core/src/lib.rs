@@ -55,7 +55,7 @@ pub mod stats;
 pub(crate) mod tests_common;
 
 pub use budget::MemoryBudget;
-pub use builder::{profile_choice, BoxedTable, HashKind, TableBuilder, TableScheme};
+pub use builder::{profile_choice, BoxedTable, FsyncPolicy, HashKind, TableBuilder, TableScheme};
 pub use chained::{ChainedTable24, ChainedTable8};
 pub use cuckoo::Cuckoo;
 pub use decision::{recommend, TableChoice, WorkloadProfile};

@@ -132,6 +132,20 @@ pub trait ConcurrentTable: Send + Sync {
 
     /// [`HashTable::len`] through a shared reference.
     fn len_shared(&self) -> usize;
+
+    /// Visit every live entry through a shared reference — the snapshot /
+    /// migration iteration primitive. [`ShardedTable`] walks one shard at
+    /// a time (via [`ShardedTable::for_each_shard`]), holding only that
+    /// shard's lock for the duration of its scan, so mutations to every
+    /// other shard proceed concurrently: iteration never stops the world.
+    /// On a growing shard ([`DynamicTable`](crate::DynamicTable)) both
+    /// generations are visited, so entries mid-migration are not missed.
+    ///
+    /// The visit is *per-shard consistent*, not a global atomic view:
+    /// entries mutated concurrently in a not-yet-visited shard may or may
+    /// not be observed, but every `(key, value)` passed to `f` was live at
+    /// the moment its shard was scanned.
+    fn for_each_shared(&self, f: &mut dyn FnMut(u64, u64));
 }
 
 /// One shard: a table plus the two halves of its synchronization — the
@@ -642,6 +656,10 @@ impl<T: HashTable + Send> ConcurrentTable for ShardedTable<T> {
 
     fn len_shared(&self) -> usize {
         self.shards.iter().map(|s| s.read_locked().len()).sum()
+    }
+
+    fn for_each_shared(&self, f: &mut dyn FnMut(u64, u64)) {
+        self.for_each_shard(|_, t| t.for_each(f));
     }
 }
 

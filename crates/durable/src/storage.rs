@@ -1,0 +1,255 @@
+//! WAL storage: the [`WalFile`] sink abstraction, its real
+//! ([`FileWal`]) and in-memory fault-injection ([`MemWal`]) backends,
+//! and the group-committing [`WalWriter`] that frames ops into records
+//! and decides when to fsync.
+//!
+//! `WalFile` exists for exactly one reason beyond `File`: the
+//! crash-recovery oracle needs to *observe* the byte stream an
+//! acknowledged prefix produced, then tear it at arbitrary offsets
+//! (mid-record, mid-group-commit) and prove recovery stops cleanly.
+//! [`MemWal`] hands the test a shared handle onto the raw bytes plus the
+//! sync history, so "what was on disk at the crash" is a slice the test
+//! can truncate and corrupt at will.
+
+use crate::record::{encode_record, WalOp};
+use sevendim_core::FsyncPolicy;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// An append-only record sink. Implementations must make `append`
+/// all-or-nothing *in memory* (a short write is an error), but bytes are
+/// only promised durable after `sync` returns.
+pub trait WalFile: Send {
+    /// Append `bytes` at the end of the log.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Block until every appended byte is on stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The real thing: an append-mode [`File`], `fsync` via
+/// [`File::sync_data`].
+pub struct FileWal {
+    file: File,
+}
+
+impl FileWal {
+    /// Create `path` (truncating any previous content) for appending.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(Self { file })
+    }
+
+    /// Open `path` for appending, creating it if absent.
+    pub fn open_append(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { file })
+    }
+}
+
+impl WalFile for FileWal {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Shared view into a [`MemWal`]'s history.
+#[derive(Default)]
+pub struct MemWalState {
+    /// Every appended byte, in order.
+    pub bytes: Vec<u8>,
+    /// Length of the synced prefix (what "survives the crash" under
+    /// [`FsyncPolicy::Always`] semantics).
+    pub synced_len: usize,
+    /// How many times `sync` ran.
+    pub syncs: u64,
+}
+
+/// In-memory [`WalFile`] for fault injection: clones share one buffer,
+/// so a test keeps a handle while a `WalWriter` (or a whole
+/// `DurableTable`) writes through the other.
+#[derive(Clone, Default)]
+pub struct MemWal {
+    state: Arc<Mutex<MemWalState>>,
+}
+
+impl MemWal {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the appended bytes.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.lock().bytes.clone()
+    }
+
+    /// Total appended length.
+    pub fn len(&self) -> usize {
+        self.lock().bytes.len()
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of the synced prefix.
+    pub fn synced_len(&self) -> usize {
+        self.lock().synced_len
+    }
+
+    /// Number of `sync` calls so far — the group-commit tests assert
+    /// fsyncs are amortized per *batch*, not per op.
+    pub fn syncs(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemWalState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl WalFile for MemWal {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.lock().bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut s = self.lock();
+        s.synced_len = s.bytes.len();
+        s.syncs += 1;
+        Ok(())
+    }
+}
+
+/// Frames ops into `7DWL` records, appends them to a [`WalFile`], and
+/// applies the [`FsyncPolicy`]. One [`WalWriter::log`] call is one group
+/// commit: however many ops a batch carries, they cost one record frame
+/// and at most one fsync — the same amortization `conn.rs` gets from
+/// run-segmenting a pipelined connection into batch calls.
+pub struct WalWriter {
+    file: Box<dyn WalFile>,
+    next_seq: u64,
+    policy: FsyncPolicy,
+    records_since_sync: u64,
+    records: u64,
+    scratch: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Wrap `file`, numbering the next logged op `next_seq`.
+    pub fn new(file: Box<dyn WalFile>, next_seq: u64, policy: FsyncPolicy) -> Self {
+        Self { file, next_seq, policy, records_since_sync: 0, records: 0, scratch: Vec::new() }
+    }
+
+    /// Group-commit `ops` as one record. Returns the sequence number of
+    /// the first op (they number consecutively from there). Empty groups
+    /// append nothing.
+    pub fn log(&mut self, ops: &[WalOp]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        if ops.is_empty() {
+            return Ok(seq);
+        }
+        self.scratch.clear();
+        encode_record(seq, ops, &mut self.scratch);
+        self.file.append(&self.scratch)?;
+        self.next_seq += ops.len() as u64;
+        self.records += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.file.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.records_since_sync += 1;
+                if self.records_since_sync >= n.max(1) {
+                    self.file.sync()?;
+                    self.records_since_sync = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Force an fsync regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.records_since_sync = 0;
+        self.file.sync()
+    }
+
+    /// Sequence number the next logged op will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Records appended through this writer.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Swap in a fresh segment file (after syncing the old one — the
+    /// caller does that as part of snapshot rotation).
+    pub fn swap_file(&mut self, file: Box<dyn WalFile>) {
+        self.file = file;
+        self.records_since_sync = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::decode_record;
+
+    #[test]
+    fn group_commit_amortizes_fsync_per_batch() {
+        let mem = MemWal::new();
+        let mut w = WalWriter::new(Box::new(mem.clone()), 1, FsyncPolicy::Always);
+        let batch: Vec<WalOp> = (0..100).map(|i| WalOp::Put { key: i, value: i }).collect();
+        assert_eq!(w.log(&batch).unwrap(), 1);
+        assert_eq!(mem.syncs(), 1, "one batch = one record = one fsync");
+        assert_eq!(w.next_seq(), 101, "ops number consecutively inside the group");
+        assert_eq!(mem.synced_len(), mem.len());
+        let (rec, used) = decode_record(&mem.bytes()).unwrap().unwrap();
+        assert_eq!(used, mem.len());
+        assert_eq!(rec.ops.len(), 100);
+    }
+
+    #[test]
+    fn every_n_policy_syncs_on_cadence() {
+        let mem = MemWal::new();
+        let mut w = WalWriter::new(Box::new(mem.clone()), 1, FsyncPolicy::EveryN(3));
+        for i in 0..7 {
+            w.log(&[WalOp::Del { key: i }]).unwrap();
+        }
+        assert_eq!(mem.syncs(), 2, "7 records at EveryN(3) = syncs after records 3 and 6");
+        w.sync().unwrap();
+        assert_eq!(mem.syncs(), 3);
+        assert_eq!(mem.synced_len(), mem.len());
+    }
+
+    #[test]
+    fn never_policy_still_syncs_on_demand() {
+        let mem = MemWal::new();
+        let mut w = WalWriter::new(Box::new(mem.clone()), 1, FsyncPolicy::Never);
+        w.log(&[WalOp::Put { key: 1, value: 2 }]).unwrap();
+        assert_eq!(mem.syncs(), 0);
+        w.sync().unwrap();
+        assert_eq!(mem.syncs(), 1);
+    }
+
+    #[test]
+    fn empty_groups_append_nothing() {
+        let mem = MemWal::new();
+        let mut w = WalWriter::new(Box::new(mem.clone()), 5, FsyncPolicy::Always);
+        assert_eq!(w.log(&[]).unwrap(), 5);
+        assert!(mem.is_empty());
+        assert_eq!(w.next_seq(), 5);
+        assert_eq!(mem.syncs(), 0, "an empty group must not pay an fsync");
+    }
+}

@@ -1,0 +1,696 @@
+//! [`DurableTable`]: a write-ahead-logged wrapper around any
+//! [`ConcurrentTable`], with recovery-on-open and non-stop snapshots.
+//!
+//! # Write path
+//!
+//! Every mutation takes the log mutex, appends one group-commit record
+//! (framed and fsync'd per the [`FsyncPolicy`]), applies the same ops to
+//! the wrapped table, and only then returns — so by the time a caller
+//! sees an outcome, the op is in the log *ahead* of its effect, and the
+//! log order **is** the apply order. That single serialization point is
+//! deliberate: the WAL is one append stream, so mutations serialize
+//! there anyway, and making the apply ride the same critical section is
+//! what lets replay reproduce the exact original state (two racing PUTs
+//! to one key replay in the order they were applied, not some other
+//! order). Reads never touch the mutex — `lookup_shared` and friends go
+//! straight to the wrapped table, so the lock-free seqlock read path
+//! stays lock-free.
+//!
+//! WAL I/O failure on the write path **panics**: a table that can no
+//! longer log cannot safely acknowledge anything, and pretending
+//! otherwise (returning `Ok` without durability, or inventing a
+//! `TableError`) would corrupt the recovery contract.
+//!
+//! # Snapshots never stop the world
+//!
+//! A snapshot rotates the log (brief log-lock hold: fsync, note
+//! `covered_seq`, open a fresh segment), then scans the table through
+//! [`ConcurrentTable::for_each_shared`] — one shard locked at a time,
+//! both generations of a mid-growth shard included, exactly the
+//! incremental-drain iteration growth itself uses — while writers keep
+//! logging to the new segment. The scan may therefore observe effects of
+//! ops logged *after* `covered_seq`; that is sound because recovery
+//! replays every op with `seq > covered_seq` in log order on top of the
+//! snapshot, and per-key last-writer-wins makes the replayed tail
+//! converge to the true final state regardless of which tail effects the
+//! scan happened to catch.
+//!
+//! # Recovery
+//!
+//! [`DurableTable::open`] loads the snapshot (if any), then replays
+//! every surviving segment in order, skipping ops the snapshot already
+//! covers, and **stops at the first bad checksum or truncated frame —
+//! never replaying past it**. A truncated tail (the normal crash
+//! artifact) is a clean stop; a checksum failure is reported in the
+//! [`RecoveryReport`] so callers can distinguish "crashed mid-append"
+//! from "disk ate my log". Either way the new epoch appends to a *fresh*
+//! segment, so damaged bytes are never appended after.
+
+use crate::record::{decode_record, WalError, WalOp};
+use crate::snapshot;
+use crate::storage::{FileWal, WalFile, WalWriter};
+use sevendim_core::{
+    BoxedTable, ConcurrentTable, FsyncPolicy, InsertOutcome, ShardedTable, TableBuilder, TableError,
+};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// The durable table the KV server serves: a WAL in front of the
+/// sharded dynamic table grid.
+pub type DurableSharded = DurableTable<ShardedTable<BoxedTable>>;
+
+/// What recovery found and did. Returned by [`DurableTable::open`] and
+/// [`replay_into`].
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Entries loaded from the snapshot.
+    pub snapshot_entries: u64,
+    /// Valid records decoded from the log tail.
+    pub records: u64,
+    /// Ops re-applied (sequence numbers past the snapshot).
+    pub replayed_ops: u64,
+    /// Ops skipped because the snapshot already covered them.
+    pub skipped_ops: u64,
+    /// Highest sequence number reflected in the recovered table.
+    pub last_seq: u64,
+    /// Bytes of truncated tail discarded (a partial final record — the
+    /// normal artifact of a crash mid-append).
+    pub truncated_tail_bytes: u64,
+    /// First checksum/decode error met, if any. Replay stopped there;
+    /// nothing after it was applied.
+    pub tail_error: Option<WalError>,
+}
+
+impl RecoveryReport {
+    /// True when the log ended cleanly (at EOF or a truncated final
+    /// frame) rather than at damaged bytes.
+    pub fn clean(&self) -> bool {
+        self.tail_error.is_none()
+    }
+
+    fn absorb(&mut self, other: RecoveryReport) {
+        self.records += other.records;
+        self.replayed_ops += other.replayed_ops;
+        self.skipped_ops += other.skipped_ops;
+        self.last_seq = self.last_seq.max(other.last_seq);
+        self.truncated_tail_bytes += other.truncated_tail_bytes;
+        if self.tail_error.is_none() {
+            self.tail_error = other.tail_error;
+        }
+    }
+}
+
+/// Decode `bytes` as a `7DWL` record stream and apply every op with
+/// `seq > covered_seq` to `table`, in order, stopping at the first
+/// truncated or damaged frame. This is the whole recovery kernel — the
+/// crash-recovery oracle drives it directly over torn byte streams.
+///
+/// Insert outcomes are deliberately ignored: replaying the same op
+/// prefix into an identically configured table reproduces the same
+/// per-op outcomes (hashing is seeded and deterministic), so an op that
+/// failed originally fails identically on replay, leaving the table
+/// unchanged — exactly what happened the first time.
+pub fn replay_into<T: ConcurrentTable + ?Sized>(
+    bytes: &[u8],
+    table: &T,
+    covered_seq: u64,
+) -> RecoveryReport {
+    let mut report = RecoveryReport { last_seq: covered_seq, ..Default::default() };
+    let mut at = 0usize;
+    loop {
+        match decode_record(&bytes[at..]) {
+            Ok(None) => {
+                report.truncated_tail_bytes = (bytes.len() - at) as u64;
+                break;
+            }
+            Ok(Some((rec, used))) => {
+                for (i, op) in rec.ops.iter().enumerate() {
+                    let seq = rec.seq.wrapping_add(i as u64);
+                    if seq <= covered_seq {
+                        report.skipped_ops += 1;
+                        continue;
+                    }
+                    match *op {
+                        WalOp::Put { key, value } => {
+                            let _ = table.insert_shared(key, value);
+                        }
+                        WalOp::Del { key } => {
+                            let _ = table.delete_shared(key);
+                        }
+                    }
+                    report.replayed_ops += 1;
+                    report.last_seq = report.last_seq.max(seq);
+                }
+                report.records += 1;
+                at += used;
+            }
+            Err(e) => {
+                report.tail_error = Some(e);
+                break;
+            }
+        }
+    }
+    report
+}
+
+fn segment_name(no: u64) -> String {
+    format!("wal.{no:06}.log")
+}
+
+/// `wal.NNNNNN.log` files in `dir`, sorted by segment number.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(no) = name.strip_prefix("wal.").and_then(|s| s.strip_suffix(".log")) else {
+            continue;
+        };
+        if let Ok(no) = no.parse::<u64>() {
+            segs.push((no, entry.path()));
+        }
+    }
+    segs.sort_unstable_by_key(|&(no, _)| no);
+    Ok(segs)
+}
+
+/// Survives-poison lock (one panicking thread must not wedge the log).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct LogState {
+    writer: WalWriter,
+    seg_no: u64,
+    records_since_snapshot: u64,
+}
+
+struct Core<T> {
+    inner: T,
+    dir: Option<PathBuf>,
+    snapshot_every: Option<u64>,
+    log: Mutex<LogState>,
+    /// Serializes snapshot bodies (explicit and background).
+    snap_mutex: Mutex<()>,
+    /// Set while a background snapshot is queued or running, so the
+    /// write path spawns at most one.
+    snap_pending: AtomicBool,
+    snapshots_taken: AtomicU64,
+}
+
+/// Outcome of one snapshot pass.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotStats {
+    /// Every op with `seq <= covered_seq` is reflected in the file.
+    pub covered_seq: u64,
+    /// Entries written.
+    pub entries: usize,
+}
+
+impl<T: ConcurrentTable> Core<T> {
+    fn snapshot(&self) -> Result<SnapshotStats, WalError> {
+        let _serialize = lock(&self.snap_mutex);
+        let dir = self.dir.as_deref().ok_or(WalError::SnapshotUnavailable)?;
+        // Rotate under the log lock: everything logged so far is also
+        // applied (same critical section), so `covered_seq` is exact.
+        let (covered_seq, new_seg) = {
+            let mut log = lock(&self.log);
+            log.writer.sync()?;
+            let covered_seq = log.writer.next_seq() - 1;
+            let new_seg = log.seg_no + 1;
+            let file = FileWal::create(&dir.join(segment_name(new_seg)))?;
+            log.writer.swap_file(Box::new(file));
+            log.seg_no = new_seg;
+            log.records_since_snapshot = 0;
+            (covered_seq, new_seg)
+        };
+        // Scan with no log lock held: writers keep committing to the new
+        // segment; `for_each_shared` locks one shard at a time.
+        let mut entries = Vec::with_capacity(self.inner.len_shared());
+        self.inner.for_each_shared(&mut |k, v| entries.push((k, v)));
+        snapshot::write(dir, covered_seq, &entries)?;
+        // Old segments are fully covered by the published snapshot.
+        for (no, path) in list_segments(dir)? {
+            if no < new_seg {
+                let _ = fs::remove_file(path);
+            }
+        }
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        Ok(SnapshotStats { covered_seq, entries: entries.len() })
+    }
+}
+
+/// A [`ConcurrentTable`] whose every mutation is group-committed to a
+/// write-ahead log before it is acknowledged. See the [module
+/// docs](self) for the write-path, snapshot, and recovery contracts.
+pub struct DurableTable<T: ConcurrentTable> {
+    core: Arc<Core<T>>,
+    snap_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<T: ConcurrentTable> fmt::Debug for DurableTable<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableTable")
+            .field("dir", &self.core.dir)
+            .field("len", &self.core.inner.len_shared())
+            .field("snapshots_taken", &self.core.snapshots_taken.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableTable<ShardedTable<BoxedTable>> {
+    /// Open (or create) the durable table a [`TableBuilder`] describes.
+    ///
+    /// The builder must carry [`TableBuilder::wal`]; its directory is
+    /// created if missing, the snapshot (if any) is loaded, every
+    /// surviving log segment is replayed per the recovery contract, and
+    /// a fresh segment is opened for this epoch's appends. The table
+    /// itself is `builder.build_sharded()` — the whole
+    /// scheme × hash × shards × growth grid composes with durability.
+    ///
+    /// # Panics
+    ///
+    /// When the builder has no WAL directory — that is a
+    /// misconfiguration, not a runtime condition.
+    pub fn open(builder: &TableBuilder) -> Result<(Self, RecoveryReport), WalError> {
+        let dir = builder
+            .wal_dir()
+            .expect("DurableTable::open wants a builder with .wal(dir) set")
+            .to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let inner = builder.build_sharded();
+        let mut report = RecoveryReport::default();
+
+        let mut covered_seq = 0u64;
+        if let Some((cov, entries)) = snapshot::load(&dir)? {
+            covered_seq = cov;
+            report.snapshot_entries = entries.len() as u64;
+            report.last_seq = cov;
+            let mut out = Vec::new();
+            for chunk in entries.chunks(1024) {
+                out.clear();
+                out.resize(chunk.len(), Ok(InsertOutcome::Inserted));
+                inner.insert_batch_shared(chunk, &mut out);
+            }
+        }
+
+        let segs = list_segments(&dir)?;
+        for (_, path) in &segs {
+            let bytes = fs::read(path)?;
+            let part = replay_into(&bytes, &inner, covered_seq);
+            let stop = !part.clean();
+            report.absorb(part);
+            if stop {
+                // Never replay past the first bad checksum — later
+                // segments are younger than the damage.
+                break;
+            }
+        }
+
+        let seg_no = segs.last().map_or(1, |&(no, _)| no + 1);
+        let file = FileWal::create(&dir.join(segment_name(seg_no)))?;
+        let writer = WalWriter::new(Box::new(file), report.last_seq + 1, builder.fsync_kind());
+        let core = Core {
+            inner,
+            dir: Some(dir),
+            snapshot_every: builder.snapshot_threshold(),
+            log: Mutex::new(LogState { writer, seg_no, records_since_snapshot: 0 }),
+            snap_mutex: Mutex::new(()),
+            snap_pending: AtomicBool::new(false),
+            snapshots_taken: AtomicU64::new(0),
+        };
+        Ok((Self { core: Arc::new(core), snap_thread: Mutex::new(None) }, report))
+    }
+}
+
+impl<T: ConcurrentTable + 'static> DurableTable<T> {
+    /// Wrap `inner` with logging into an arbitrary [`WalFile`] — the
+    /// fault-injection entry point (a [`MemWal`](crate::MemWal) here
+    /// lets tests tear the byte stream at any offset). No directory, so
+    /// [`DurableTable::snapshot_now`] is unavailable.
+    pub fn with_wal(inner: T, wal: Box<dyn WalFile>, policy: FsyncPolicy) -> Self {
+        let core = Core {
+            inner,
+            dir: None,
+            snapshot_every: None,
+            log: Mutex::new(LogState {
+                writer: WalWriter::new(wal, 1, policy),
+                seg_no: 0,
+                records_since_snapshot: 0,
+            }),
+            snap_mutex: Mutex::new(()),
+            snap_pending: AtomicBool::new(false),
+            snapshots_taken: AtomicU64::new(0),
+        };
+        Self { core: Arc::new(core), snap_thread: Mutex::new(None) }
+    }
+
+    /// The wrapped table (reads may also just use the
+    /// [`ConcurrentTable`] methods on `self`, which delegate).
+    pub fn inner(&self) -> &T {
+        &self.core.inner
+    }
+
+    /// Sequence number the next mutation will get.
+    pub fn next_seq(&self) -> u64 {
+        lock(&self.core.log).writer.next_seq()
+    }
+
+    /// Records group-committed so far in this epoch.
+    pub fn records_logged(&self) -> u64 {
+        lock(&self.core.log).writer.records()
+    }
+
+    /// Snapshots completed by this handle (explicit + background).
+    pub fn snapshots_taken(&self) -> u64 {
+        self.core.snapshots_taken.load(Ordering::Relaxed)
+    }
+
+    /// Force an fsync of the log regardless of policy.
+    pub fn sync(&self) -> Result<(), WalError> {
+        Ok(lock(&self.core.log).writer.sync()?)
+    }
+
+    /// Take a snapshot *now*, blocking until it is published and the old
+    /// segments are pruned. Mutations from other threads proceed
+    /// throughout (only the brief log rotation holds the log lock).
+    pub fn snapshot_now(&self) -> Result<SnapshotStats, WalError> {
+        self.core.snapshot()
+    }
+
+    /// Wait for any in-flight background snapshot to finish.
+    pub fn join_background_snapshot(&self) {
+        if let Some(h) = lock(&self.snap_thread).take() {
+            let _ = h.join();
+        }
+    }
+
+    fn log_ops(&self, ops: &[WalOp]) -> MutexGuard<'_, LogState> {
+        let mut log = lock(&self.core.log);
+        log.writer.log(ops).unwrap_or_else(|e| {
+            panic!("WAL append failed — cannot acknowledge unlogged mutations: {e}")
+        });
+        log.records_since_snapshot += 1;
+        log
+    }
+
+    /// Called with the log lock still held (mutation applied, record
+    /// logged): decide whether the snapshot cadence fired, and if so
+    /// hand the work to a background thread.
+    fn maybe_snapshot(&self, log: MutexGuard<'_, LogState>) {
+        let due = self.core.dir.is_some()
+            && self.core.snapshot_every.is_some_and(|every| log.records_since_snapshot >= every);
+        drop(log);
+        if !due {
+            return;
+        }
+        if self
+            .core
+            .snap_pending
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // one at a time
+        }
+        let core = Arc::clone(&self.core);
+        let handle = std::thread::spawn(move || {
+            let _ = core.snapshot();
+            core.snap_pending.store(false, Ordering::Release);
+        });
+        let mut slot = lock(&self.snap_thread);
+        if let Some(prev) = slot.take() {
+            let _ = prev.join();
+        }
+        *slot = Some(handle);
+    }
+}
+
+impl<T: ConcurrentTable + 'static> ConcurrentTable for DurableTable<T> {
+    fn insert_shared(&self, key: u64, value: u64) -> Result<InsertOutcome, TableError> {
+        let log = self.log_ops(&[WalOp::Put { key, value }]);
+        let out = self.core.inner.insert_shared(key, value);
+        self.maybe_snapshot(log);
+        out
+    }
+
+    fn lookup_shared(&self, key: u64) -> Option<u64> {
+        self.core.inner.lookup_shared(key)
+    }
+
+    fn delete_shared(&self, key: u64) -> Option<u64> {
+        let log = self.log_ops(&[WalOp::Del { key }]);
+        let out = self.core.inner.delete_shared(key);
+        self.maybe_snapshot(log);
+        out
+    }
+
+    fn lookup_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.core.inner.lookup_batch_shared(keys, out)
+    }
+
+    fn insert_batch_shared(
+        &self,
+        items: &[(u64, u64)],
+        out: &mut [Result<InsertOutcome, TableError>],
+    ) {
+        if items.is_empty() {
+            return self.core.inner.insert_batch_shared(items, out);
+        }
+        let ops: Vec<WalOp> = items.iter().map(|&(key, value)| WalOp::Put { key, value }).collect();
+        let log = self.log_ops(&ops);
+        self.core.inner.insert_batch_shared(items, out);
+        self.maybe_snapshot(log);
+    }
+
+    fn delete_batch_shared(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        if keys.is_empty() {
+            return self.core.inner.delete_batch_shared(keys, out);
+        }
+        let ops: Vec<WalOp> = keys.iter().map(|&key| WalOp::Del { key }).collect();
+        let log = self.log_ops(&ops);
+        self.core.inner.delete_batch_shared(keys, out);
+        self.maybe_snapshot(log);
+    }
+
+    fn len_shared(&self) -> usize {
+        self.core.inner.len_shared()
+    }
+
+    fn for_each_shared(&self, f: &mut dyn FnMut(u64, u64)) {
+        self.core.inner.for_each_shared(f)
+    }
+}
+
+impl<T: ConcurrentTable> Drop for DurableTable<T> {
+    fn drop(&mut self) {
+        if let Some(h) = lock(&self.snap_thread).take() {
+            let _ = h.join();
+        }
+        // Best-effort final sync: callers who must *know* call
+        // [`DurableTable::sync`] themselves.
+        let _ = lock(&self.core.log).writer.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemWal;
+    use sevendim_core::TableScheme;
+    use std::collections::HashMap;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sevendim-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn builder(dir: &Path) -> TableBuilder {
+        TableBuilder::new(TableScheme::LinearProbing).bits(12).shards(2).wal(dir)
+    }
+
+    #[test]
+    fn mutations_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        let b = builder(&dir);
+        {
+            let (t, report) = DurableTable::open(&b).unwrap();
+            assert_eq!(report.replayed_ops, 0);
+            for i in 0..100u64 {
+                t.insert_shared(i, i * 10).unwrap();
+            }
+            t.delete_shared(7).unwrap();
+        }
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert_eq!(report.replayed_ops, 101);
+        assert!(report.clean());
+        assert_eq!(t.len_shared(), 99);
+        assert_eq!(t.lookup_shared(3), Some(30));
+        assert_eq!(t.lookup_shared(7), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_prunes_segments_and_bounds_replay() {
+        let dir = tmp_dir("snapshot");
+        let b = builder(&dir);
+        {
+            let (t, _) = DurableTable::open(&b).unwrap();
+            for i in 0..50u64 {
+                t.insert_shared(i, i).unwrap();
+            }
+            let stats = t.snapshot_now().unwrap();
+            assert_eq!(stats.covered_seq, 50);
+            assert_eq!(stats.entries, 50);
+            // Ops after the snapshot land in the fresh segment.
+            t.insert_shared(1000, 1).unwrap();
+            assert_eq!(t.snapshots_taken(), 1);
+        }
+        // Only the post-rotation segments remain.
+        let segs = list_segments(&dir).unwrap();
+        assert!(segs.iter().all(|&(no, _)| no >= 2), "pre-snapshot segment must be pruned");
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert_eq!(report.snapshot_entries, 50);
+        assert_eq!(report.replayed_ops, 1, "only the tail past the snapshot replays");
+        assert_eq!(t.len_shared(), 51);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_and_reopen_appends_fresh() {
+        let dir = tmp_dir("torn");
+        let b = builder(&dir);
+        {
+            let (t, _) = DurableTable::open(&b).unwrap();
+            for i in 0..20u64 {
+                t.insert_shared(i, i + 1).unwrap();
+            }
+        }
+        // Tear mid-record: chop 5 bytes off the only segment.
+        let seg = list_segments(&dir).unwrap().pop().unwrap().1;
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert!(report.clean(), "truncation is a clean stop, not an error");
+        assert_eq!(report.replayed_ops, 19, "the torn final record must not phantom-replay");
+        assert!(report.truncated_tail_bytes > 0);
+        assert_eq!(t.lookup_shared(19), None);
+        // The new epoch logs into a *new* segment; the next reopen sees
+        // both and still lands on the right state.
+        t.insert_shared(19, 20).unwrap();
+        drop(t);
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert_eq!(t.len_shared(), 20);
+        assert!(report.clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_is_reported_and_never_replayed_past() {
+        let dir = tmp_dir("corrupt-tail");
+        let b = builder(&dir);
+        let boundary;
+        {
+            let (t, _) = DurableTable::open(&b).unwrap();
+            for i in 0..10u64 {
+                t.insert_shared(i, i).unwrap();
+            }
+            t.sync().unwrap();
+            boundary = fs::read(&list_segments(&dir).unwrap()[0].1).unwrap().len();
+            for i in 10..20u64 {
+                t.insert_shared(i, i).unwrap();
+            }
+        }
+        let seg = list_segments(&dir).unwrap().remove(0).1;
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[boundary + 10] ^= 0xFF; // damage the 11th record
+        fs::write(&seg, &bytes).unwrap();
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.replayed_ops, 10, "replay must stop at the first bad checksum");
+        assert_eq!(t.len_shared(), 10);
+        assert!(t.lookup_shared(15).is_none(), "nothing past the damage may leak in");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_snapshot_triggers_on_cadence() {
+        let dir = tmp_dir("bg-snap");
+        let b = builder(&dir).snapshot_every(10);
+        let (t, _) = DurableTable::open(&b).unwrap();
+        for i in 0..25u64 {
+            t.insert_shared(i, i).unwrap();
+        }
+        t.join_background_snapshot();
+        assert!(t.snapshots_taken() >= 1, "cadence of 10 over 25 records must snapshot");
+        drop(t);
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert_eq!(t.len_shared(), 25);
+        assert!(report.snapshot_entries > 0);
+        assert!(report.replayed_ops < 25, "the snapshot must bound the replayed tail");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memwal_replay_matches_hashmap_twin() {
+        let inner = builder(Path::new("/unused")).build_sharded();
+        let mem = MemWal::new();
+        let t = DurableTable::with_wal(inner, Box::new(mem.clone()), FsyncPolicy::Always);
+        let mut twin = HashMap::new();
+        for i in 0..200u64 {
+            let key = i % 50;
+            if i % 3 == 0 {
+                t.delete_shared(key);
+                twin.remove(&key);
+            } else {
+                t.insert_shared(key, i).unwrap();
+                twin.insert(key, i);
+            }
+        }
+        let recovered = builder(Path::new("/unused")).build_sharded();
+        let report = replay_into(&mem.bytes(), &recovered, 0);
+        assert!(report.clean());
+        assert_eq!(report.replayed_ops, 200);
+        assert_eq!(recovered.len_shared(), twin.len());
+        for (&k, &v) in &twin {
+            assert_eq!(recovered.lookup_shared(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn snapshot_during_concurrent_writes_converges() {
+        let dir = tmp_dir("concurrent-snap");
+        let b = builder(&dir);
+        let (t, _) = DurableTable::open(&b).unwrap();
+        let t = Arc::new(t);
+        for i in 0..500u64 {
+            t.insert_shared(i, i).unwrap();
+        }
+        let writer = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 500..1000u64 {
+                    t.insert_shared(i, i).unwrap();
+                }
+            })
+        };
+        // Snapshot while the writer runs: rotation + scan overlap live
+        // mutations.
+        t.snapshot_now().unwrap();
+        writer.join().unwrap();
+        drop(Arc::try_unwrap(t).map_err(|_| "writer still holds the table").unwrap());
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert!(report.clean());
+        assert_eq!(t.len_shared(), 1000, "snapshot + tail replay must converge to all writes");
+        for i in (0..1000u64).step_by(97) {
+            assert_eq!(t.lookup_shared(i), Some(i));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -79,11 +79,17 @@ impl LatencyHistogram {
     }
 
     /// Record one latency sample in nanoseconds.
+    ///
+    /// Counters saturate rather than overflow: a histogram that has
+    /// absorbed `u64::MAX` samples (possible through repeated
+    /// [`Self::merge`] of already-large parts) keeps reporting sane
+    /// quantiles instead of wrapping — or panicking — in a counter.
     #[inline]
     pub fn record(&mut self, nanos: u64) {
-        self.counts[bucket_of(nanos)] += 1;
-        self.total += 1;
-        self.sum += nanos as u128;
+        let b = bucket_of(nanos);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        self.sum = self.sum.saturating_add(nanos as u128);
         if nanos > self.max {
             self.max = nanos;
         }
@@ -150,13 +156,16 @@ impl LatencyHistogram {
         self.percentile(0.99)
     }
 
-    /// Fold another histogram's samples into this one.
+    /// Fold another histogram's samples into this one. Merging an empty
+    /// histogram (either way) is the identity; bucket counts and totals
+    /// saturate at `u64::MAX` rather than overflow (see
+    /// [`Self::record`]).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.total += other.total;
-        self.sum += other.sum;
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -182,6 +191,7 @@ impl LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn bucket_layout_is_contiguous_and_monotone() {
@@ -380,6 +390,95 @@ mod tests {
         let merged = LatencyHistogram::merged(std::iter::empty());
         assert!(merged.is_empty());
         assert_eq!(merged.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_the_identity_either_way() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 250, 1_000_000] {
+            h.record(v);
+        }
+        let before = (h.count(), h.max_nanos(), h.mean_nanos(), h.p50(), h.p99());
+        h.merge(&LatencyHistogram::new());
+        assert_eq!((h.count(), h.max_nanos(), h.mean_nanos(), h.p50(), h.p99()), before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&h);
+        assert_eq!(
+            (empty.count(), empty.max_nanos(), empty.mean_nanos()),
+            (3, 1_000_000, before.2)
+        );
+        assert_eq!(empty.p50(), h.p50());
+        assert_eq!(empty.p99(), h.p99());
+    }
+
+    #[test]
+    fn saturated_bucket_counts_merge_without_overflow() {
+        // Repeated self-merge doubles every counter: 64 doublings of a
+        // one-sample histogram pushes total past u64::MAX. The counters
+        // must saturate (an unsaturated `+=` panics right here in debug
+        // builds) and quantiles must stay sane.
+        let mut h = LatencyHistogram::new();
+        h.record(1_000);
+        for _ in 0..64 {
+            let twin = h.clone();
+            h.merge(&twin);
+        }
+        assert_eq!(h.count(), u64::MAX, "total saturates");
+        assert_eq!(h.max_nanos(), 1_000);
+        let p99 = h.p99();
+        assert!((1_000..=1_125).contains(&p99), "p99 = {p99}");
+        // A saturated histogram keeps absorbing records without panic.
+        h.record(2_000);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.max_nanos(), 2_000);
+    }
+
+    #[test]
+    fn single_sample_owns_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 123_456, "q = {q}: the only sample is every rank");
+        }
+        assert_eq!(h.p99(), h.max_nanos());
+    }
+
+    proptest! {
+        /// For arbitrary sample streams split across two histograms,
+        /// `merged(a, b)` quantiles sit within the documented bucket
+        /// error of the pooled sorted samples: never understating, and
+        /// overshooting at most 12.5% (+1 ns for integer edges).
+        fn merged_quantiles_match_pooled_samples(
+            a in proptest::collection::vec(0u64..10_000_000_000, 0..300),
+            b in proptest::collection::vec(0u64..10_000_000_000, 0..300),
+        ) {
+            let mut ha = LatencyHistogram::new();
+            let mut hb = LatencyHistogram::new();
+            for &v in &a {
+                ha.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+            }
+            let merged = LatencyHistogram::merged([&ha, &hb]);
+            let mut pooled: Vec<u64> = a.iter().chain(&b).copied().collect();
+            pooled.sort_unstable();
+            prop_assert_eq!(merged.count(), pooled.len() as u64);
+            if pooled.is_empty() {
+                prop_assert_eq!(merged.p99(), 0);
+            } else {
+                for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+                    let rank = ((q * pooled.len() as f64).ceil() as usize).max(1);
+                    let truth = pooled[rank - 1];
+                    let est = merged.percentile(q);
+                    prop_assert!(est >= truth, "q={}: merged {} understates {}", q, est, truth);
+                    prop_assert!(
+                        est as f64 <= truth as f64 * 1.125 + 1.0,
+                        "q={}: merged {} overshoots {} past the bucket bound", q, est, truth
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -93,6 +93,8 @@ const SOCK_NONBLOCK: c_int = 0o4000;
 const SOCK_CLOEXEC: c_int = 0o2000000;
 const SOL_SOCKET: c_int = 1;
 const SO_REUSEADDR: c_int = 2;
+#[cfg(test)]
+const SO_RCVBUF: c_int = 8;
 const SO_REUSEPORT: c_int = 15;
 const LISTEN_BACKLOG: c_int = 1024;
 
@@ -282,6 +284,28 @@ pub fn reuseport_listener(addr: SocketAddr) -> io::Result<TcpListener> {
     cvt(unsafe { bind(fd.as_raw_fd(), sa.as_ptr(), sa_len) })?;
     cvt(unsafe { listen(fd.as_raw_fd(), LISTEN_BACKLOG) })?;
     Ok(TcpListener::from(fd))
+}
+
+/// Shrink (or grow) a socket's kernel receive buffer via `SO_RCVBUF`.
+///
+/// Used by tests that need a peer with a tiny receive window — the only
+/// portable way to force the server's writes to park on `EPOLLOUT` with
+/// bytes still pending. The kernel doubles the value internally and
+/// clamps it to `rmem` limits; the exact effective size doesn't matter
+/// to callers, only that it is small.
+#[cfg(test)]
+pub(crate) fn set_recv_buffer(fd: RawFd, bytes: c_int) -> io::Result<()> {
+    // SAFETY: `bytes` is a live 4-byte value for the duration of the call.
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &bytes as *const c_int as *const u8,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    })?;
+    Ok(())
 }
 
 #[cfg(test)]

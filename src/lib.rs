@@ -22,6 +22,7 @@
 //! | [`measure`] | `metrics` | throughput, multi-seed statistics, latency histograms, figure-shaped report tables |
 //! | [`ops`] | `query` | hash join, group-by aggregation, profile-dispatched point index |
 //! | [`net`] | `sevendim-net` | networked KV service: epoll event loop, `7DKV` binary protocol, pipelined client (Linux) |
+//! | [`durable`] | `sevendim-durable` | durability: group-committed `7DWL` write-ahead log, non-stop snapshots, crash recovery |
 //!
 //! ## Quick start
 //!
@@ -99,6 +100,7 @@ pub use hashfn as hash;
 pub use metrics as measure;
 pub use query as ops;
 pub use sevendim_core as tables;
+pub use sevendim_durable as durable;
 pub use sevendim_net as net;
 pub use workloads as workload;
 
@@ -116,11 +118,12 @@ pub mod prelude {
     pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
     pub use sevendim_core::{
         decision::Mutability, recommend, BoxedTable, ChainedTable24, ChainedTable8,
-        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, GrowthPolicy,
-        HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA, QuadraticProbing,
-        ReadView, RhLookupMode, RobinHood, ShardedTable, TableBuilder, TableChoice, TableError,
-        TableScheme, WorkloadProfile,
+        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, FsyncPolicy,
+        GrowthPolicy, HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA,
+        QuadraticProbing, ReadView, RhLookupMode, RobinHood, ShardedTable, TableBuilder,
+        TableChoice, TableError, TableScheme, WorkloadProfile,
     };
+    pub use sevendim_durable::{DurableSharded, DurableTable, RecoveryReport, WalError};
     #[cfg(target_os = "linux")]
     pub use sevendim_net::{AcceptMode, KvServer, KvServerBuilder, ServerHandle, ServerStats};
     // The client and full wire protocol are portable; the protocol

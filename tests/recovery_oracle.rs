@@ -1,0 +1,372 @@
+//! Crash-recovery differential oracle: randomized mutation streams,
+//! torn at arbitrary byte offsets, replayed and proven element-wise
+//! identical to a `HashMap` twin driven to the same acknowledged prefix.
+//!
+//! The durability contract under test (see `sevendim_durable`):
+//!
+//! * every acknowledged mutation group is one `7DWL` record, appended
+//!   (and fsynced per policy) **before** the table mutates;
+//! * recovery replays whole records only, in log order, and stops at
+//!   the first truncated or damaged frame — never past it;
+//! * a record torn mid-group-commit contributes **none** of its ops
+//!   (a group is all-or-nothing on disk, exactly as it was in memory).
+//!
+//! Which yields the oracle: for *any* tear offset `t` into the log —
+//! record boundary or mid-frame — the recovered table must equal a
+//! `HashMap` twin that applied exactly the groups whose record ends at
+//! or before `t`, with per-op outcomes mirrored from the original run
+//! (a `TableFull` refusal replays as the same refusal; the twin skips
+//! it both times). The grid is the full `all_schemes()` ×
+//! {unsharded, sharded} × {fixed-capacity, incremental growth} lattice,
+//! fed through [`MemWal`] fault injection; a second suite repeats the
+//! story on real files — physical `truncate(2)` tears, flipped bytes,
+//! and snapshot + reopen — via [`DurableTable::open`].
+
+mod tests_common;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use seven_dim_hashing::durable::{replay_into, MemWal, RecoveryReport};
+use seven_dim_hashing::prelude::*;
+use std::collections::HashMap;
+use tests_common::all_schemes;
+
+/// Distinct keys per stream (keys `2..2+UNIVERSE`, clear of the
+/// reserved sentinels up at `u64::MAX`).
+const UNIVERSE: u64 = 150;
+
+/// Acknowledged mutation groups per stream (singles and batches mixed,
+/// so the log holds both one-op and many-op records).
+const GROUPS: usize = 160;
+
+/// One op as the *client* observed it: what was asked, and whether the
+/// table acknowledged success (a refused insert is logged and replayed,
+/// but must leave twin and table equally untouched).
+#[derive(Clone, Copy)]
+enum AckedOp {
+    Put { key: u64, value: u64, ok: bool },
+    Del { key: u64 },
+}
+
+/// One group commit: the ops it carried and the log offset its record
+/// ends at. A tear at `byte_end` or later preserves the whole group; a
+/// tear before it erases the whole group.
+struct AckedGroup {
+    byte_end: usize,
+    ops: Vec<AckedOp>,
+}
+
+fn apply_to_twin(twin: &mut HashMap<u64, u64>, ops: &[AckedOp]) {
+    for op in ops {
+        match *op {
+            AckedOp::Put { key, value, ok } => {
+                if ok {
+                    twin.insert(key, value);
+                }
+            }
+            AckedOp::Del { key } => {
+                twin.remove(&key);
+            }
+        }
+    }
+}
+
+/// Drive one durable table through a random stream of singles and
+/// batches, recording each group's ops + record-end offset.
+fn run_stream(table: &dyn ConcurrentTable, wal: &MemWal, seed: u64) -> Vec<AckedGroup> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut groups = Vec::with_capacity(GROUPS);
+    let key = |rng: &mut StdRng| rng.gen_range(2..2 + UNIVERSE);
+    for _ in 0..GROUPS {
+        let ops = match rng.gen_range(0..10u8) {
+            // Single put (the common case — exercises one-op records).
+            0..=4 => {
+                let (k, v) = (key(&mut rng), rng.gen::<u64>() >> 1);
+                let ok = table.insert_shared(k, v).is_ok();
+                vec![AckedOp::Put { key: k, value: v, ok }]
+            }
+            // Single delete.
+            5..=6 => {
+                let k = key(&mut rng);
+                table.delete_shared(k);
+                vec![AckedOp::Del { key: k }]
+            }
+            // Batch put: one group commit, one multi-op record — the
+            // all-or-nothing tear target.
+            7..=8 => {
+                let items: Vec<(u64, u64)> =
+                    (0..rng.gen_range(2..8usize)).map(|_| (key(&mut rng), rng.gen())).collect();
+                let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+                table.insert_batch_shared(&items, &mut out);
+                items
+                    .iter()
+                    .zip(&out)
+                    .map(|(&(key, value), r)| AckedOp::Put { key, value, ok: r.is_ok() })
+                    .collect()
+            }
+            // Batch delete.
+            _ => {
+                let keys: Vec<u64> = (0..rng.gen_range(2..6usize)).map(|_| key(&mut rng)).collect();
+                let mut out = vec![None; keys.len()];
+                table.delete_batch_shared(&keys, &mut out);
+                keys.iter().map(|&key| AckedOp::Del { key }).collect()
+            }
+        };
+        groups.push(AckedGroup { byte_end: wal.len(), ops });
+    }
+    groups
+}
+
+/// The twin for a tear at `t`, plus how many ops survive.
+fn twin_at(groups: &[AckedGroup], t: usize) -> (HashMap<u64, u64>, u64) {
+    let mut twin = HashMap::new();
+    let mut surviving_ops = 0u64;
+    for g in groups.iter().take_while(|g| g.byte_end <= t) {
+        apply_to_twin(&mut twin, &g.ops);
+        surviving_ops += g.ops.len() as u64;
+    }
+    (twin, surviving_ops)
+}
+
+/// Element-wise equality in both directions: every twin entry present,
+/// every universe key absent from the twin absent from the table.
+fn assert_matches_twin(table: &dyn ConcurrentTable, twin: &HashMap<u64, u64>, context: &str) {
+    assert_eq!(table.len_shared(), twin.len(), "{context}: len");
+    for k in 2..2 + UNIVERSE {
+        assert_eq!(table.lookup_shared(k), twin.get(&k).copied(), "{context}: key {k}");
+    }
+}
+
+/// The builder grid: every scheme × {unsharded, 4-way sharded} ×
+/// {fixed capacity, incremental growth from a deliberately small table}.
+fn grid() -> Vec<(TableBuilder, String)> {
+    let mut cells = Vec::new();
+    for (i, scheme) in all_schemes().into_iter().enumerate() {
+        for shard_bits in [0u8, 2] {
+            for growth in [false, true] {
+                let mut b = TableBuilder::new(scheme).hash(HashKind::Murmur).seed(7 + i as u64);
+                b = if growth { b.bits(6).grow_at(0.7).incremental(8) } else { b.bits(10) };
+                b = b.shards(shard_bits);
+                let label = format!(
+                    "{scheme:?}/shards={}/growth={}",
+                    1u32 << shard_bits,
+                    if growth { "incremental" } else { "off" }
+                );
+                cells.push((b, label));
+            }
+        }
+    }
+    cells
+}
+
+/// Replay `bytes[..t]` into a fresh table built from `builder` and
+/// check it against the twin for that tear.
+fn check_tear(
+    builder: &TableBuilder,
+    bytes: &[u8],
+    groups: &[AckedGroup],
+    t: usize,
+    label: &str,
+) -> RecoveryReport {
+    let fresh = builder.build_sharded();
+    let report = replay_into(&bytes[..t], &fresh, 0);
+    let (twin, surviving_ops) = twin_at(groups, t);
+    let context = format!("{label} tear@{t}");
+    assert!(
+        report.clean(),
+        "{context}: truncation must be a clean stop, got {:?}",
+        report.tail_error
+    );
+    assert_eq!(report.replayed_ops, surviving_ops, "{context}: replayed ops");
+    let last_end = groups.iter().map(|g| g.byte_end).filter(|&e| e <= t).max().unwrap_or(0);
+    assert_eq!(report.truncated_tail_bytes, (t - last_end) as u64, "{context}: torn tail bytes");
+    assert_matches_twin(&fresh, &twin, &context);
+    report
+}
+
+/// The headline oracle: for every grid cell, tear the in-memory log at
+/// record boundaries **and** arbitrary mid-record offsets, and prove
+/// recovery lands exactly on the acknowledged-group prefix.
+#[test]
+fn torn_log_recovers_exactly_the_acknowledged_prefix_across_the_grid() {
+    for (cell, (builder, label)) in grid().into_iter().enumerate() {
+        let wal = MemWal::new();
+        let durable = seven_dim_hashing::durable::DurableTable::with_wal(
+            builder.build_sharded(),
+            Box::new(wal.clone()),
+            FsyncPolicy::Always,
+        );
+        let groups = run_stream(&durable, &wal, 0xA11C_E000 + cell as u64);
+        drop(durable);
+        let bytes = wal.bytes();
+        let total = bytes.len();
+        assert_eq!(groups.last().unwrap().byte_end, total, "{label}: boundary bookkeeping");
+
+        let mut rng = StdRng::seed_from_u64(0x7EA5 + cell as u64);
+        // Exact boundaries (empty log, mid-stream, one-before-full,
+        // full) plus a dozen arbitrary offsets — most land mid-record.
+        let mut tears = vec![0, groups[GROUPS / 2].byte_end, groups[GROUPS - 2].byte_end, total];
+        tears.extend((0..12).map(|_| rng.gen_range(1..total)));
+        for t in tears {
+            check_tear(&builder, &bytes, &groups, t, &label);
+        }
+
+        // A full-length replay is a perfect recovery: every group, no
+        // torn tail, and it matches the *live* table it was logged from.
+        let report = check_tear(&builder, &bytes, &groups, total, &label);
+        assert_eq!(report.truncated_tail_bytes, 0, "{label}: full replay leaves no tail");
+    }
+}
+
+/// Corruption (bit flips), as opposed to truncation: replay must stop
+/// at the damaged record — reporting the damage — and still equal the
+/// twin of the groups wholly before the flipped byte.
+#[test]
+fn corrupted_log_stops_at_the_damaged_record_and_reports_it() {
+    for (cell, (builder, label)) in grid().into_iter().enumerate() {
+        let wal = MemWal::new();
+        let durable = seven_dim_hashing::durable::DurableTable::with_wal(
+            builder.build_sharded(),
+            Box::new(wal.clone()),
+            FsyncPolicy::Always,
+        );
+        let groups = run_stream(&durable, &wal, 0xBAD0 + cell as u64);
+        drop(durable);
+        let bytes = wal.bytes();
+
+        let mut rng = StdRng::seed_from_u64(0xF11B + cell as u64);
+        for _ in 0..4 {
+            let p = rng.gen_range(0..bytes.len());
+            let mut bad = bytes.clone();
+            bad[p] ^= 1 << rng.gen_range(0..8u8);
+            let fresh = builder.build_sharded();
+            let report = replay_into(&bad, &fresh, 0);
+            let (twin, surviving_ops) = twin_at(&groups, p);
+            let context = format!("{label} flip@{p}");
+            // The flip either fails a checksum (tail_error) or inflates
+            // a declared length past the buffer (a truncated-tail stop);
+            // silently decoding damaged bytes is the one forbidden move.
+            assert!(
+                report.tail_error.is_some() || report.truncated_tail_bytes > 0,
+                "{context}: damage went unnoticed"
+            );
+            assert_eq!(report.replayed_ops, surviving_ops, "{context}: replayed ops");
+            assert_matches_twin(&fresh, &twin, &context);
+        }
+    }
+}
+
+/// The same story on real files through [`DurableTable::open`]: crash
+/// (drop), physically truncate the segment's tail at an arbitrary
+/// offset, reopen, and land on the acknowledged prefix; then flip a
+/// byte instead and watch recovery stop *and* say so.
+#[test]
+fn reopen_after_physical_tail_damage_recovers_the_acknowledged_prefix() {
+    let base = std::env::temp_dir().join(format!("sevendim-oracle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    for (i, scheme) in all_schemes().into_iter().enumerate() {
+        let dir = base.join(format!("tear-{scheme:?}"));
+        let builder = TableBuilder::new(scheme)
+            .hash(HashKind::Mult)
+            .bits(10)
+            .shards(2)
+            .seed(3 + i as u64)
+            .wal(&dir);
+        let (durable, report) = DurableTable::open(&builder).expect("open fresh");
+        assert!(report.clean());
+        // Mutate, tracking each group's end offset in the (sole, fresh)
+        // segment file via its length — `FsyncPolicy::Always` is the
+        // default, so the file length *is* the acknowledged boundary.
+        let seg = dir.join("wal.000001.log");
+        let mut rng = StdRng::seed_from_u64(0xD15C + i as u64);
+        let mut groups: Vec<AckedGroup> = Vec::new();
+        for _ in 0..40 {
+            let (k, v) = (rng.gen_range(2..2 + UNIVERSE), rng.gen::<u64>() >> 1);
+            let ok = durable.insert_shared(k, v).is_ok();
+            let byte_end = std::fs::metadata(&seg).expect("segment exists").len() as usize;
+            groups.push(AckedGroup { byte_end, ops: vec![AckedOp::Put { key: k, value: v, ok }] });
+        }
+        drop(durable); // crash
+
+        // Physically tear the tail mid-record and reopen.
+        let total = groups.last().unwrap().byte_end;
+        let t = rng.gen_range(1..total);
+        let f = std::fs::OpenOptions::new().write(true).open(&seg).expect("reopen segment");
+        f.set_len(t as u64).expect("truncate");
+        drop(f);
+        let (recovered, report) = DurableTable::open(&builder).expect("reopen torn");
+        let (twin, surviving_ops) = twin_at(&groups, t);
+        let context = format!("{scheme:?} file-tear@{t}");
+        assert!(report.clean(), "{context}: truncation is a clean stop");
+        assert_eq!(report.replayed_ops, surviving_ops, "{context}: replayed ops");
+        assert_matches_twin(&recovered, &twin, &context);
+        drop(recovered);
+
+        // Now flip a byte inside the surviving prefix: reopen must stop
+        // at the damaged record and *report* it (`clean()` is false).
+        if t > 1 {
+            let p = rng.gen_range(0..t - 1);
+            let mut bytes = std::fs::read(&seg).expect("read segment");
+            bytes[p] ^= 0x40;
+            std::fs::write(&seg, &bytes).expect("write damage");
+            let (recovered, report) = DurableTable::open(&builder).expect("reopen corrupt");
+            let (twin, surviving_ops) = twin_at(&groups, p);
+            let context = format!("{scheme:?} file-flip@{p}");
+            assert!(
+                !report.clean() || report.truncated_tail_bytes > 0,
+                "{context}: damage went unnoticed"
+            );
+            assert_eq!(report.replayed_ops, surviving_ops, "{context}: replayed ops");
+            assert_matches_twin(&recovered, &twin, &context);
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Snapshot + reopen end-to-end: a snapshot taken mid-stream (while the
+/// table keeps mutating afterwards) bounds replay to the post-snapshot
+/// suffix, prunes old segments, and recovery still equals the twin of
+/// *every* acknowledged op.
+#[test]
+fn snapshot_bounds_replay_and_reopen_matches_the_full_twin() {
+    let base = std::env::temp_dir().join(format!("sevendim-oracle-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    for (i, scheme) in all_schemes().into_iter().enumerate() {
+        let dir = base.join(format!("snap-{scheme:?}"));
+        let builder = TableBuilder::new(scheme)
+            .hash(HashKind::Murmur)
+            .bits(10)
+            .shards(2)
+            .seed(11 + i as u64)
+            .wal(&dir);
+        let (durable, _) = DurableTable::open(&builder).expect("open fresh");
+        let mut twin = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(0x5A9 + i as u64);
+        let mut mutate = |durable: &DurableSharded, twin: &mut HashMap<u64, u64>, n: usize| {
+            for _ in 0..n {
+                let k = rng.gen_range(2..2 + UNIVERSE);
+                if rng.gen_range(0..4u8) == 0 {
+                    durable.delete_shared(k);
+                    twin.remove(&k);
+                } else {
+                    let v = rng.gen::<u64>() >> 1;
+                    if durable.insert_shared(k, v).is_ok() {
+                        twin.insert(k, v);
+                    }
+                }
+            }
+        };
+        mutate(&durable, &mut twin, 60);
+        let stats = durable.snapshot_now().expect("snapshot");
+        assert_eq!(stats.entries, twin.len(), "{scheme:?}: snapshot scanned the live table");
+        mutate(&durable, &mut twin, 40);
+        drop(durable); // crash after post-snapshot traffic
+
+        let (recovered, report) = DurableTable::open(&builder).expect("reopen");
+        let context = format!("{scheme:?} snapshot+reopen");
+        assert!(report.clean(), "{context}: {:?}", report.tail_error);
+        assert_eq!(report.snapshot_entries, stats.entries as u64, "{context}: snapshot loaded");
+        assert_eq!(report.replayed_ops, 40, "{context}: replay bounded to the suffix");
+        assert_matches_twin(&recovered, &twin, &context);
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
