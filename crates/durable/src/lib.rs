@@ -4,8 +4,9 @@
 //! The paper's tables are in-memory artifacts; a production KV system
 //! must survive restart. This crate wraps any
 //! [`ConcurrentTable`](sevendim_core::ConcurrentTable) in a
-//! [`DurableTable`] that logs every mutation to a `7DWL` record stream
-//! ([`record`]) before acknowledging it, snapshots the live table
+//! [`DurableTable`] that logs every mutation that takes effect to a
+//! `7DWL` record stream ([`record`]) before acknowledging it,
+//! snapshots the live table
 //! without stopping the world ([`snapshot`] + the shard-at-a-time
 //! `for_each_shared` iterator), and on reopen replays exactly the
 //! acknowledged prefix — stopping at the first truncated or damaged

@@ -129,8 +129,21 @@ pub enum WalError {
     Malformed(&'static str),
     /// Snapshot file failed validation.
     SnapshotCorrupt(&'static str),
+    /// A valid snapshot was read but some of its entries could not be
+    /// reinserted into the rebuilt table (typically: the builder was
+    /// reopened with a smaller capacity and growth disabled). Proceeding
+    /// would silently drop recovered data.
+    SnapshotRestore {
+        /// Entries the rebuilt table refused.
+        failed: u64,
+    },
     /// Snapshots need a directory-backed WAL (see `DurableTable::open`).
     SnapshotUnavailable,
+    /// An earlier WAL append failed, possibly leaving torn bytes at the
+    /// end of the log. The table is fail-stopped: appending anything
+    /// after the tear would be unrecoverable (replay stops at the tear),
+    /// so no further mutations, syncs, or snapshots are accepted.
+    FailStopped,
     /// Underlying file I/O failed.
     Io(std::io::Error),
 }
@@ -159,8 +172,19 @@ impl fmt::Display for WalError {
             WalError::BadOpcode(op) => write!(f, "unknown WAL opcode {op:#04x}"),
             WalError::Malformed(why) => write!(f, "malformed WAL payload: {why}"),
             WalError::SnapshotCorrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            WalError::SnapshotRestore { failed } => {
+                write!(
+                    f,
+                    "{failed} snapshot entr{} refused by the rebuilt table \
+                     (reopened with a smaller capacity and growth disabled?)",
+                    if *failed == 1 { "y" } else { "ies" }
+                )
+            }
             WalError::SnapshotUnavailable => {
                 write!(f, "snapshots need a directory-backed WAL (DurableTable::open)")
+            }
+            WalError::FailStopped => {
+                write!(f, "WAL fail-stopped by an earlier append failure")
             }
             WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
         }

@@ -723,7 +723,10 @@ impl Worker {
             // the deadline — never a busy-poll. `drain_rounds` is the
             // audited proof.
             self.counters.drain_rounds.fetch_add(1, Ordering::Relaxed);
-            let n = match self.epoll.wait(&mut events, left.as_millis().max(1) as i32) {
+            let n = match self
+                .epoll
+                .wait(&mut events, left.as_millis().clamp(1, i32::MAX as u128) as i32)
+            {
                 Ok(n) => n,
                 Err(_) => break,
             };

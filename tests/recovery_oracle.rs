@@ -4,8 +4,10 @@
 //!
 //! The durability contract under test (see `sevendim_durable`):
 //!
-//! * every acknowledged mutation group is one `7DWL` record, appended
-//!   (and fsynced per policy) **before** the table mutates;
+//! * every acknowledged mutation group is one `7DWL` record holding
+//!   exactly the ops that *took effect* (a refused insert or a delete
+//!   of an absent key never enters the log), appended and fsynced per
+//!   policy before the group is acknowledged;
 //! * recovery replays whole records only, in log order, and stops at
 //!   the first truncated or damaged frame — never past it;
 //! * a record torn mid-group-commit contributes **none** of its ops
@@ -14,9 +16,8 @@
 //! Which yields the oracle: for *any* tear offset `t` into the log —
 //! record boundary or mid-frame — the recovered table must equal a
 //! `HashMap` twin that applied exactly the groups whose record ends at
-//! or before `t`, with per-op outcomes mirrored from the original run
-//! (a `TableFull` refusal replays as the same refusal; the twin skips
-//! it both times). The grid is the full `all_schemes()` ×
+//! or before `t`, counting only the ops each group acknowledged as
+//! effective. The grid is the full `all_schemes()` ×
 //! {unsharded, sharded} × {fixed-capacity, incremental growth} lattice,
 //! fed through [`MemWal`] fault injection; a second suite repeats the
 //! story on real files — physical `truncate(2)` tears, flipped bytes,
@@ -39,12 +40,22 @@ const UNIVERSE: u64 = 150;
 const GROUPS: usize = 160;
 
 /// One op as the *client* observed it: what was asked, and whether the
-/// table acknowledged success (a refused insert is logged and replayed,
-/// but must leave twin and table equally untouched).
+/// table acknowledged it as taking effect. Only effective ops enter the
+/// log (a refused insert or a missed delete is never logged), so only
+/// they count toward the replayable stream.
 #[derive(Clone, Copy)]
 enum AckedOp {
     Put { key: u64, value: u64, ok: bool },
-    Del { key: u64 },
+    Del { key: u64, ok: bool },
+}
+
+impl AckedOp {
+    /// Whether this op took effect — i.e. whether it is in the log.
+    fn effective(&self) -> bool {
+        match *self {
+            AckedOp::Put { ok, .. } | AckedOp::Del { ok, .. } => ok,
+        }
+    }
 }
 
 /// One group commit: the ops it carried and the log offset its record
@@ -63,7 +74,7 @@ fn apply_to_twin(twin: &mut HashMap<u64, u64>, ops: &[AckedOp]) {
                     twin.insert(key, value);
                 }
             }
-            AckedOp::Del { key } => {
+            AckedOp::Del { key, .. } => {
                 twin.remove(&key);
             }
         }
@@ -87,8 +98,8 @@ fn run_stream(table: &dyn ConcurrentTable, wal: &MemWal, seed: u64) -> Vec<Acked
             // Single delete.
             5..=6 => {
                 let k = key(&mut rng);
-                table.delete_shared(k);
-                vec![AckedOp::Del { key: k }]
+                let ok = table.delete_shared(k).is_some();
+                vec![AckedOp::Del { key: k, ok }]
             }
             // Batch put: one group commit, one multi-op record — the
             // all-or-nothing tear target.
@@ -108,7 +119,10 @@ fn run_stream(table: &dyn ConcurrentTable, wal: &MemWal, seed: u64) -> Vec<Acked
                 let keys: Vec<u64> = (0..rng.gen_range(2..6usize)).map(|_| key(&mut rng)).collect();
                 let mut out = vec![None; keys.len()];
                 table.delete_batch_shared(&keys, &mut out);
-                keys.iter().map(|&key| AckedOp::Del { key }).collect()
+                keys.iter()
+                    .zip(&out)
+                    .map(|(&key, r)| AckedOp::Del { key, ok: r.is_some() })
+                    .collect()
             }
         };
         groups.push(AckedGroup { byte_end: wal.len(), ops });
@@ -116,13 +130,14 @@ fn run_stream(table: &dyn ConcurrentTable, wal: &MemWal, seed: u64) -> Vec<Acked
     groups
 }
 
-/// The twin for a tear at `t`, plus how many ops survive.
+/// The twin for a tear at `t`, plus how many *effective* (= logged)
+/// ops survive.
 fn twin_at(groups: &[AckedGroup], t: usize) -> (HashMap<u64, u64>, u64) {
     let mut twin = HashMap::new();
     let mut surviving_ops = 0u64;
     for g in groups.iter().take_while(|g| g.byte_end <= t) {
         apply_to_twin(&mut twin, &g.ops);
-        surviving_ops += g.ops.len() as u64;
+        surviving_ops += g.ops.iter().filter(|op| op.effective()).count() as u64;
     }
     (twin, surviving_ops)
 }
@@ -341,31 +356,36 @@ fn snapshot_bounds_replay_and_reopen_matches_the_full_twin() {
         let (durable, _) = DurableTable::open(&builder).expect("open fresh");
         let mut twin = HashMap::new();
         let mut rng = StdRng::seed_from_u64(0x5A9 + i as u64);
+        // Returns how many of the `n` ops took effect — only those are
+        // logged, so only those can replay.
         let mut mutate = |durable: &DurableSharded, twin: &mut HashMap<u64, u64>, n: usize| {
+            let mut effective = 0u64;
             for _ in 0..n {
                 let k = rng.gen_range(2..2 + UNIVERSE);
                 if rng.gen_range(0..4u8) == 0 {
-                    durable.delete_shared(k);
+                    effective += u64::from(durable.delete_shared(k).is_some());
                     twin.remove(&k);
                 } else {
                     let v = rng.gen::<u64>() >> 1;
                     if durable.insert_shared(k, v).is_ok() {
                         twin.insert(k, v);
+                        effective += 1;
                     }
                 }
             }
+            effective
         };
         mutate(&durable, &mut twin, 60);
         let stats = durable.snapshot_now().expect("snapshot");
         assert_eq!(stats.entries, twin.len(), "{scheme:?}: snapshot scanned the live table");
-        mutate(&durable, &mut twin, 40);
+        let tail_ops = mutate(&durable, &mut twin, 40);
         drop(durable); // crash after post-snapshot traffic
 
         let (recovered, report) = DurableTable::open(&builder).expect("reopen");
         let context = format!("{scheme:?} snapshot+reopen");
         assert!(report.clean(), "{context}: {:?}", report.tail_error);
         assert_eq!(report.snapshot_entries, stats.entries as u64, "{context}: snapshot loaded");
-        assert_eq!(report.replayed_ops, 40, "{context}: replay bounded to the suffix");
+        assert_eq!(report.replayed_ops, tail_ops, "{context}: replay bounded to the suffix");
         assert_matches_twin(&recovered, &twin, &context);
     }
     std::fs::remove_dir_all(&base).ok();
