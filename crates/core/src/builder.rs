@@ -33,7 +33,7 @@
 
 use crate::budget::chained24_directory_bits;
 use crate::decision::{recommend, TableChoice, WorkloadProfile};
-use crate::dynamic::{DynamicTable, GrowthPolicy, TableFactory};
+use crate::dynamic::{DynamicTable, GrowthPolicy, MigrationPolicy, TableFactory};
 use crate::sharded::ShardedTable;
 use crate::simd::ProbeKind;
 use crate::{
@@ -186,7 +186,14 @@ pub struct TableBuilder {
     wal_dir: Option<PathBuf>,
     fsync_policy: FsyncPolicy,
     snapshot_every: Option<u64>,
+    migration_policy: MigrationPolicy,
 }
+
+/// Growth threshold a [`TableBuilder::migration`] build falls back to
+/// when [`TableBuilder::grow_at`] was not set: a migrating table is a
+/// [`DynamicTable`] and so can always also grow — 0.85 keeps even the
+/// densest target scheme serviceable without forcing early doublings.
+pub const DEFAULT_MIGRATION_GROW_AT: f64 = 0.85;
 
 impl TableBuilder {
     /// Start describing a table of `scheme` with the defaults: Mult
@@ -207,6 +214,7 @@ impl TableBuilder {
             wal_dir: None,
             fsync_policy: FsyncPolicy::Always,
             snapshot_every: None,
+            migration_policy: MigrationPolicy::Grow,
         }
     }
 
@@ -370,6 +378,30 @@ impl TableBuilder {
         self
     }
 
+    /// Set the migration policy of the built table (default
+    /// [`MigrationPolicy::Grow`]: generations open only to double).
+    /// [`MigrationPolicy::Switch`] re-homes the contents into a
+    /// different scheme at the same capacity on the first mutating
+    /// operation; [`MigrationPolicy::Adaptive`] watches the live
+    /// workload and re-evaluates the paper's Figure-8 decision graph
+    /// against it, switching schemes when the observed profile says so.
+    /// A non-[`Grow`](MigrationPolicy::Grow) policy always wraps the
+    /// build in a [`DynamicTable`], even without
+    /// [`TableBuilder::grow_at`] (growth then defaults to
+    /// [`DEFAULT_MIGRATION_GROW_AT`]). Composes with
+    /// [`TableBuilder::shards`] (each shard migrates independently) and
+    /// [`TableBuilder::incremental`] (the switch drains a bounded number
+    /// of entries per mutating op instead of stopping the world).
+    pub fn migration(mut self, policy: MigrationPolicy) -> Self {
+        self.migration_policy = policy;
+        self
+    }
+
+    /// Shorthand for `migration(MigrationPolicy::Adaptive(AdaptiveConfig::default()))`.
+    pub fn adaptive(self) -> Self {
+        self.migration(MigrationPolicy::Adaptive(crate::dynamic::AdaptiveConfig::default()))
+    }
+
     /// Write a snapshot (and truncate the log) after every `records`
     /// logged records, bounding replay work at recovery. Snapshots scan
     /// the live table through `ConcurrentTable::for_each_shared` — one
@@ -408,6 +440,11 @@ impl TableBuilder {
         self.growth_policy
     }
 
+    /// The configured migration policy ([`TableBuilder::migration`]).
+    pub fn migration_kind(&self) -> MigrationPolicy {
+        self.migration_policy
+    }
+
     /// The configured WAL directory ([`TableBuilder::wal`]), if any.
     pub fn wal_dir(&self) -> Option<&Path> {
         self.wal_dir.as_deref()
@@ -444,19 +481,19 @@ impl TableBuilder {
         if self.shard_bits > 0 {
             return Ok(Box::new(self.try_build_sharded()?));
         }
-        match self.grow_threshold {
-            Some(threshold) => {
-                let factory = Self { grow_threshold: None, chained_budget: None, ..self.clone() };
-                Ok(Box::new(DynamicTable::with_policy(
-                    factory,
-                    self.bits,
-                    self.seed,
-                    threshold,
-                    self.growth_policy,
-                )))
-            }
-            None => self.build_static(),
+        if self.grow_threshold.is_some() || self.migration_policy != MigrationPolicy::Grow {
+            let threshold = self.grow_threshold.unwrap_or(DEFAULT_MIGRATION_GROW_AT);
+            let factory = Self { grow_threshold: None, chained_budget: None, ..self.clone() };
+            return Ok(Box::new(DynamicTable::with_migration(
+                factory,
+                self.bits,
+                self.seed,
+                threshold,
+                self.growth_policy,
+                self.migration_policy,
+            )));
         }
+        self.build_static()
     }
 
     /// [`TableBuilder::try_build`], panicking on an infeasible chained
@@ -495,7 +532,9 @@ impl TableBuilder {
                 .try_build()
         })?;
         table.set_optimistic_reads(self.optimistic_reads);
-        if self.optimistic_reads && self.grow_threshold.is_some() {
+        if self.optimistic_reads
+            && (self.grow_threshold.is_some() || self.migration_policy != MigrationPolicy::Grow)
+        {
             // Growing shards swap whole generations; lock-free readers may
             // still hold a swapped-out generation's address, so the shards
             // must retain (not free) replaced generations. See
@@ -695,6 +734,46 @@ impl TableFactory for TableBuilder {
 
     fn scheme_name(&self) -> &'static str {
         self.scheme.name()
+    }
+
+    /// The same description re-homed onto the scheme backing `choice` —
+    /// how [`DynamicTable::switch_to`] obtains the target generation's
+    /// factory. Mirrors [`TableBuilder::for_profile`]'s choice → scheme
+    /// mapping: the fingerprint table is built with its SIMD tag scan on
+    /// (the graph recommends FP *for* that filter), every other target
+    /// keeps the builder's SIMD toggle, and the hash family, seed, and
+    /// prefetch window carry over unchanged.
+    fn for_choice(&self, choice: TableChoice) -> Option<Self> {
+        let (scheme, simd) = match choice {
+            TableChoice::LPMult => (TableScheme::LinearProbing, self.simd),
+            TableChoice::QPMult => (TableScheme::Quadratic, self.simd),
+            TableChoice::RHMult => (TableScheme::RobinHood, self.simd),
+            TableChoice::CuckooH4Mult => (TableScheme::Cuckoo4, self.simd),
+            TableChoice::FpMult => (TableScheme::Fingerprint, true),
+            TableChoice::ChainedH24Mult => (TableScheme::Chained24, self.simd),
+        };
+        Some(Self { scheme, simd, ..self.clone() })
+    }
+
+    /// The decision-graph choice the configured scheme corresponds to
+    /// (hash family and SIMD toggle disregarded — the graph reasons in
+    /// schemes). Schemes outside the graph's vocabulary (SoA layout, the
+    /// lower cuckoo arities, ChainedH8) report `None`, so an adaptive
+    /// controller treats them as "not the recommendation" and migrates
+    /// off them when the workload says so.
+    fn current_choice(&self) -> Option<TableChoice> {
+        match self.scheme {
+            TableScheme::LinearProbing => Some(TableChoice::LPMult),
+            TableScheme::Quadratic => Some(TableChoice::QPMult),
+            TableScheme::RobinHood => Some(TableChoice::RHMult),
+            TableScheme::Cuckoo4 => Some(TableChoice::CuckooH4Mult),
+            TableScheme::Fingerprint => Some(TableChoice::FpMult),
+            TableScheme::Chained24 => Some(TableChoice::ChainedH24Mult),
+            TableScheme::Chained8
+            | TableScheme::LinearProbingSoA
+            | TableScheme::Cuckoo2
+            | TableScheme::Cuckoo3 => None,
+        }
     }
 }
 
@@ -1032,6 +1111,114 @@ mod tests {
         let t = TableBuilder::new(TableScheme::LinearProbing).bits(12).shards(2).build_sharded();
         assert!(t.optimistic_reads());
         assert_eq!(t.retired_bytes(), 0);
+    }
+
+    #[test]
+    fn migration_switch_through_builder_keeps_model_semantics() {
+        // A builder-made table under a pending cross-scheme switch must
+        // stay map-correct through the drain — the differential covers
+        // the pre-switch, mid-drain, and post-drain states.
+        let mut t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .seed(3)
+            .incremental(2)
+            .migration(MigrationPolicy::Switch(TableChoice::FpMult))
+            .build();
+        check_against_model(&mut t, 3000, 0x51C);
+        assert!(
+            t.display_name().starts_with("FP"),
+            "switch must have landed, got {}",
+            t.display_name()
+        );
+    }
+
+    #[test]
+    fn migration_knob_wraps_without_grow_at() {
+        let b = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(6)
+            .migration(MigrationPolicy::Switch(TableChoice::RHMult));
+        assert_eq!(b.migration_kind(), MigrationPolicy::Switch(TableChoice::RHMult));
+        let mut t = b.build();
+        t.insert(1, 1).unwrap();
+        assert!(t.display_name().starts_with("RH"), "got {}", t.display_name());
+        // Growth still works, at the fallback threshold.
+        for k in 2..=500u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.load_factor() <= DEFAULT_MIGRATION_GROW_AT + 1e-9);
+        assert!(t.capacity() > 64, "fallback growth threshold never triggered");
+        // The adaptive shorthand round-trips through the accessor.
+        let a = TableBuilder::new(TableScheme::LinearProbing).adaptive();
+        assert!(matches!(a.migration_kind(), MigrationPolicy::Adaptive(_)));
+    }
+
+    #[test]
+    fn sharded_migration_switches_every_shard_independently() {
+        use crate::sharded::ConcurrentTable;
+        let t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(10)
+            .seed(5)
+            .shards(2)
+            .incremental(4)
+            .migration(MigrationPolicy::Switch(TableChoice::RHMult))
+            .build_sharded();
+        let items: Vec<(u64, u64)> = (1..=2000u64).map(|k| (k, k * 3)).collect();
+        let mut out = vec![Ok(InsertOutcome::Inserted); items.len()];
+        t.insert_batch_shared(&items, &mut out);
+        assert!(out.iter().all(|o| o.is_ok()));
+        // Enough further mutations reach every shard to finish each
+        // shard's drain.
+        for k in 2001..=4000u64 {
+            t.insert_shared(k, k * 3).unwrap();
+        }
+        t.for_each_shard(|i, shard| {
+            assert!(
+                shard.display_name().starts_with("RH"),
+                "shard {i} never switched: {}",
+                shard.display_name()
+            );
+        });
+        let stats = t.stats_shared();
+        assert_eq!(stats.scheme_switches, t.num_shards() as u64);
+        assert_eq!(stats.inserts, 4000);
+        for k in (1..=4000u64).step_by(97) {
+            assert_eq!(t.lookup_shared(k), Some(k * 3), "key {k} lost in a shard switch");
+        }
+    }
+
+    #[test]
+    fn sharded_stats_merge_over_shards() {
+        use crate::sharded::ConcurrentTable;
+        // Growing (DynamicTable-wrapped) shards track runtime stats.
+        // Optimistic reads are turned off so every lookup takes the
+        // locked (counted) path — seqlock probes must not write
+        // table-side state, so they bypass the counters by design.
+        let t = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .shards(1)
+            .grow_at(0.9)
+            .optimistic_reads(false)
+            .build_sharded();
+        for k in 1..=100u64 {
+            t.insert_shared(k, k).unwrap();
+        }
+        for k in 1..=200u64 {
+            let _ = t.lookup_shared(k);
+        }
+        let stats = t.stats_shared();
+        assert_eq!(stats.inserts, 100);
+        assert_eq!(stats.lookups, 200);
+        assert_eq!(stats.misses, 100);
+        assert!((stats.miss_ratio() - 0.5).abs() < 1e-9);
+        // ...and the HashTable view reports the same merged snapshot.
+        assert_eq!(t.table_stats(), Some(stats));
+        // Static shards track nothing — no stats to report.
+        let t = TableBuilder::new(TableScheme::LinearProbing).bits(8).shards(1).build_sharded();
+        for k in 1..=50u64 {
+            t.insert_shared(k, k).unwrap();
+        }
+        assert_eq!(t.stats_shared(), crate::TableStats::default());
+        assert_eq!(t.table_stats(), None);
     }
 
     #[test]

@@ -39,7 +39,42 @@
 //! is evaluated as a `u128` product — exact at every capacity up to
 //! `2^MAX_BITS`, where `f64` comparisons can misplace the trigger by an
 //! entry.
+//!
+//! # Migration policies: generations beyond growth
+//!
+//! The two-generation machinery is scheme-agnostic — nothing about the
+//! drain requires the next generation to be a *bigger table of the same
+//! scheme*. A [`MigrationPolicy`] decides *what* the next generation is
+//! (orthogonal to [`GrowthPolicy`], which decides *how* entries move):
+//!
+//! * [`MigrationPolicy::Grow`] — doubled capacity, same scheme, on the
+//!   load-factor trigger (the original behaviour, and the default).
+//! * [`MigrationPolicy::Switch`] — a one-shot live migration to a
+//!   different scheme ([`TableChoice`]) at the current capacity; growth
+//!   afterwards continues in the new scheme.
+//! * [`MigrationPolicy::Adaptive`] — a feedback controller: the table
+//!   watches its own runtime signals ([`crate::stats::RuntimeStats`] —
+//!   load factor, EWMA miss ratio, write mix), periodically re-runs the
+//!   paper's Figure 8 decision graph against the *observed* profile
+//!   ([`crate::profile_choice`]), and live-migrates whenever the graph
+//!   disagrees with the current scheme (LP→FP when misses dominate,
+//!   back toward LP/RH when hits do, with the chained-budget fallbacks
+//!   `profile_choice` already encodes).
+//!
+//! Cross-scheme generations reuse every invariant of incremental growth:
+//! at most two generations, lookups/deletes consult both, the drain is
+//! funded by mutating operations, and generation publication/retirement
+//! for optimistic readers is unchanged (a retiree's exact byte footprint
+//! is whatever its own [`HashTable::memory_bytes`] reports — an FP
+//! retiree pins its tag array, a chained one its slab). The factory hook
+//! is [`TableFactory::for_choice`], which only
+//! [`crate::TableBuilder`] implements non-trivially: the concrete
+//! per-scheme factories in this module are fixed to one table type and
+//! simply refuse to re-target.
 
+use crate::decision::{Mutability, TableChoice, WorkloadProfile};
+use crate::entries::EntrySnapshot;
+use crate::stats::{RuntimeStats, TableStats};
 use crate::{
     is_reserved_key, ChainedTable24, ChainedTable8, Cuckoo, HashTable, InsertOutcome,
     LinearProbing, LinearProbingSoA, MemoryBudget, QuadraticProbing, RobinHood, TableError,
@@ -61,6 +96,26 @@ pub trait TableFactory: Clone {
 
     /// Scheme name for reports (e.g. `"LP"`).
     fn scheme_name(&self) -> &'static str;
+
+    /// Re-target the factory at the scheme behind `choice`, keeping every
+    /// other knob (hash family, SIMD, prefetch): the hook the migration
+    /// engine uses to build a *different-scheme* next generation.
+    /// Factories fixed to one concrete table type return `None` (the
+    /// default); [`crate::TableBuilder`]'s boxed factory represents every
+    /// choice.
+    fn for_choice(&self, choice: TableChoice) -> Option<Self> {
+        let _ = choice;
+        None
+    }
+
+    /// The [`TableChoice`] whose scheme this factory currently builds,
+    /// when it is one of the decision graph's six candidates (`None`
+    /// otherwise — e.g. `CuckooH2`, which Figure 8 never recommends).
+    /// Used by the adaptive controller to detect "already the right
+    /// scheme".
+    fn current_choice(&self) -> Option<TableChoice> {
+        None
+    }
 }
 
 macro_rules! simple_factory {
@@ -235,6 +290,57 @@ pub enum GrowthPolicy {
     },
 }
 
+/// *What* the next generation is — the migration engine's policy knob,
+/// orthogonal to [`GrowthPolicy`] (which decides *how* entries move).
+/// See the [module docs](self).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MigrationPolicy {
+    /// Same scheme, doubled capacity, on the load-factor trigger — the
+    /// original growth-only behaviour and the default.
+    Grow,
+    /// One live migration to this choice's scheme at the current
+    /// capacity, begun by the first mutating operation; growth afterwards
+    /// continues in the new scheme. Silently stays put when the factory
+    /// cannot represent the choice (see [`TableFactory::for_choice`]).
+    Switch(TableChoice),
+    /// Watch live signals and re-run the Figure 8 decision graph against
+    /// the observed profile, migrating whenever it disagrees with the
+    /// current scheme.
+    Adaptive(AdaptiveConfig),
+}
+
+/// Tuning for [`MigrationPolicy::Adaptive`]. The defaults re-evaluate
+/// every 4 Ki mutating ops, demand 1 Ki fresh lookups of evidence, and
+/// hold 16 Ki ops of hysteresis after each switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Mutating operations between controller evaluations.
+    pub check_every: u64,
+    /// Minimum lookups observed since the previous evaluation before the
+    /// miss signal is trusted — the controller must not switch without
+    /// evidence.
+    pub min_lookups: u64,
+    /// Mutating operations after a switch during which the controller
+    /// stays quiet (hysteresis against flapping on a boundary profile).
+    pub cooldown: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self { check_every: 4096, min_lookups: 1024, cooldown: 16_384 }
+    }
+}
+
+/// A write ratio below this is treated as an *effectively static* phase:
+/// the paper's static bands (where FP, chained and cuckoo live) apply to
+/// a probe-dominated stream even though the table remains writable.
+const ADAPTIVE_STATIC_WRITE_RATIO: f64 = 0.05;
+
+/// Every Nth single-key lookup runs the instrumented probe
+/// ([`HashTable::lookup_probed`]) instead of the plain one, feeding the
+/// mean-probe-length signal at 1/N of the probes.
+const PROBE_SAMPLE_EVERY: u64 = 64;
+
 /// Fixed-point bits of the growth-threshold representation (Q32).
 const THRESHOLD_FP_BITS: u32 = 32;
 
@@ -254,9 +360,12 @@ fn crosses_threshold(threshold_fp: u64, len_after: usize, cap: usize) -> bool {
 /// and probes it without any lock.
 struct OldGeneration<T> {
     table: Box<T>,
-    /// Keys captured when the migration began, drained from the back.
-    /// Keys the workload deletes mid-migration simply miss on pop.
-    pending: Vec<u64>,
+    /// Keys captured when the migration began ([`EntrySnapshot::keys_of`]
+    /// — the same live-entry capture the durable snapshot writer uses),
+    /// drained LIFO. Keys the workload deletes mid-migration simply miss
+    /// on pop; values are re-read through the live table at drain time so
+    /// updates are never lost.
+    pending: EntrySnapshot<u64>,
 }
 
 /// A table that doubles its capacity when the load factor would cross a
@@ -293,6 +402,23 @@ pub struct DynamicTable<F: TableFactory> {
     /// is pure integer math).
     threshold_fp: u64,
     policy: GrowthPolicy,
+    migration: MigrationPolicy,
+    /// One-shot [`MigrationPolicy::Switch`] target, consumed by the first
+    /// mutating operation (construction stays allocation-cheap and the
+    /// switch itself rides the ordinary drain machinery).
+    pending_switch: Option<TableChoice>,
+    /// Relaxed-atomic runtime signals (miss EWMA, probe samples), shared
+    /// with the lock-free read path.
+    stats: RuntimeStats,
+    /// Cross-scheme migrations begun so far.
+    scheme_switches: usize,
+    /// Mutating ops since the adaptive controller last evaluated.
+    ops_since_check: u64,
+    /// Mutating ops of post-switch hysteresis still to burn.
+    cooldown_left: u64,
+    /// Stats snapshot at the last controller evaluation; deltas against
+    /// it form the observed workload profile.
+    last_eval: TableStats,
     rehash_count: usize,
 }
 
@@ -341,8 +467,33 @@ impl<F: TableFactory> DynamicTable<F> {
             grow_threshold,
             threshold_fp,
             policy,
+            migration: MigrationPolicy::Grow,
+            pending_switch: None,
+            stats: RuntimeStats::new(),
+            scheme_switches: 0,
+            ops_since_check: 0,
+            cooldown_left: 0,
+            last_eval: TableStats::default(),
             rehash_count: 0,
         }
+    }
+
+    /// [`DynamicTable::with_policy`] with an explicit [`MigrationPolicy`]
+    /// — the full migration-engine constructor.
+    pub fn with_migration(
+        factory: F,
+        bits: u8,
+        seed: u64,
+        grow_threshold: f64,
+        policy: GrowthPolicy,
+        migration: MigrationPolicy,
+    ) -> Self {
+        let mut table = Self::with_policy(factory, bits, seed, grow_threshold, policy);
+        table.migration = migration;
+        if let MigrationPolicy::Switch(choice) = migration {
+            table.pending_switch = Some(choice);
+        }
+        table
     }
 
     /// The wrapped table (the current generation; during an incremental
@@ -364,6 +515,17 @@ impl<F: TableFactory> DynamicTable<F> {
     /// The growth policy.
     pub fn growth_policy(&self) -> GrowthPolicy {
         self.policy
+    }
+
+    /// The migration policy.
+    pub fn migration_policy(&self) -> MigrationPolicy {
+        self.migration
+    }
+
+    /// Cross-scheme migrations begun so far (growth doublings are counted
+    /// by [`DynamicTable::rehash_count`], which includes these).
+    pub fn scheme_switches(&self) -> usize {
+        self.scheme_switches
     }
 
     /// Whether an incremental migration is currently in flight.
@@ -427,24 +589,121 @@ impl<F: TableFactory> DynamicTable<F> {
         }
     }
 
-    /// Begin a two-generation migration: allocate the doubled generation,
-    /// snapshot the old generation's keys, and hand all inserts to the
-    /// new table. If a previous migration is still draining (possible
-    /// only when deletes starved the drain budget), it is finished first
-    /// so at most two generations ever exist.
+    /// Begin a two-generation growth migration into a doubled table of
+    /// the current scheme.
     fn start_migration(&mut self) -> Result<(), TableError> {
+        self.begin_generation(self.bits + 1, None)
+    }
+
+    /// Begin a two-generation migration: allocate a fresh generation of
+    /// `2^bits` slots — re-targeting the factory first when `factory` is
+    /// given (a cross-scheme switch) — snapshot the old generation's
+    /// keys, and hand all inserts to the new table. If a previous
+    /// migration is still draining (possible only when deletes starved
+    /// the drain budget, or a switch landed mid-growth), it is finished
+    /// first so at most two generations ever exist.
+    fn begin_generation(&mut self, bits: u8, factory: Option<F>) -> Result<(), TableError> {
         self.finish_migration()?;
-        let bits = self.bits + 1;
         assert!(bits <= MAX_BITS, "dynamic table exceeded 2^{MAX_BITS} slots");
+        if let Some(f) = factory {
+            self.factory = f;
+        }
         let fresh = Box::new(self.factory.build(bits, self.generation_seed(bits, 0)));
         let old_table = std::mem::replace(&mut self.inner, fresh);
         self.publish_inner();
-        let mut pending = Vec::with_capacity(old_table.len());
-        old_table.for_each(&mut |k, _| pending.push(k));
+        let pending = EntrySnapshot::keys_of(&*old_table);
         self.old = Some(OldGeneration { table: old_table, pending });
         self.publish_old();
         self.bits = bits;
         self.rehash_count += 1;
+        Ok(())
+    }
+
+    /// Begin a live migration to `choice`'s scheme at the current
+    /// capacity. Returns `Ok(false)` — without touching the table — when
+    /// the switch is impossible or pointless: the factory cannot
+    /// represent the choice, the table already is that scheme, or the
+    /// capacity is below the target scheme's minimum (fingerprint groups
+    /// need `2^4` slots). Under [`GrowthPolicy::AllAtOnce`] the switch is
+    /// a stop-the-world rebuild; under incremental growth it drains like
+    /// any other generation change.
+    pub fn switch_to(&mut self, choice: TableChoice) -> Result<bool, TableError> {
+        if self.factory.current_choice() == Some(choice) {
+            return Ok(false);
+        }
+        let Some(factory) = self.factory.for_choice(choice) else {
+            return Ok(false);
+        };
+        if choice == TableChoice::FpMult && (1usize << self.bits) < crate::GROUP_SLOTS {
+            return Ok(false);
+        }
+        match self.policy {
+            GrowthPolicy::AllAtOnce => {
+                self.factory = factory;
+                self.rebuild(self.bits, 0)?;
+            }
+            GrowthPolicy::Incremental { .. } => {
+                self.begin_generation(self.bits, Some(factory))?;
+            }
+        }
+        self.scheme_switches += 1;
+        Ok(true)
+    }
+
+    /// Per-mutating-operation policy hook: consume a one-shot pending
+    /// [`MigrationPolicy::Switch`], or run the adaptive controller every
+    /// [`AdaptiveConfig::check_every`] ops.
+    fn policy_tick(&mut self) -> Result<(), TableError> {
+        if let Some(choice) = self.pending_switch.take() {
+            self.switch_to(choice)?;
+            return Ok(());
+        }
+        let MigrationPolicy::Adaptive(cfg) = self.migration else {
+            return Ok(());
+        };
+        self.ops_since_check += 1;
+        if self.ops_since_check < cfg.check_every.max(1) {
+            return Ok(());
+        }
+        let ticks = self.ops_since_check;
+        self.ops_since_check = 0;
+        if self.cooldown_left > 0 {
+            self.cooldown_left = self.cooldown_left.saturating_sub(ticks);
+            return Ok(());
+        }
+        if self.is_migrating() {
+            // Let the in-flight drain finish before re-deciding: a verdict
+            // mid-drain would be judged on a half-moved table.
+            return Ok(());
+        }
+        let snap = self.stats.snapshot();
+        let lookups = snap.lookups.saturating_sub(self.last_eval.lookups);
+        let writes = (snap.inserts + snap.deletes)
+            .saturating_sub(self.last_eval.inserts + self.last_eval.deletes);
+        self.last_eval = snap;
+        if lookups < cfg.min_lookups {
+            return Ok(());
+        }
+        let write_ratio = writes as f64 / (writes + lookups) as f64;
+        let mutability = if write_ratio < ADAPTIVE_STATIC_WRITE_RATIO {
+            Mutability::Static
+        } else {
+            Mutability::Dynamic
+        };
+        let observed = WorkloadProfile {
+            load_factor: self.load_factor(),
+            successful_ratio: 1.0 - snap.miss_ewma,
+            write_ratio,
+            dense_keys: false,
+            mutability,
+        };
+        // The same graph walk `TableBuilder::for_profile` uses offline,
+        // including its feasibility fallbacks (chained past its §4.5
+        // budget falls to FP/RH) — here fed by *observed* signals.
+        let desired = crate::builder::profile_choice(&observed, self.bits);
+        if self.factory.current_choice() != Some(desired) && self.switch_to(desired)? {
+            self.cooldown_left = cfg.cooldown;
+        }
         Ok(())
     }
 
@@ -584,14 +843,23 @@ impl<F: TableFactory> crate::optimistic::ReadView for DynamicTable<F> {
         // rejects it — but never unsound: both loads see either a live
         // generation or a retained (still-allocated) one.
         let inner = self.inner_published.load(Ordering::Acquire);
-        if let Some(value) = (*inner).lookup_optimistic(key)? {
-            return Some(Some(value));
-        }
-        let old = self.old_published.load(Ordering::Acquire);
-        if old.is_null() {
-            return Some(None);
-        }
-        (*old).lookup_optimistic(key)
+        let result = 'probe: {
+            if let Some(value) = (*inner).lookup_optimistic(key)? {
+                break 'probe Some(value);
+            }
+            let old = self.old_published.load(Ordering::Acquire);
+            if old.is_null() {
+                break 'probe None;
+            }
+            (*old).lookup_optimistic(key)?
+        };
+        // Feed the adaptive controller even when reads bypass the lock:
+        // the counters are relaxed atomics, so this write never data-races
+        // a locked writer (which updates them through `&mut self`'s own
+        // atomic path). A probe the caller's validation later rejects gets
+        // re-counted by the locked retry — a rare, advisory-only skew.
+        self.stats.record_lookups(1, result.is_none() as u64);
+        Some(result)
     }
 
     fn retain_retired_allocations(&mut self, on: bool) {
@@ -618,6 +886,8 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
         if is_reserved_key(key) {
             return Err(TableError::ReservedKey);
         }
+        self.stats.record_inserts(1);
+        self.policy_tick()?;
         if self.old.is_some() {
             self.migrate_step(self.step_budget())?;
         }
@@ -666,16 +936,28 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
     }
 
     fn lookup(&self, key: u64) -> Option<u64> {
-        match self.inner.lookup(key) {
+        let inner_hit = if self.stats.lookups().is_multiple_of(PROBE_SAMPLE_EVERY) {
+            let (v, steps) = self.inner.lookup_probed(key);
+            self.stats.record_probe(steps as u64);
+            v
+        } else {
+            self.inner.lookup(key)
+        };
+        let result = match inner_hit {
             Some(v) => Some(v),
             None => self.old.as_ref().and_then(|g| g.table.lookup(key)),
-        }
+        };
+        self.stats.record_lookups(1, result.is_none() as u64);
+        result
     }
 
     fn delete(&mut self, key: u64) -> Option<u64> {
-        if self.old.is_some() && self.migrate_step(self.step_budget()).is_err() {
-            // A failed drain step (factory budget) leaves both
-            // generations consistent; the delete itself still proceeds.
+        self.stats.record_deletes(1);
+        // A failed policy tick or drain step (factory budget) leaves both
+        // generations consistent; the delete itself still proceeds.
+        let _ = self.policy_tick();
+        if self.old.is_some() {
+            let _ = self.migrate_step(self.step_budget());
         }
         match self.inner.delete(key) {
             Some(v) => Some(v),
@@ -692,24 +974,37 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
     // drain step), and a mid-batch doubling invalidates any precomputed
     // home slots.
     fn lookup_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        // Stats cost per *batch*, not per key: one sampled probe when the
+        // batch straddles a sampling point, plus two fetch_adds at the
+        // end — the ≤ 2%-overhead budget of the shared read path.
+        if let Some(&first) = keys.first() {
+            let before = self.stats.lookups();
+            if before / PROBE_SAMPLE_EVERY != (before + keys.len() as u64) / PROBE_SAMPLE_EVERY {
+                let (_, steps) = self.inner.lookup_probed(first);
+                self.stats.record_probe(steps as u64);
+            }
+        }
         self.inner.lookup_batch(keys, out);
         if let Some(gen) = self.old.as_ref() {
             let miss_keys: Vec<u64> =
                 keys.iter().zip(out.iter()).filter(|(_, o)| o.is_none()).map(|(&k, _)| k).collect();
-            if miss_keys.is_empty() {
-                return;
-            }
-            let mut old_vals = vec![None; miss_keys.len()];
-            gen.table.lookup_batch(&miss_keys, &mut old_vals);
-            let mut it = old_vals.into_iter();
-            for o in out.iter_mut().filter(|o| o.is_none()) {
-                *o = it.next().expect("one old-generation probe per miss");
+            if !miss_keys.is_empty() {
+                let mut old_vals = vec![None; miss_keys.len()];
+                gen.table.lookup_batch(&miss_keys, &mut old_vals);
+                let mut it = old_vals.into_iter();
+                for o in out.iter_mut().filter(|o| o.is_none()) {
+                    *o = it.next().expect("one old-generation probe per miss");
+                }
             }
         }
+        let misses = out.iter().filter(|o| o.is_none()).count() as u64;
+        self.stats.record_lookups(keys.len() as u64, misses);
     }
 
     fn delete_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
         assert_eq!(keys.len(), out.len(), "delete_batch: keys and out lengths differ");
+        self.stats.record_deletes(keys.len() as u64);
+        let _ = self.policy_tick();
         if self.old.is_some() {
             let budget = self.step_budget().saturating_mul(keys.len().max(1));
             let _ = self.migrate_step(budget);
@@ -743,7 +1038,7 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
 
     fn memory_bytes(&self) -> usize {
         self.inner.memory_bytes()
-            + self.old.as_ref().map_or(0, |g| g.table.memory_bytes() + g.pending.capacity() * 8)
+            + self.old.as_ref().map_or(0, |g| g.table.memory_bytes() + g.pending.heap_bytes())
             + crate::optimistic::ReadView::retired_bytes(self)
     }
 
@@ -756,6 +1051,13 @@ impl<F: TableFactory> HashTable for DynamicTable<F> {
 
     fn display_name(&self) -> String {
         self.inner.display_name()
+    }
+
+    fn table_stats(&self) -> Option<TableStats> {
+        let mut s = self.stats.snapshot();
+        s.rehashes = self.rehash_count as u64;
+        s.scheme_switches = self.scheme_switches as u64;
+        Some(s)
     }
 }
 
@@ -1210,5 +1512,329 @@ mod tests {
             !t.supports_optimistic(),
             "chained inner tables must keep the dynamic wrapper pessimistic"
         );
+    }
+
+    use crate::builder::{TableBuilder, TableScheme};
+
+    /// A builder-backed dynamic table — the only factory whose
+    /// generations can change scheme.
+    fn builder_table(
+        scheme: TableScheme,
+        bits: u8,
+        policy: GrowthPolicy,
+        migration: MigrationPolicy,
+    ) -> DynamicTable<TableBuilder> {
+        DynamicTable::with_migration(TableBuilder::new(scheme), bits, 7, 0.9, policy, migration)
+    }
+
+    #[test]
+    fn switch_to_rehomes_contents_incrementally() {
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            10,
+            GrowthPolicy::Incremental { step: 2 },
+            MigrationPolicy::Grow,
+        );
+        for k in 1..=500u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert!(t.inner().display_name().starts_with("LP"));
+        assert_eq!(t.switch_to(TableChoice::FpMult), Ok(true));
+        assert!(t.is_migrating(), "an incremental switch must open a draining generation");
+        assert!(t.inner().display_name().starts_with("FP"), "new generation must be the target");
+        assert_eq!(t.capacity(), 1 << 10, "a switch re-homes at the same capacity");
+        assert_eq!(t.scheme_switches(), 1);
+        // Every observable stays correct at every drain state.
+        let mut model: std::collections::HashMap<u64, u64> =
+            (1..=500u64).map(|k| (k, k * 3)).collect();
+        let mut key = 500u64;
+        while t.is_migrating() {
+            key += 1;
+            t.insert(key, key * 3).unwrap();
+            model.insert(key, key * 3);
+            assert_eq!(t.len(), model.len());
+            for probe in [1u64, 250, 499, key, key + 1] {
+                assert_eq!(t.lookup(probe), model.get(&probe).copied(), "key {probe} mid-drain");
+            }
+            assert!(key < 2000, "switch drain never completed");
+        }
+        for (k, v) in &model {
+            assert_eq!(t.lookup(*k), Some(*v), "key {k} lost by the switch");
+        }
+        // Deletes mid-drain must hit the draining generation: switch
+        // again and delete a key that has not migrated yet.
+        assert_eq!(t.switch_to(TableChoice::RHMult), Ok(true));
+        assert!(t.is_migrating());
+        assert_eq!(t.delete(1), Some(3), "delete must reach the draining generation");
+        assert_eq!(t.lookup(1), None);
+    }
+
+    #[test]
+    fn switch_to_all_at_once_is_a_stop_the_world_rebuild() {
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            8,
+            GrowthPolicy::AllAtOnce,
+            MigrationPolicy::Grow,
+        );
+        for k in 1..=100u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.switch_to(TableChoice::QPMult), Ok(true));
+        assert!(!t.is_migrating(), "all-at-once switches leave no draining generation");
+        assert!(t.inner().display_name().starts_with("QP"));
+        assert_eq!(t.len(), 100);
+        for k in 1..=100u64 {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn switch_to_refuses_pointless_or_infeasible_targets() {
+        // Already that scheme.
+        let mut t = builder_table(
+            TableScheme::RobinHood,
+            8,
+            GrowthPolicy::AllAtOnce,
+            MigrationPolicy::Grow,
+        );
+        t.insert(1, 1).unwrap();
+        assert_eq!(t.switch_to(TableChoice::RHMult), Ok(false));
+        // A fingerprint target below one 16-slot group.
+        let mut small = builder_table(
+            TableScheme::LinearProbing,
+            3,
+            GrowthPolicy::AllAtOnce,
+            MigrationPolicy::Grow,
+        );
+        assert_eq!(small.switch_to(TableChoice::FpMult), Ok(false));
+        // A factory that cannot re-target (the plain per-scheme factories).
+        let mut fixed = DynamicTable::new(LpFactory::<Murmur>::new(), 8, 1, 0.9);
+        assert_eq!(fixed.switch_to(TableChoice::FpMult), Ok(false));
+        assert_eq!(t.scheme_switches() + small.scheme_switches() + fixed.scheme_switches(), 0);
+    }
+
+    #[test]
+    fn pending_switch_fires_on_first_mutating_op() {
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            8,
+            GrowthPolicy::AllAtOnce,
+            MigrationPolicy::Switch(TableChoice::FpMult),
+        );
+        assert_eq!(t.migration_policy(), MigrationPolicy::Switch(TableChoice::FpMult));
+        assert!(t.inner().display_name().starts_with("LP"), "switch is lazy until a mutation");
+        assert_eq!(t.scheme_switches(), 0);
+        t.insert(1, 10).unwrap();
+        assert!(t.inner().display_name().starts_with("FP"));
+        assert_eq!(t.scheme_switches(), 1);
+        assert_eq!(t.lookup(1), Some(10), "the triggering insert must land in the new scheme");
+        // One-shot: later mutations do not re-switch.
+        t.insert(2, 20).unwrap();
+        assert_eq!(t.scheme_switches(), 1);
+    }
+
+    /// Small controller windows so tests converge in a few hundred ops.
+    const TEST_ADAPTIVE: AdaptiveConfig =
+        AdaptiveConfig { check_every: 8, min_lookups: 32, cooldown: 64 };
+
+    #[test]
+    fn adaptive_switches_lp_to_fp_when_misses_dominate() {
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            10,
+            GrowthPolicy::Incremental { step: 8 },
+            MigrationPolicy::Adaptive(TEST_ADAPTIVE),
+        );
+        // Build phase: ~59% load, no lookups yet.
+        for k in 1..=600u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.inner().display_name().starts_with("LP"));
+        // Probe phase: read-mostly (1 write per 100 lookups) and ~100%
+        // miss — the decision graph's static miss-heavy mid-load band,
+        // which recommends the fingerprint filter.
+        let mut switched_at = None;
+        for round in 0..300u64 {
+            for i in 0..100u64 {
+                assert_eq!(t.lookup(1_000_000 + round * 100 + i), None);
+            }
+            // The rare mutation that funds controller ticks and drain.
+            t.delete(2_000_000 + round);
+            if switched_at.is_none() && t.scheme_switches() > 0 {
+                switched_at = Some(round);
+            }
+            if switched_at.is_some() && !t.is_migrating() {
+                break;
+            }
+        }
+        assert!(switched_at.is_some(), "controller never reacted to the miss-heavy phase");
+        assert!(!t.is_migrating(), "drain never completed");
+        assert!(
+            t.inner().display_name().starts_with("FP"),
+            "miss-heavy reads should land on the fingerprint table, got {}",
+            t.inner().display_name()
+        );
+        for k in (1..=600u64).step_by(29) {
+            assert_eq!(t.lookup(k), Some(k), "key {k} lost by the adaptive switch");
+        }
+        let stats = t.table_stats().expect("dynamic tables report runtime stats");
+        assert_eq!(stats.scheme_switches, t.scheme_switches() as u64);
+        assert!(
+            stats.miss_ewma > 0.9,
+            "EWMA {:.3} should have tracked the misses",
+            stats.miss_ewma
+        );
+    }
+
+    #[test]
+    fn adaptive_returns_to_lp_when_hits_dominate_at_low_load() {
+        let mut t = builder_table(
+            TableScheme::Fingerprint,
+            10,
+            GrowthPolicy::Incremental { step: 8 },
+            MigrationPolicy::Adaptive(TEST_ADAPTIVE),
+        );
+        // ~29% load — the graph's low-load band, where successful reads
+        // recommend plain linear probing.
+        for k in 1..=300u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        for round in 0..300u64 {
+            for i in 0..100u64 {
+                assert_eq!(
+                    t.lookup(1 + (round * 100 + i) % 300),
+                    Some((1 + (round * 100 + i) % 300) * 2)
+                );
+            }
+            t.delete(2_000_000 + round);
+            if t.scheme_switches() > 0 && !t.is_migrating() {
+                break;
+            }
+        }
+        assert!(t.scheme_switches() > 0, "controller never reacted to the hit-heavy phase");
+        assert!(
+            t.inner().display_name().starts_with("LP"),
+            "hit-heavy low-load reads should land on LP, got {}",
+            t.inner().display_name()
+        );
+        for k in (1..=300u64).step_by(17) {
+            assert_eq!(t.lookup(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn adaptive_respects_cooldown_between_switches() {
+        // After a switch the controller must hold still for `cooldown`
+        // mutating ops even though the profile still disagrees — no
+        // flapping while the EWMA catches up.
+        let cfg = AdaptiveConfig { check_every: 4, min_lookups: 8, cooldown: 10_000 };
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            10,
+            GrowthPolicy::Incremental { step: 64 },
+            MigrationPolicy::Adaptive(cfg),
+        );
+        for k in 1..=600u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Miss-heavy burst → one switch.
+        for round in 0..200u64 {
+            for i in 0..50u64 {
+                let _ = t.lookup(1_000_000 + round * 50 + i);
+            }
+            t.delete(2_000_000 + round);
+        }
+        assert_eq!(t.scheme_switches(), 1, "cooldown must pin the table after the first switch");
+    }
+
+    #[test]
+    fn cross_scheme_retirees_account_exact_bytes() {
+        use crate::ReadView;
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            10,
+            GrowthPolicy::Incremental { step: 4 },
+            MigrationPolicy::Grow,
+        );
+        t.retain_retired_allocations(true);
+        for k in 1..=500u64 {
+            t.insert(k, k).unwrap();
+        }
+        let lp_bytes = t.inner().memory_bytes();
+        assert_eq!(t.switch_to(TableChoice::FpMult), Ok(true));
+        let mut key = 500u64;
+        while t.is_migrating() {
+            key += 1;
+            t.insert(key, key).unwrap();
+            assert!(key < 5000, "drain never completed");
+        }
+        // The drained LP generation is parked, and its exact footprint —
+        // an array scheme's bytes depend only on capacity, so the figure
+        // is knowable in advance — shows up in the retiree accounting.
+        assert_eq!(t.retired_bytes(), lp_bytes, "retired LP generation must be charged exactly");
+        assert!(t.memory_bytes() >= t.inner().memory_bytes() + lp_bytes);
+        t.reclaim_retired();
+        assert_eq!(t.retired_bytes(), 0);
+        for k in (1..=key).step_by(31) {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn switch_during_growth_drain_finishes_the_growth_first() {
+        // A switch landing while a growth migration is still draining
+        // must finish that drain stop-the-world before opening the new
+        // generation — at most two generations ever exist.
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            4,
+            GrowthPolicy::Incremental { step: 1 },
+            MigrationPolicy::Grow,
+        );
+        for k in 1..=15u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.is_migrating(), "the growth drain must still be in flight");
+        assert_eq!(t.switch_to(TableChoice::RHMult), Ok(true));
+        assert!(t.inner().display_name().starts_with("RH"));
+        for k in 1..=15u64 {
+            assert_eq!(t.lookup(k), Some(k), "key {k} lost across growth+switch");
+        }
+        let mut key = 15u64;
+        while t.is_migrating() {
+            key += 1;
+            t.insert(key, key).unwrap();
+            assert!(key < 500, "switch drain never completed");
+        }
+        for k in 1..=key {
+            assert_eq!(t.lookup(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn runtime_stats_flow_through_the_dynamic_wrapper() {
+        let mut t = builder_table(
+            TableScheme::LinearProbing,
+            8,
+            GrowthPolicy::AllAtOnce,
+            MigrationPolicy::Grow,
+        );
+        for k in 1..=50u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 1..=100u64 {
+            let _ = t.lookup(k);
+        }
+        t.delete(1);
+        let s = t.table_stats().expect("dynamic tables report stats");
+        assert_eq!(s.lookups, 100);
+        assert_eq!(s.misses, 50);
+        assert_eq!(s.inserts, 50);
+        assert_eq!(s.deletes, 1);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-9);
+        assert!(s.probe_samples > 0, "the sampled probe path must have fired");
+        assert!(s.mean_probe_len() >= 1.0);
+        assert_eq!(s.rehashes, 0);
     }
 }

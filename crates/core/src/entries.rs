@@ -1,0 +1,173 @@
+//! The shared live-entry capture primitive.
+//!
+//! Two subsystems walk a table's live entries while it keeps serving:
+//! the migration engine in [`crate::dynamic`] (capturing the draining
+//! generation's keys, and the full contents for stop-the-world rebuilds)
+//! and the durable snapshot writer (capturing the whole table behind
+//! [`crate::ConcurrentTable::for_each_shared`]). Both used to hand-roll
+//! the same collect-then-drain loop; this module is the single
+//! abstraction they now share, so entry iteration semantics (live entries
+//! only, unspecified order, point-in-time ownership) cannot diverge
+//! between them.
+//!
+//! An [`EntrySnapshot`] is an *owned* capture: once taken it is
+//! decoupled from the source table, which may mutate freely afterwards.
+//! Consumers that need current values at drain time (migration does —
+//! an entry may be updated or deleted between capture and drain) should
+//! capture keys only and re-read through the live table when draining.
+
+use crate::sharded::ConcurrentTable;
+use crate::HashTable;
+
+/// An owned point-in-time capture of a table's live entries — key/value
+/// pairs by default, or bare keys via [`EntrySnapshot::keys_of`].
+///
+/// Drains LIFO through [`EntrySnapshot::pop`] so consuming it never
+/// shifts memory.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EntrySnapshot<T = (u64, u64)> {
+    items: Vec<T>,
+}
+
+impl EntrySnapshot<(u64, u64)> {
+    /// Capture every live `(key, value)` pair of `table` via
+    /// [`HashTable::for_each`].
+    pub fn pairs_of<T: HashTable + ?Sized>(table: &T) -> Self {
+        let mut items = Vec::with_capacity(table.len());
+        table.for_each(&mut |k, v| items.push((k, v)));
+        EntrySnapshot { items }
+    }
+
+    /// Capture every live `(key, value)` pair of a concurrent `table` via
+    /// [`ConcurrentTable::for_each_shared`] — per-shard consistent, the
+    /// durable snapshot's view.
+    pub fn pairs_of_shared<T: ConcurrentTable + ?Sized>(table: &T) -> Self {
+        let mut items = Vec::with_capacity(table.len_shared());
+        table.for_each_shared(&mut |k, v| items.push((k, v)));
+        EntrySnapshot { items }
+    }
+}
+
+impl EntrySnapshot<u64> {
+    /// Capture every live key of `table` — the migration drain's working
+    /// set (values are re-read through the live table at drain time, so
+    /// updates between capture and drain are never lost).
+    pub fn keys_of<T: HashTable + ?Sized>(table: &T) -> Self {
+        let mut items = Vec::with_capacity(table.len());
+        table.for_each(&mut |k, _| items.push(k));
+        EntrySnapshot { items }
+    }
+}
+
+impl<T> EntrySnapshot<T> {
+    /// Entries not yet drained.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the capture is fully drained (or was empty).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Remove and return one captured entry (LIFO), or `None` when
+    /// drained.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop()
+    }
+
+    /// Push an entry back (a drain step that failed mid-flight restores
+    /// it here so nothing is lost).
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// The undrained entries, in unspecified order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the capture into its backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Heap bytes pinned by the capture's backing buffer — what
+    /// [`HashTable::memory_bytes`] accounting charges a draining
+    /// generation for.
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> From<Vec<T>> for EntrySnapshot<T> {
+    fn from(items: Vec<T>) -> Self {
+        EntrySnapshot { items }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HashTable, LinearProbing, ShardedTable, TableBuilder, TableScheme};
+    use hashfn::MultShift;
+
+    #[test]
+    fn pairs_capture_matches_table_contents() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(8, MultShift::default());
+        for k in 1..=100u64 {
+            t.insert(k, k * 10).unwrap();
+        }
+        let snap = EntrySnapshot::pairs_of(&t);
+        assert_eq!(snap.len(), 100);
+        let mut pairs = snap.into_vec();
+        pairs.sort_unstable();
+        assert_eq!(pairs, (1..=100u64).map(|k| (k, k * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn key_capture_is_decoupled_from_later_mutation() {
+        let mut t: LinearProbing<MultShift> = LinearProbing::with_hash(8, MultShift::default());
+        for k in 1..=50u64 {
+            t.insert(k, k).unwrap();
+        }
+        let mut snap = EntrySnapshot::keys_of(&t);
+        // Mutating the table does not disturb the capture.
+        t.delete(1);
+        t.insert(200, 200).unwrap();
+        assert_eq!(snap.len(), 50);
+        let mut seen = Vec::new();
+        while let Some(k) = snap.pop() {
+            seen.push(k);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=50u64).collect::<Vec<_>>());
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn shared_capture_walks_every_shard() {
+        let table = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(10)
+            .shards(2)
+            .try_build_sharded()
+            .unwrap();
+        let keys: Vec<u64> = (1..=300u64).collect();
+        let mut out = vec![Ok(crate::InsertOutcome::Inserted); keys.len()];
+        table.insert_batch_shared(&keys.iter().map(|&k| (k, k + 7)).collect::<Vec<_>>(), &mut out);
+        let snap = EntrySnapshot::pairs_of_shared(&table as &ShardedTable<_>);
+        let mut pairs = snap.into_vec();
+        pairs.sort_unstable();
+        assert_eq!(pairs, (1..=300u64).map(|k| (k, k + 7)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_restores_a_failed_drain_step_and_heap_bytes_tracks_capacity() {
+        let mut snap: EntrySnapshot<u64> = EntrySnapshot::from(vec![1, 2, 3]);
+        let popped = snap.pop().unwrap();
+        snap.push(popped);
+        assert_eq!(snap.len(), 3);
+        assert!(snap.heap_bytes() >= 3 * std::mem::size_of::<u64>());
+        assert_eq!(EntrySnapshot::<u64>::default().heap_bytes(), 0);
+    }
+}

@@ -356,6 +356,33 @@ impl<H: HashFn64, const GROUP: usize> HashTable for FingerprintTable<H, GROUP> {
         self.lookup_from(group, tag, key)
     }
 
+    fn lookup_probed(&self, key: u64) -> (Option<u64>, usize) {
+        if is_reserved_key(key) {
+            return (None, 1);
+        }
+        // Probe unit here is 16-slot *groups*, not slots — one tag scan
+        // is one step, matching what a miss actually costs.
+        let (home_group, tag) = self.home(key);
+        let mut group = home_group;
+        for i in 0..=self.group_mask {
+            let base = group * GROUP;
+            let scan = self.group_scan(group, tag);
+            let mut m = scan.matches;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                if self.keys[base + lane] == key {
+                    return (Some(self.values[base + lane]), i + 1);
+                }
+                m &= m - 1;
+            }
+            if scan.empties != 0 {
+                return (None, i + 1);
+            }
+            group = (group + 1) & self.group_mask;
+        }
+        (None, self.group_mask + 1)
+    }
+
     fn delete(&mut self, key: u64) -> Option<u64> {
         if is_reserved_key(key) {
             return None;

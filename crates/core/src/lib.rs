@@ -41,6 +41,7 @@ pub mod chained;
 pub mod cuckoo;
 pub mod decision;
 pub mod dynamic;
+pub mod entries;
 pub mod fingerprint;
 pub mod linear_probing;
 pub mod lp_soa;
@@ -60,9 +61,10 @@ pub use chained::{ChainedTable24, ChainedTable8};
 pub use cuckoo::Cuckoo;
 pub use decision::{recommend, TableChoice, WorkloadProfile};
 pub use dynamic::{
-    Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, GrowthPolicy, LpFactory,
-    LpSoAFactory, QpFactory, RhFactory, TableFactory,
+    AdaptiveConfig, Chained24Factory, Chained8Factory, CuckooFactory, DynamicTable, GrowthPolicy,
+    LpFactory, LpSoAFactory, MigrationPolicy, QpFactory, RhFactory, TableFactory,
 };
+pub use entries::EntrySnapshot;
 pub use fingerprint::{FingerprintTable, GROUP_SLOTS};
 pub use linear_probing::{DeleteStrategy, LinearProbing};
 pub use lp_soa::LinearProbingSoA;
@@ -70,6 +72,7 @@ pub use optimistic::{ReadView, OPTIMISTIC_RETRIES};
 pub use quadratic::QuadraticProbing;
 pub use robin_hood::{RhLookupMode, RobinHood};
 pub use sharded::{ConcurrentTable, ShardedTable};
+pub use stats::{RuntimeStats, TableStats};
 
 use hashfn::HashFn64;
 
@@ -212,6 +215,18 @@ pub trait HashTable: optimistic::ReadView {
     /// Look up `key`, returning its value if present.
     fn lookup(&self, key: u64) -> Option<u64>;
 
+    /// Look up `key` and also report how many probe steps the scheme
+    /// examined — slots for the linearly addressed schemes, 16-slot groups
+    /// for the fingerprint table, so the unit is scheme-relative (compare
+    /// against the *same* scheme's steady state, not across schemes).
+    ///
+    /// This is the sampled instrumentation hook behind
+    /// [`stats::TableStats::mean_probe_len`]; the default reports one step
+    /// for schemes without an instrumented probe path.
+    fn lookup_probed(&self, key: u64) -> (Option<u64>, usize) {
+        (self.lookup(key), 1)
+    }
+
     /// Remove `key`, returning its value if it was present.
     fn delete(&mut self, key: u64) -> Option<u64>;
 
@@ -285,6 +300,15 @@ pub trait HashTable: optimistic::ReadView {
 
     /// Display name in the paper's naming style, e.g. `"LPMult"`.
     fn display_name(&self) -> String;
+
+    /// Live runtime signals ([`stats::TableStats`]), if this table collects
+    /// them. Plain schemes return `None` — only the wrappers that own a
+    /// [`stats::RuntimeStats`] (the dynamic/migrating table, and sharded
+    /// aggregation on top) report here, so the raw probe kernels stay
+    /// counter-free.
+    fn table_stats(&self) -> Option<stats::TableStats> {
+        None
+    }
 }
 
 /// Boxed tables are tables: every call — including the batch forms, so a
@@ -299,6 +323,10 @@ impl<T: HashTable + ?Sized> HashTable for Box<T> {
 
     fn lookup(&self, key: u64) -> Option<u64> {
         (**self).lookup(key)
+    }
+
+    fn lookup_probed(&self, key: u64) -> (Option<u64>, usize) {
+        (**self).lookup_probed(key)
     }
 
     fn delete(&mut self, key: u64) -> Option<u64> {
@@ -347,6 +375,10 @@ impl<T: HashTable + ?Sized> HashTable for Box<T> {
 
     fn display_name(&self) -> String {
         (**self).display_name()
+    }
+
+    fn table_stats(&self) -> Option<stats::TableStats> {
+        (**self).table_stats()
     }
 }
 

@@ -442,6 +442,28 @@ impl<H: HashFn64> HashTable for LinearProbing<H> {
         self.lookup_from(self.home(key), key)
     }
 
+    fn lookup_probed(&self, key: u64) -> (Option<u64>, usize) {
+        if is_reserved_key(key) {
+            return (None, 1);
+        }
+        // Sampled instrumentation path: always the scalar walk (the SIMD
+        // kernel resolves whole windows, hiding per-slot steps), counting
+        // slots examined including the terminating one.
+        let mut pos = self.home(key);
+        let mut steps = 1usize;
+        loop {
+            let slot = &self.slots[pos];
+            if slot.key == key {
+                return (Some(slot.value), steps);
+            }
+            if slot.is_empty() {
+                return (None, steps);
+            }
+            pos = (pos + 1) & self.mask;
+            steps += 1;
+        }
+    }
+
     fn delete(&mut self, key: u64) -> Option<u64> {
         if is_reserved_key(key) {
             return None;

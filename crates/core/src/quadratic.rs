@@ -219,6 +219,26 @@ impl<H: HashFn64> HashTable for QuadraticProbing<H> {
         self.insert_from(self.home(key), key, value)
     }
 
+    fn lookup_probed(&self, key: u64) -> (Option<u64>, usize) {
+        if is_reserved_key(key) {
+            return (None, 1);
+        }
+        // Triangular walk counting slots examined.
+        let mut pos = self.home(key);
+        let mut i = 1u64;
+        loop {
+            let slot = &self.slots[pos];
+            if slot.key == key {
+                return (Some(slot.value), i as usize);
+            }
+            if slot.is_empty() {
+                return (None, i as usize);
+            }
+            pos = (pos + i as usize) & self.mask;
+            i += 1;
+        }
+    }
+
     #[inline]
     fn lookup(&self, key: u64) -> Option<u64> {
         if is_reserved_key(key) {

@@ -300,6 +300,30 @@ impl<H: HashFn64> HashTable for RobinHood<H> {
         self.lookup_from(self.home(key), key)
     }
 
+    fn lookup_probed(&self, key: u64) -> (Option<u64>, usize) {
+        if is_reserved_key(key) {
+            return (None, 1);
+        }
+        // Displacement-ordered walk (the CheckedEveryProbe criterion — the
+        // exact abort, independent of the tuned lookup mode), counting
+        // slots examined.
+        let mut pos = self.home(key);
+        let mut dist = 0usize;
+        let mut steps = 1usize;
+        loop {
+            let slot = &self.slots[pos];
+            if slot.key == key {
+                return (Some(slot.value), steps);
+            }
+            if !slot.is_occupied() || self.displacement_at(pos) < dist {
+                return (None, steps);
+            }
+            pos = (pos + 1) & self.mask;
+            dist += 1;
+            steps += 1;
+        }
+    }
+
     fn delete(&mut self, key: u64) -> Option<u64> {
         if is_reserved_key(key) {
             return None;

@@ -146,6 +146,18 @@ pub trait ConcurrentTable: Send + Sync {
     /// not be observed, but every `(key, value)` passed to `f` was live at
     /// the moment its shard was scanned.
     fn for_each_shared(&self, f: &mut dyn FnMut(u64, u64));
+
+    /// Merged runtime statistics ([`crate::TableStats`]) through a shared
+    /// reference — counters summed over shards, the miss EWMA
+    /// lookup-weighted. Defaults to zeros for tables that do not track
+    /// runtime stats (only [`DynamicTable`](crate::DynamicTable)-wrapped
+    /// shards do). Reads that commit on the lock-free optimistic path are
+    /// *not* counted: a seqlock probe must not write table-side state, so
+    /// only locked reads feed the counters (mutations always lock, so
+    /// write counts are exact).
+    fn stats_shared(&self) -> crate::TableStats {
+        crate::TableStats::default()
+    }
 }
 
 /// One shard: a table plus the two halves of its synchronization — the
@@ -661,6 +673,16 @@ impl<T: HashTable + Send> ConcurrentTable for ShardedTable<T> {
     fn for_each_shared(&self, f: &mut dyn FnMut(u64, u64)) {
         self.for_each_shard(|_, t| t.for_each(f));
     }
+
+    fn stats_shared(&self) -> crate::TableStats {
+        let mut merged = crate::TableStats::default();
+        self.for_each_shard(|_, t| {
+            if let Some(s) = t.table_stats() {
+                merged = merged.merge(&s);
+            }
+        });
+        merged
+    }
 }
 
 /// The sharded wrapper is itself never a shard, so it keeps the
@@ -742,6 +764,11 @@ impl<T: HashTable + Send> HashTable for ShardedTable<T> {
 
     fn display_name(&self) -> String {
         format!("Sharded{}x{}", self.shards.len(), self.shards[0].read_locked().display_name())
+    }
+
+    fn table_stats(&self) -> Option<crate::TableStats> {
+        let merged = self.stats_shared();
+        (merged != crate::TableStats::default()).then_some(merged)
     }
 }
 

@@ -14,9 +14,21 @@
 //!
 //! The statistics functions work on raw slot arrays so they apply to every
 //! probing scheme; each table exposes convenience methods.
+//!
+//! # Offline vs. runtime statistics
+//!
+//! [`DisplacementStats`] / [`ClusterStats`] are *offline*: they walk the
+//! whole slot array and are meant for analysis, not the hot path. The
+//! second half of this module is the *runtime* side: [`RuntimeStats`] is a
+//! set of relaxed-atomic counters cheap enough to update from the shared
+//! read path, and [`TableStats`] is its point-in-time snapshot. These are
+//! the live signals (miss ratio, probe length, load) the adaptive
+//! migration controller in [`crate::dynamic`] feeds back into the paper's
+//! Figure 8 decision graph.
 
 use crate::{HashTable, LinearProbing, Pair, QuadraticProbing, RobinHood};
 use hashfn::HashFn64;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Summary of entry displacements.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -164,6 +176,225 @@ impl<H: HashFn64> QuadraticProbing<H> {
     }
 }
 
+/// Lookups per EWMA window: the miss counters are folded into the
+/// exponential average once this many lookups accumulate, so the hot path
+/// pays only `fetch_add`s and the division happens once per window.
+pub const EWMA_WINDOW: u64 = 1024;
+
+/// EWMA smoothing: `ewma += (window_ratio - ewma) / 2^EWMA_SHIFT`
+/// (α = 1/8). Eight windows ≈ 8 Ki lookups to mostly forget an old phase —
+/// fast enough to track a workload shift, slow enough to ignore one
+/// unlucky batch.
+const EWMA_SHIFT: u32 = 3;
+
+/// Q32 fixed point for the atomically stored miss-ratio EWMA.
+const EWMA_FP_ONE: u64 = 1 << 32;
+
+/// Point-in-time snapshot of a table's runtime signals, taken with
+/// [`RuntimeStats::snapshot`] (or aggregated across shards /
+/// generations). All counters are lifetime totals; `miss_ewma` is the
+/// recency-weighted miss ratio the adaptive controller acts on.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TableStats {
+    /// Single-key lookups plus batch lookup elements observed.
+    pub lookups: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Insert operations (single-key and batch elements).
+    pub inserts: u64,
+    /// Delete operations (single-key and batch elements).
+    pub deletes: u64,
+    /// Lookups whose probe length was sampled.
+    pub probe_samples: u64,
+    /// Total probe steps over the sampled lookups (slots for LP/QP/RH,
+    /// 16-slot groups for the fingerprint table — a scheme-relative cost
+    /// unit, comparable against the same scheme's steady state).
+    pub probe_steps: u64,
+    /// Exponentially weighted moving miss ratio in `[0, 1]`, folded every
+    /// [`EWMA_WINDOW`] lookups. Falls back to the lifetime ratio until the
+    /// first window completes.
+    pub miss_ewma: f64,
+    /// Completed generation rebuilds (growth or migration) this table has
+    /// started, from [`crate::DynamicTable::rehash_count`].
+    pub rehashes: u64,
+    /// Cross-scheme migrations the migration engine has begun.
+    pub scheme_switches: u64,
+}
+
+impl TableStats {
+    /// Lifetime miss ratio (`misses / lookups`), 0 when nothing was looked
+    /// up yet.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+
+    /// Mean sampled probe length in the scheme's own cost unit.
+    pub fn mean_probe_len(&self) -> f64 {
+        if self.probe_samples == 0 {
+            0.0
+        } else {
+            self.probe_steps as f64 / self.probe_samples as f64
+        }
+    }
+
+    /// Combine two snapshots (e.g. across shards): counters add, the EWMA
+    /// is weighted by each side's lookup volume.
+    pub fn merge(&self, other: &TableStats) -> TableStats {
+        let lookups = self.lookups + other.lookups;
+        let miss_ewma = if lookups == 0 {
+            0.0
+        } else {
+            (self.miss_ewma * self.lookups as f64 + other.miss_ewma * other.lookups as f64)
+                / lookups as f64
+        };
+        TableStats {
+            lookups,
+            misses: self.misses + other.misses,
+            inserts: self.inserts + other.inserts,
+            deletes: self.deletes + other.deletes,
+            probe_samples: self.probe_samples + other.probe_samples,
+            probe_steps: self.probe_steps + other.probe_steps,
+            miss_ewma,
+            rehashes: self.rehashes + other.rehashes,
+            scheme_switches: self.scheme_switches + other.scheme_switches,
+        }
+    }
+}
+
+/// Relaxed-atomic runtime counters, updatable from `&self` on the shared
+/// read path (the seqlock optimistic path included — these are plain
+/// monotonic counters, not part of any protected snapshot).
+///
+/// Cost model: a batch lookup pays two `fetch_add`s per *batch*; a
+/// single-key lookup pays two per op plus, once per window, one division.
+/// Nothing here is sequenced against table contents — `Relaxed` everywhere
+/// — so under concurrent readers a window fold can race and drop or
+/// double-count a handful of lookups. The signals are statistical inputs
+/// to a controller with hysteresis; that imprecision is acceptable by
+/// design.
+#[derive(Default)]
+pub struct RuntimeStats {
+    lookups: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    probe_samples: AtomicU64,
+    probe_steps: AtomicU64,
+    window_lookups: AtomicU64,
+    window_misses: AtomicU64,
+    /// Q32 fixed-point EWMA of the per-window miss ratio.
+    miss_ewma_fp: AtomicU64,
+    /// Windows folded so far (0 = EWMA unseeded).
+    windows: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime lookups observed so far (used by callers to sample every
+    /// Nth lookup for probe-length tracing).
+    #[inline]
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` lookups of which `misses` found nothing, folding the
+    /// EWMA window when it fills.
+    #[inline]
+    pub fn record_lookups(&self, n: u64, misses: u64) {
+        if n == 0 {
+            return;
+        }
+        self.lookups.fetch_add(n, Ordering::Relaxed);
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+            self.window_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+        let after = self.window_lookups.fetch_add(n, Ordering::Relaxed) + n;
+        if after >= EWMA_WINDOW {
+            self.fold_window();
+        }
+    }
+
+    /// Record a sampled probe of `steps` probe units.
+    #[inline]
+    pub fn record_probe(&self, steps: u64) {
+        self.probe_samples.fetch_add(1, Ordering::Relaxed);
+        self.probe_steps.fetch_add(steps, Ordering::Relaxed);
+    }
+
+    /// Record `n` insert operations.
+    #[inline]
+    pub fn record_inserts(&self, n: u64) {
+        self.inserts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` delete operations.
+    #[inline]
+    pub fn record_deletes(&self, n: u64) {
+        self.deletes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[cold]
+    fn fold_window(&self) {
+        let lk = self.window_lookups.swap(0, Ordering::Relaxed);
+        if lk == 0 {
+            return; // another thread folded this window first
+        }
+        let ms = self.window_misses.swap(0, Ordering::Relaxed).min(lk);
+        let ratio_fp = (((ms as u128) << 32) / lk as u128) as u64;
+        if self.windows.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.miss_ewma_fp.store(ratio_fp, Ordering::Relaxed);
+            return;
+        }
+        let old = self.miss_ewma_fp.load(Ordering::Relaxed);
+        let delta = (ratio_fp as i64 - old as i64) >> EWMA_SHIFT;
+        let new = (old as i64 + delta).clamp(0, EWMA_FP_ONE as i64) as u64;
+        self.miss_ewma_fp.store(new, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters. Before the first window folds, `miss_ewma`
+    /// reports the lifetime ratio so early controller decisions are not
+    /// anchored to a meaningless zero.
+    pub fn snapshot(&self) -> TableStats {
+        let lookups = self.lookups.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let miss_ewma = if self.windows.load(Ordering::Relaxed) == 0 {
+            if lookups == 0 {
+                0.0
+            } else {
+                misses as f64 / lookups as f64
+            }
+        } else {
+            self.miss_ewma_fp.load(Ordering::Relaxed) as f64 / EWMA_FP_ONE as f64
+        };
+        TableStats {
+            lookups,
+            misses,
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            probe_samples: self.probe_samples.load(Ordering::Relaxed),
+            probe_steps: self.probe_steps.load(Ordering::Relaxed),
+            miss_ewma,
+            rehashes: 0,
+            scheme_switches: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RuntimeStats({:?})", self.snapshot())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +506,67 @@ mod tests {
         assert_eq!(s.total, 4);
         assert_eq!(s.max, 2);
         assert!((s.variance - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_stats_counts_and_lifetime_ratio_before_first_window() {
+        let rs = RuntimeStats::new();
+        rs.record_lookups(10, 3);
+        rs.record_inserts(4);
+        rs.record_deletes(1);
+        rs.record_probe(5);
+        rs.record_probe(1);
+        let s = rs.snapshot();
+        assert_eq!(s.lookups, 10);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.inserts, 4);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.probe_samples, 2);
+        assert_eq!(s.probe_steps, 6);
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        // No window folded yet: EWMA falls back to the lifetime ratio.
+        assert!((s.miss_ewma - 0.3).abs() < 1e-12);
+        assert!((s.mean_probe_len() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_seeds_on_first_window_then_tracks_shifts() {
+        let rs = RuntimeStats::new();
+        // First window: all misses → EWMA seeds at 1.0.
+        rs.record_lookups(EWMA_WINDOW, EWMA_WINDOW);
+        let s = rs.snapshot();
+        assert!((s.miss_ewma - 1.0).abs() < 1e-6, "seeded at {}", s.miss_ewma);
+        // Phase shift to all hits: each window moves the EWMA 1/8 of the
+        // way to 0. After 32 windows it must be nearly forgotten, while the
+        // lifetime ratio still remembers the old phase.
+        for _ in 0..32 {
+            rs.record_lookups(EWMA_WINDOW, 0);
+        }
+        let s = rs.snapshot();
+        assert!(s.miss_ewma < 0.02, "EWMA should track the new phase, got {}", s.miss_ewma);
+        assert!(s.miss_ratio() > 0.02, "lifetime ratio remembers the old phase");
+    }
+
+    #[test]
+    fn ewma_moves_toward_each_window_ratio() {
+        let rs = RuntimeStats::new();
+        rs.record_lookups(EWMA_WINDOW, 0); // seed at 0.0
+        rs.record_lookups(EWMA_WINDOW, EWMA_WINDOW / 2); // window ratio 0.5
+        let s = rs.snapshot();
+        // One α=1/8 step from 0.0 toward 0.5.
+        assert!((s.miss_ewma - 0.0625).abs() < 1e-3, "got {}", s.miss_ewma);
+    }
+
+    #[test]
+    fn table_stats_merge_weights_ewma_by_lookups() {
+        let a = TableStats { lookups: 300, misses: 30, miss_ewma: 0.1, ..Default::default() };
+        let b = TableStats { lookups: 100, misses: 90, miss_ewma: 0.9, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.lookups, 400);
+        assert_eq!(m.misses, 120);
+        assert!((m.miss_ewma - 0.3).abs() < 1e-12);
+        // Merging zero-lookup sides is safe.
+        let z = TableStats::default().merge(&TableStats::default());
+        assert_eq!(z.miss_ewma, 0.0);
     }
 }

@@ -70,7 +70,8 @@ use crate::record::{decode_record, WalError, WalOp};
 use crate::snapshot;
 use crate::storage::{FileWal, WalFile, WalWriter};
 use sevendim_core::{
-    BoxedTable, ConcurrentTable, FsyncPolicy, InsertOutcome, ShardedTable, TableBuilder, TableError,
+    BoxedTable, ConcurrentTable, EntrySnapshot, FsyncPolicy, InsertOutcome, ShardedTable,
+    TableBuilder, TableError,
 };
 use std::fmt;
 use std::fs;
@@ -304,10 +305,12 @@ impl<T: ConcurrentTable> Core<T> {
             (covered_seq, new_seg)
         };
         // Scan with no log lock held: writers keep committing to the new
-        // segment; `for_each_shared` locks one shard at a time.
-        let mut entries = Vec::with_capacity(self.inner.len_shared());
-        self.inner.for_each_shared(&mut |k, v| entries.push((k, v)));
-        snapshot::write(dir, covered_seq, &entries)?;
+        // segment; the capture locks one shard at a time. A shard
+        // mid-migration contributes both of its generations (see
+        // `ConcurrentTable::for_each_shared`), so a snapshot taken during
+        // a live growth or scheme switch is still complete.
+        let entries = EntrySnapshot::pairs_of_shared(&self.inner);
+        snapshot::write(dir, covered_seq, entries.as_slice())?;
         // Old segments are fully covered by the published snapshot.
         for (no, path) in list_segments(dir)? {
             if no < new_seg {
@@ -607,6 +610,10 @@ impl<T: ConcurrentTable + 'static> ConcurrentTable for DurableTable<T> {
 
     fn for_each_shared(&self, f: &mut dyn FnMut(u64, u64)) {
         self.core.inner.for_each_shared(f)
+    }
+
+    fn stats_shared(&self) -> sevendim_core::TableStats {
+        self.core.inner.stats_shared()
     }
 }
 
@@ -1033,6 +1040,59 @@ mod tests {
         assert_eq!(t.len_shared(), 1000, "snapshot + tail replay must converge to all writes");
         for i in (0..1000u64).step_by(97) {
             assert_eq!(t.lookup_shared(i), Some(i));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_mid_scheme_switch_is_complete_and_recovers() {
+        use sevendim_core::{AdaptiveConfig, MigrationPolicy};
+        let dir = tmp_dir("switch-snap");
+        // One shard, 256 slots at ~59% load, step-1 drain: once the
+        // adaptive controller re-targets the scheme, the migration stays
+        // in flight for hundreds of mutating ops — plenty of window to
+        // snapshot a two-generation shard.
+        let b = TableBuilder::new(TableScheme::LinearProbing)
+            .bits(8)
+            .wal(&dir)
+            .incremental(1)
+            .migration(MigrationPolicy::Adaptive(AdaptiveConfig {
+                check_every: 8,
+                min_lookups: 32,
+                cooldown: 64,
+            }));
+        {
+            let (t, _) = DurableTable::open(&b).unwrap();
+            for k in 1..=150u64 {
+                t.insert_shared(k, k * 7).unwrap();
+            }
+            // Miss-heavy read phase (1 write per 100 reads) pushes the
+            // observed profile into the static miss-filtering band — the
+            // controller switches the shard onto the fingerprint table.
+            let mut switched = false;
+            for round in 0..300u64 {
+                for i in 0..100u64 {
+                    assert_eq!(t.lookup_shared(1_000_000 + round * 100 + i), None);
+                }
+                t.delete_shared(2_000_000 + round);
+                if t.stats_shared().scheme_switches > 0 {
+                    switched = true;
+                    break;
+                }
+            }
+            assert!(switched, "adaptive controller never switched schemes");
+            // Snapshot while the drain is still in flight: the capture
+            // must cover both generations of the migrating shard.
+            let stats = t.snapshot_now().unwrap();
+            assert_eq!(stats.entries, 150, "snapshot missed draining-generation entries");
+            t.insert_shared(500, 1).unwrap();
+        }
+        let (t, report) = DurableTable::open(&b).unwrap();
+        assert_eq!(report.snapshot_entries, 150);
+        assert!(report.clean());
+        assert_eq!(t.len_shared(), 151);
+        for k in 1..=150u64 {
+            assert_eq!(t.lookup_shared(k), Some(k * 7), "key {k} lost across switch + snapshot");
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -113,6 +113,15 @@ pub struct ServerStats {
     pub last_protocol_error: Option<ProtoError>,
     /// The most recent I/O close kind, for diagnostics.
     pub last_io_error: Option<io::ErrorKind>,
+    /// Runtime statistics of the served table (merged over shards via
+    /// [`ConcurrentTable::stats_shared`]): lookup/miss/write counts, the
+    /// miss-ratio EWMA, probe-length samples, and — when the table runs
+    /// a [`MigrationPolicy`](sevendim_core::MigrationPolicy) — rehash
+    /// and scheme-switch counts. All zeros for tables that do not track
+    /// runtime stats. Only filled on the aggregate [`ServerHandle::stats`]
+    /// snapshot, not in [`ServerHandle::stats_per_worker`] (the table is
+    /// shared, not per-worker).
+    pub table: sevendim_core::TableStats,
 }
 
 /// One worker's counters. Every counter is written by exactly one
@@ -167,6 +176,7 @@ impl WorkerCounters {
             drain_rounds: self.drain_rounds.load(Ordering::Relaxed),
             last_protocol_error: *self.last_protocol_error.lock().expect("not poisoned"),
             last_io_error: *self.last_io_error.lock().expect("not poisoned"),
+            table: Default::default(),
         }
     }
 }
@@ -334,6 +344,7 @@ fn spawn_reuseport(
         wakes: Vec::new(),
         counters: Vec::new(),
         joins: Vec::new(),
+        table: Arc::clone(&table),
     };
     for (i, listener) in listeners.into_iter().enumerate() {
         let worker = build_worker(Some(listener), None, &table, drain_timeout)?;
@@ -361,6 +372,7 @@ fn spawn_mailbox(
         wakes: Vec::new(),
         counters: Vec::new(),
         joins: Vec::new(),
+        table: Arc::clone(&table),
     };
     let mut acceptor = Acceptor {
         epoll: Epoll::new()?,
@@ -436,6 +448,7 @@ pub struct ServerHandle {
     wakes: Vec<Arc<WakePipe>>,
     counters: Vec<Arc<WorkerCounters>>,
     joins: Vec<JoinHandle<io::Result<()>>>,
+    table: Arc<dyn ConcurrentTable>,
 }
 
 impl ServerHandle {
@@ -481,6 +494,7 @@ impl ServerHandle {
             total.last_protocol_error = snap.last_protocol_error.or(total.last_protocol_error);
             total.last_io_error = snap.last_io_error.or(total.last_io_error);
         }
+        total.table = self.table.stats_shared();
         total
     }
 
@@ -850,6 +864,55 @@ mod tests {
         drop(client);
         let stats = handle.shutdown().expect("shutdown");
         assert_eq!(stats.frames, 2);
+    }
+
+    #[test]
+    fn server_keeps_serving_through_a_live_scheme_switch() {
+        use sevendim_core::{AdaptiveConfig, MigrationPolicy};
+        // One shard, 256 slots at ~59% load, step-1 drain: the adaptive
+        // switch stays in flight for hundreds of ops once triggered.
+        let table: Arc<dyn ConcurrentTable> = Arc::new(
+            TableBuilder::new(TableScheme::LinearProbing)
+                .bits(8)
+                .incremental(1)
+                .migration(MigrationPolicy::Adaptive(AdaptiveConfig {
+                    check_every: 8,
+                    min_lookups: 32,
+                    cooldown: 64,
+                }))
+                .build_sharded(),
+        );
+        let handle = KvServer::builder().threads(1).spawn("127.0.0.1:0", table).expect("spawn");
+        let mut client = KvClient::connect(handle.addr()).expect("connect");
+        for k in 1..=150u64 {
+            assert!(client.put(k, k * 3).expect("put").is_ok());
+        }
+        // Miss-heavy reads with a trickle of writes: the controller
+        // re-targets the scheme and the drain proceeds — all while the
+        // same connection keeps being served.
+        let mut switched = false;
+        for round in 0..300u64 {
+            for i in 0..100u64 {
+                assert_eq!(client.get(1_000_000 + round * 100 + i).expect("get"), None);
+            }
+            assert!(client.put(200_000 + round, round).expect("put").is_ok());
+            if handle.stats().table.scheme_switches > 0 {
+                switched = true;
+                break;
+            }
+        }
+        assert!(switched, "server table never switched schemes");
+        // Every pre-switch entry still answers, mid- or post-drain.
+        for k in (1..=150u64).step_by(7) {
+            assert_eq!(client.get(k).expect("get"), Some(k * 3), "key {k}");
+        }
+        drop(client);
+        let stats = handle.shutdown().expect("shutdown");
+        assert!(stats.table.scheme_switches >= 1);
+        assert!(stats.table.lookups > 0, "table stats must flow into ServerStats");
+        assert!(stats.table.miss_ewma > 0.5, "EWMA must have tracked the miss phase");
+        assert_eq!(stats.protocol_closes, 0);
+        assert_eq!(stats.io_closes, 0);
     }
 
     #[test]

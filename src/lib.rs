@@ -117,11 +117,12 @@ pub mod prelude {
     };
     pub use sevendim_core::cuckoo::{CuckooH2, CuckooH3, CuckooH4};
     pub use sevendim_core::{
-        decision::Mutability, recommend, BoxedTable, ChainedTable24, ChainedTable8,
-        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, FingerprintTable, FsyncPolicy,
-        GrowthPolicy, HashKind, HashTable, InsertOutcome, LinearProbing, LinearProbingSoA,
-        QuadraticProbing, ReadView, RhLookupMode, RobinHood, ShardedTable, TableBuilder,
-        TableChoice, TableError, TableScheme, WorkloadProfile,
+        decision::Mutability, recommend, AdaptiveConfig, BoxedTable, ChainedTable24, ChainedTable8,
+        ConcurrentTable, Cuckoo, DeleteStrategy, DynamicTable, EntrySnapshot, FingerprintTable,
+        FsyncPolicy, GrowthPolicy, HashKind, HashTable, InsertOutcome, LinearProbing,
+        LinearProbingSoA, MigrationPolicy, QuadraticProbing, ReadView, RhLookupMode, RobinHood,
+        ShardedTable, TableBuilder, TableChoice, TableError, TableScheme, TableStats,
+        WorkloadProfile,
     };
     pub use sevendim_durable::{DurableSharded, DurableTable, RecoveryReport, WalError};
     #[cfg(target_os = "linux")]

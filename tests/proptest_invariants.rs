@@ -253,6 +253,174 @@ proptest! {
     }
 }
 
+/// The six decision-graph targets, indexable by a proptest strategy.
+const SWITCH_TARGETS: [TableChoice; 6] = [
+    TableChoice::ChainedH24Mult,
+    TableChoice::LPMult,
+    TableChoice::QPMult,
+    TableChoice::RHMult,
+    TableChoice::CuckooH4Mult,
+    TableChoice::FpMult,
+];
+
+/// A cross-scheme [`DynamicTable::switch_to`] fired at an arbitrary point
+/// of an arbitrary operation sequence must leave the incrementally
+/// draining table element-wise identical to a stop-the-world twin at
+/// *every* step — every intermediate drain state, not just the end.
+/// `bits(4)` + `grow_at(0.7)` under the 60-key universe forces growth
+/// migrations to overlap the switch (a switch landing mid-growth-drain
+/// finishes the growth first).
+fn check_switch_twin(
+    scheme: TableScheme,
+    target: TableChoice,
+    step: usize,
+    switch_at: usize,
+    ops: &[Op],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let factory = TableBuilder::new(scheme).hash(HashKind::Murmur);
+    let mut inc = DynamicTable::with_migration(
+        factory.clone(),
+        4,
+        0x9077,
+        0.7,
+        GrowthPolicy::Incremental { step },
+        MigrationPolicy::Grow,
+    );
+    let mut aao = DynamicTable::with_migration(
+        factory,
+        4,
+        0x9077,
+        0.7,
+        GrowthPolicy::AllAtOnce,
+        MigrationPolicy::Grow,
+    );
+    for (i, op) in ops.iter().enumerate() {
+        if i == switch_at % ops.len() {
+            let switched = inc.switch_to(target).unwrap();
+            prop_assert_eq!(
+                aao.switch_to(target).unwrap(),
+                switched,
+                "twins disagree on switch feasibility"
+            );
+        }
+        match *op {
+            Op::Insert(k, v) => {
+                prop_assert_eq!(inc.insert(k, v), aao.insert(k, v), "insert {}", k);
+            }
+            Op::Delete(k) => {
+                prop_assert_eq!(inc.delete(k), aao.delete(k), "delete {}", k);
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(inc.lookup(k), aao.lookup(k), "lookup {}", k);
+            }
+        }
+        prop_assert_eq!(inc.len(), aao.len());
+        prop_assert_eq!(inc.capacity(), aao.capacity());
+    }
+    for k in 1..60u64 {
+        prop_assert_eq!(inc.lookup(k), aao.lookup(k), "final lookup {}", k);
+    }
+    prop_assert_eq!(inc.scheme_switches(), aao.scheme_switches());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #[test]
+    fn mid_switch_matches_stop_the_world_from_lp(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        target_ix in 0usize..6,
+        switch_at in 0usize..250,
+    ) {
+        for step in [1usize, 7] {
+            check_switch_twin(
+                TableScheme::LinearProbing, SWITCH_TARGETS[target_ix], step, switch_at, &ops,
+            )?;
+        }
+    }
+
+    #[test]
+    fn mid_switch_matches_stop_the_world_from_fp(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        target_ix in 0usize..6,
+        switch_at in 0usize..250,
+    ) {
+        for step in [1usize, 7] {
+            check_switch_twin(
+                TableScheme::Fingerprint, SWITCH_TARGETS[target_ix], step, switch_at, &ops,
+            )?;
+        }
+    }
+
+    #[test]
+    fn mid_switch_matches_stop_the_world_from_off_graph_source(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        target_ix in 0usize..6,
+        switch_at in 0usize..250,
+    ) {
+        // Cuckoo2 has no decision-graph identity (`current_choice` is
+        // None), so every target is a genuine cross-scheme move.
+        check_switch_twin(TableScheme::Cuckoo2, SWITCH_TARGETS[target_ix], 1, switch_at, &ops)?;
+    }
+}
+
+/// A sharded table whose shards each carry a pending
+/// [`MigrationPolicy::Switch`] — with growth (`grow_at(0.5)`) and the
+/// switch drain (step 1) overlapping, optimistic reads on or off — must
+/// stay conformant with a `HashMap` model through the shared-reference
+/// single-key API at every step.
+fn check_sharded_switch(
+    optimistic: bool,
+    target: TableChoice,
+    ops: &[Op],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let sharded = TableBuilder::new(TableScheme::LinearProbing)
+        .hash(HashKind::Murmur)
+        .bits(6)
+        .seed(0x5A17)
+        .grow_at(0.5)
+        .incremental(1)
+        .migration(MigrationPolicy::Switch(target))
+        .optimistic_reads(optimistic)
+        .shards(1)
+        .build_sharded();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expect = match model.insert(k, v) {
+                    None => InsertOutcome::Inserted,
+                    Some(old) => InsertOutcome::Replaced(old),
+                };
+                prop_assert_eq!(sharded.insert_shared(k, v), Ok(expect));
+            }
+            Op::Delete(k) => {
+                prop_assert_eq!(sharded.delete_shared(k), model.remove(&k));
+            }
+            Op::Lookup(k) => {
+                prop_assert_eq!(sharded.lookup_shared(k), model.get(&k).copied());
+            }
+        }
+        prop_assert_eq!(sharded.len(), model.len());
+    }
+    for k in 1..60u64 {
+        prop_assert_eq!(sharded.lookup_shared(k), model.get(&k).copied(), "final lookup {}", k);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #[test]
+    fn sharded_switch_conforms_with_and_without_optimistic_reads(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        target_ix in 0usize..6,
+        optimistic in any::<bool>(),
+    ) {
+        check_sharded_switch(optimistic, SWITCH_TARGETS[target_ix], &ops)?;
+    }
+}
+
 /// One batch-level operation against a table, sized 0..12 over a 16-key
 /// universe so duplicate keys *within a single batch* are common — the
 /// case where sharded radix routing must preserve in-batch ordering
